@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses.
+ *
+ * Every binary regenerates one table or figure of the paper's
+ * evaluation (§7) by running the actual pipeline — no numbers are
+ * hard-coded. Environment knobs:
+ *
+ *   PRORACE_SCALE   workload length multiplier (default 1.0)
+ *   PRORACE_TRIALS  traces per configuration for Table 2 (default 25;
+ *                   the paper uses 100)
+ */
+
+#ifndef PRORACE_BENCH_BENCH_UTIL_HH
+#define PRORACE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace prorace::bench {
+
+/** Workload scale factor from PRORACE_SCALE. */
+inline double
+envScale(double def = 1.0)
+{
+    const char *s = std::getenv("PRORACE_SCALE");
+    return s ? std::atof(s) : def;
+}
+
+/** Trial count from PRORACE_TRIALS. */
+inline int
+envTrials(int def)
+{
+    const char *s = std::getenv("PRORACE_TRIALS");
+    return s ? std::atoi(s) : def;
+}
+
+/** Standard banner naming the regenerated figure/table. */
+inline void
+banner(const char *figure, const char *caption)
+{
+    std::printf("==================================================="
+                "===========================\n");
+    std::printf("ProRace reproduction — %s\n%s\n", figure, caption);
+    std::printf("==================================================="
+                "===========================\n");
+}
+
+/** The sampling periods the paper sweeps. */
+inline const std::vector<uint64_t> &
+paperPeriods()
+{
+    static const std::vector<uint64_t> periods{10, 100, 1000, 10000,
+                                              100000};
+    return periods;
+}
+
+} // namespace prorace::bench
+
+#endif // PRORACE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the pipeline's components: VM
+ * interpretation rate, PT encode/decode throughput, sample alignment,
+ * replay throughput, and FastTrack event throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/session.hh"
+#include "detect/fasttrack.hh"
+#include "pmu/pt_decode.hh"
+#include "replay/align.hh"
+#include "replay/replayer.hh"
+#include "support/rng.hh"
+#include "trace/trace_file.hh"
+#include "workload/apps.hh"
+
+namespace {
+
+using namespace prorace;
+
+workload::Workload &
+benchApp()
+{
+    static workload::Workload w = [] {
+        workload::AppProfile p;
+        p.name = "bench-app";
+        p.items = 120;
+        p.compute_iters = 80;
+        p.sweep_elems = 40;
+        p.chase_steps = 10;
+        return workload::makeAppWorkload(p);
+    }();
+    return w;
+}
+
+core::RunArtifacts &
+benchRun()
+{
+    static core::RunArtifacts run = [] {
+        auto &w = benchApp();
+        core::SessionOptions opt;
+        opt.machine.seed = 9;
+        opt.run_baseline = false;
+        opt.tracing.pebs_period = 200;
+        opt.tracing.pt.filter = w.pt_filter;
+        return core::Session::run(*w.program, w.setup, opt);
+    }();
+    return run;
+}
+
+void
+BM_MachineInterpret(benchmark::State &state)
+{
+    auto &w = benchApp();
+    uint64_t insns = 0;
+    for (auto _ : state) {
+        vm::MachineConfig cfg;
+        cfg.seed = 3;
+        vm::Machine m(*w.program, cfg);
+        w.setup(m);
+        m.run();
+        insns += m.totalInstructions();
+    }
+    state.counters["insn/s"] = benchmark::Counter(
+        static_cast<double>(insns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineInterpret)->Unit(benchmark::kMillisecond);
+
+void
+BM_MachineInterpretTraced(benchmark::State &state)
+{
+    auto &w = benchApp();
+    uint64_t insns = 0;
+    for (auto _ : state) {
+        vm::MachineConfig cfg;
+        cfg.seed = 3;
+        driver::TraceConfig tcfg;
+        tcfg.pebs_period = 200;
+        tcfg.pt.filter = w.pt_filter;
+        vm::Machine m(*w.program, cfg);
+        driver::TracingSession tracing(tcfg, cfg.num_cores);
+        m.setObserver(&tracing);
+        w.setup(m);
+        m.run();
+        benchmark::DoNotOptimize(tracing.finish());
+        insns += m.totalInstructions();
+    }
+    state.counters["insn/s"] = benchmark::Counter(
+        static_cast<double>(insns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineInterpretTraced)->Unit(benchmark::kMillisecond);
+
+void
+BM_PtDecode(benchmark::State &state)
+{
+    auto &run = benchRun();
+    auto &w = benchApp();
+    uint64_t entries = 0;
+    for (auto _ : state) {
+        pmu::PtDecodeStats stats;
+        auto paths =
+            pmu::decodePt(*w.program, w.pt_filter, run.trace, &stats);
+        benchmark::DoNotOptimize(paths);
+        entries += stats.path_entries;
+    }
+    state.counters["entries/s"] = benchmark::Counter(
+        static_cast<double>(entries), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PtDecode)->Unit(benchmark::kMillisecond);
+
+void
+BM_AlignSamples(benchmark::State &state)
+{
+    auto &run = benchRun();
+    auto &w = benchApp();
+    auto paths = pmu::decodePt(*w.program, w.pt_filter, run.trace);
+    for (auto _ : state) {
+        auto aligns = replay::alignTrace(*w.program, paths, run.trace);
+        benchmark::DoNotOptimize(aligns);
+    }
+}
+BENCHMARK(BM_AlignSamples)->Unit(benchmark::kMillisecond);
+
+void
+BM_Replay(benchmark::State &state)
+{
+    auto &run = benchRun();
+    auto &w = benchApp();
+    auto paths = pmu::decodePt(*w.program, w.pt_filter, run.trace);
+    auto aligns = replay::alignTrace(*w.program, paths, run.trace);
+    uint64_t accesses = 0;
+    for (auto _ : state) {
+        replay::Replayer rep(*w.program, {});
+        auto out = rep.replayAll(paths, aligns, run.trace);
+        accesses += out.size();
+        benchmark::DoNotOptimize(out);
+    }
+    state.counters["accesses/s"] = benchmark::Counter(
+        static_cast<double>(accesses), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Replay)->Unit(benchmark::kMillisecond);
+
+void
+BM_FastTrack(benchmark::State &state)
+{
+    // A synthetic stream: 4 threads, mixed reads/writes over 1K
+    // variables with periodic lock handoffs.
+    Rng rng(11);
+    std::vector<detect::MemAccess> stream;
+    for (int i = 0; i < 100000; ++i) {
+        detect::MemAccess ma;
+        ma.tid = static_cast<uint32_t>(rng.below(4));
+        ma.addr = 0x10000 + 8 * rng.below(1024);
+        ma.is_write = rng.chance(0.3);
+        ma.insn_index = static_cast<uint32_t>(rng.below(500));
+        stream.push_back(ma);
+    }
+    uint64_t events = 0;
+    for (auto _ : state) {
+        detect::FastTrack ft;
+        for (size_t i = 0; i < stream.size(); ++i) {
+            if (i % 64 == 0) {
+                ft.acquire(stream[i].tid, 0x9000);
+                ft.release(stream[i].tid, 0x9000);
+            }
+            ft.access(stream[i]);
+        }
+        events += stream.size();
+        benchmark::DoNotOptimize(ft.report().size());
+    }
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FastTrack)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceSerialize(benchmark::State &state)
+{
+    auto &run = benchRun();
+    uint64_t bytes = 0;
+    for (auto _ : state) {
+        auto buf = trace::serializeTrace(run.trace);
+        bytes += buf.size();
+        benchmark::DoNotOptimize(buf);
+    }
+    state.counters["bytes/s"] = benchmark::Counter(
+        static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceSerialize)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Regenerates Figure 6: ProRace runtime overhead on the PARSEC suite
+ * across PEBS sampling periods 10..100K, plus the §7.2 overhead
+ * breakdown (PEBS vs PT vs synchronization tracing).
+ *
+ * Paper reference points (geomean): 4% @100K, 7% @10K, 31% @1K,
+ * 2.85x @100, 7.52x @10.
+ */
+
+#include "bench_util.hh"
+#include "overhead_common.hh"
+#include "workload/apps.hh"
+
+int
+main()
+{
+    using namespace prorace;
+    bench::banner("Figure 6 (+ §7.2 breakdown)",
+                  "Runtime overhead, PARSEC-model suite, ProRace driver, "
+                  "4 worker threads.");
+    auto suite = workload::parsecWorkloads(bench::envScale());
+    bench::overheadSweep(suite, driver::DriverKind::kProRace,
+                         /*print_breakdown=*/true);
+    std::printf("\npaper geomeans:       7.52x       2.85x       31%%"
+                "          7%%          4%%\n");
+    return 0;
+}

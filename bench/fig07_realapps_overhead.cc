@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Regenerates Figure 7: ProRace runtime overhead on the real-world
+ * application models. Network-I/O-bound services (apache, cherokee,
+ * memcached, aget) hide the tracing cost behind I/O waits; the CPU- and
+ * file-I/O-bound subjects (mysql, transmission, pfscan, pbzip2) expose
+ * it.
+ *
+ * Paper reference points (geomean): 0.8% @100K, 2.6% @10K, 8% @1K,
+ * 34% @100, 80% @10.
+ */
+
+#include "bench_util.hh"
+#include "overhead_common.hh"
+#include "workload/apps.hh"
+
+int
+main()
+{
+    using namespace prorace;
+    bench::banner("Figure 7",
+                  "Runtime overhead, real-application models, ProRace "
+                  "driver (thread counts per Table 1).");
+    auto suite = workload::realAppWorkloads(bench::envScale());
+    bench::overheadSweep(suite, driver::DriverKind::kProRace,
+                         /*print_breakdown=*/false);
+    std::printf("\npaper geomeans:        80%%         34%%          8%%"
+                "        2.6%%        0.8%%\n");
+    return 0;
+}

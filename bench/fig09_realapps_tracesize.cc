@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Regenerates Figure 9: trace generation rate for the real-application
+ * models. Rates are far below PARSEC's because these subjects retire
+ * memory operations at a much lower rate (I/O waits dominate).
+ *
+ * Paper geomeans (MB/s): 99.5 @10, 40.8 @100, 7.9 @1K, 1.2 @10K,
+ * 0.2 @100K.
+ */
+
+#include "bench_util.hh"
+#include "overhead_common.hh"
+#include "workload/apps.hh"
+
+int
+main()
+{
+    using namespace prorace;
+    bench::banner("Figure 9",
+                  "Trace size (MB/s), real-application models, ProRace "
+                  "driver.");
+    auto suite = workload::realAppWorkloads(bench::envScale());
+    bench::traceSizeSweep(suite);
+    std::printf("\npaper geomeans (MB/s): 99.5 @10, 40.8 @100, 7.9 @1K, "
+                "1.2 @10K, 0.2 @100K\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates Figure 10: runtime overhead of the vanilla Linux PEBS
+ * driver vs the ProRace driver, geometric means over the PARSEC suite
+ * and the real-application suite.
+ *
+ * Paper reference points: PARSEC @10: vanilla ~50x vs ProRace 7.5x;
+ * @100K: vanilla ~20% vs ProRace 4%.
+ */
+
+#include "bench_util.hh"
+#include "overhead_common.hh"
+#include "support/stats.hh"
+#include "workload/apps.hh"
+
+namespace {
+
+using namespace prorace;
+
+void
+compareSuite(const char *label,
+             const std::vector<workload::Workload> &suite)
+{
+    const auto &periods = bench::paperPeriods();
+    std::printf("\n-- %s --\n%-10s", label, "driver");
+    for (uint64_t p : periods)
+        std::printf("%12s", ("P=" + std::to_string(p)).c_str());
+    std::printf("\n");
+
+    for (driver::DriverKind driver :
+         {driver::DriverKind::kVanilla, driver::DriverKind::kProRace}) {
+        std::printf("%-10s", driverName(driver));
+        for (uint64_t period : periods) {
+            std::vector<double> ratios;
+            for (const auto &w : suite) {
+                ratios.push_back(
+                    1.0 + bench::runPoint(w, period, driver).overhead);
+            }
+            std::printf("%12s",
+                        formatOverhead(geomean(ratios) - 1).c_str());
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace prorace;
+    bench::banner("Figure 10",
+                  "Vanilla Linux PEBS driver vs the ProRace driver "
+                  "(geomean overheads per suite).");
+    compareSuite("PARSEC models",
+                 workload::parsecWorkloads(bench::envScale()));
+    compareSuite("real applications",
+                 workload::realAppWorkloads(bench::envScale()));
+    std::printf("\npaper (PARSEC): vanilla 50x @10 and ~20%% @100K; "
+                "ProRace 7.52x @10 and 4%% @100K\n");
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Shared driver for the runtime-overhead and trace-size sweeps
+ * (Figures 6-10): run each workload untraced and traced across the
+ * paper's sampling periods and collect overhead / trace-rate numbers.
+ */
+
+#ifndef PRORACE_BENCH_OVERHEAD_COMMON_HH
+#define PRORACE_BENCH_OVERHEAD_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/session.hh"
+#include "support/stats.hh"
+#include "workload/workload.hh"
+
+namespace prorace::bench {
+
+/** One workload at one period. */
+struct SweepPoint {
+    double overhead = 0;        ///< traced/baseline - 1
+    double mb_per_s = 0;        ///< committed trace rate
+    double pebs_share_cycles = 0; ///< PEBS share of tracing cycles
+    double pt_share_cycles = 0;
+    double sync_share_cycles = 0;
+    uint64_t samples = 0;
+    uint64_t dropped = 0;
+};
+
+/** Run one workload under one driver/period configuration. */
+inline SweepPoint
+runPoint(const workload::Workload &w, uint64_t period,
+         driver::DriverKind driver, uint64_t seed = 17)
+{
+    core::SessionOptions opt;
+    opt.machine.seed = seed;
+    opt.run_baseline = true;
+    opt.tracing.pebs_period = period;
+    opt.tracing.driver = driver;
+    opt.tracing.seed = seed ^ 0xabcdef;
+    opt.tracing.pt.filter = w.pt_filter;
+    core::RunArtifacts run = core::Session::run(*w.program, w.setup, opt);
+
+    SweepPoint p;
+    p.overhead = run.overhead();
+    p.mb_per_s = run.traceMBPerSecond();
+    const double total =
+        static_cast<double>(run.stats.totalCycles()) + 1e-9;
+    p.pebs_share_cycles = static_cast<double>(run.stats.pebs_cycles) / total;
+    p.pt_share_cycles = static_cast<double>(run.stats.pt_cycles) / total;
+    p.sync_share_cycles =
+        static_cast<double>(run.stats.sync_cycles) / total;
+    p.samples = run.stats.samples_taken;
+    p.dropped = run.stats.samplesDropped();
+    return p;
+}
+
+/** Print a full overhead sweep (one row per app, one column per period). */
+inline void
+overheadSweep(const std::vector<workload::Workload> &suite,
+              driver::DriverKind driver, bool print_breakdown)
+{
+    const auto &periods = paperPeriods();
+    std::printf("%-14s", "app");
+    for (uint64_t p : periods)
+        std::printf("%12s", ("P=" + std::to_string(p)).c_str());
+    std::printf("\n");
+
+    std::vector<std::vector<double>> ratios(periods.size());
+    std::vector<SweepPoint> breakdown_points;
+    for (const auto &w : suite) {
+        std::printf("%-14s", w.name.c_str());
+        for (size_t i = 0; i < periods.size(); ++i) {
+            const SweepPoint p = runPoint(w, periods[i], driver);
+            ratios[i].push_back(1.0 + p.overhead);
+            std::printf("%12s", formatOverhead(p.overhead).c_str());
+            if (print_breakdown && periods[i] == 10000)
+                breakdown_points.push_back(p);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-14s", "geomean");
+    for (size_t i = 0; i < periods.size(); ++i)
+        std::printf("%12s", formatOverhead(geomean(ratios[i]) - 1).c_str());
+    std::printf("\n");
+
+    if (print_breakdown) {
+        double pebs = 0, pt = 0, sync = 0;
+        for (const SweepPoint &p : breakdown_points) {
+            pebs += p.pebs_share_cycles;
+            pt += p.pt_share_cycles;
+            sync += p.sync_share_cycles;
+        }
+        const double n = static_cast<double>(breakdown_points.size());
+        std::printf("\nTracing-overhead breakdown at P=10000 (paper "
+                    "§7.2: PEBS dominates at 97-99%%):\n"
+                    "  PEBS %.1f%%   PT %.1f%%   sync %.1f%%\n",
+                    100 * pebs / n, 100 * pt / n, 100 * sync / n);
+    }
+}
+
+/** Print a trace-size sweep in MB/s (one row per app). */
+inline void
+traceSizeSweep(const std::vector<workload::Workload> &suite)
+{
+    const auto &periods = paperPeriods();
+    std::printf("%-14s", "app");
+    for (uint64_t p : periods)
+        std::printf("%12s", ("P=" + std::to_string(p)).c_str());
+    std::printf("%12s\n", "drops@10");
+
+    std::vector<std::vector<double>> rates(periods.size());
+    for (const auto &w : suite) {
+        std::printf("%-14s", w.name.c_str());
+        uint64_t drops_at_10 = 0;
+        for (size_t i = 0; i < periods.size(); ++i) {
+            const SweepPoint p =
+                runPoint(w, periods[i], driver::DriverKind::kProRace);
+            rates[i].push_back(std::max(p.mb_per_s, 1e-3));
+            std::printf("%12s", formatDouble(p.mb_per_s, 1).c_str());
+            if (periods[i] == 10)
+                drops_at_10 = p.dropped;
+            std::fflush(stdout);
+        }
+        std::printf("%12llu\n",
+                    static_cast<unsigned long long>(drops_at_10));
+    }
+    std::printf("%-14s", "geomean");
+    for (size_t i = 0; i < periods.size(); ++i)
+        std::printf("%12s", formatDouble(geomean(rates[i]), 1).c_str());
+    std::printf("\n");
+}
+
+} // namespace prorace::bench
+
+#endif // PRORACE_BENCH_OVERHEAD_COMMON_HH

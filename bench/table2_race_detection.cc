@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Table 2: detection probability of the twelve real-world
+ * race bugs, RaceZ vs ProRace, sampling periods 100 / 1000 / 10000.
+ *
+ * For each (bug, period, detector) we collect PRORACE_TRIALS traces
+ * (the paper collects 100) with different seeds and uncontrolled
+ * schedules, run the full offline pipeline on each, and count the
+ * traces whose report names the injected racy instruction pair.
+ *
+ * Paper shape: ProRace detects nearly everything at period 100 and
+ * 27.5% on average at 10000 (vs RaceZ's 0.2%); PC-relative bugs are
+ * detected at every period by ProRace; RaceZ misses them almost always.
+ */
+
+#include <cstdio>
+
+#include "baseline/racez.hh"
+#include "bench_util.hh"
+#include "core/pipeline.hh"
+#include "workload/racybugs.hh"
+
+int
+main()
+{
+    using namespace prorace;
+    const int trials = bench::envTrials(15);
+    bench::banner("Table 2",
+                  "Race-bug detection probability (percent of traces "
+                  "that catch the bug).");
+    std::printf("trials per cell: %d (paper: 100; set PRORACE_TRIALS)\n\n",
+                trials);
+    std::printf("%-16s %-18s %-18s | %-17s | %-17s\n", "bug",
+                "manifestation", "access type", "RaceZ 100/1K/10K",
+                "ProRace 100/1K/10K");
+
+    const std::vector<uint64_t> periods{100, 1000, 10000};
+    std::vector<double> z_avg(3, 0), p_avg(3, 0);
+    auto bugs = workload::racyBugWorkloads(bench::envScale());
+    for (const auto &bug : bugs) {
+        int z[3] = {0, 0, 0}, p[3] = {0, 0, 0};
+        for (size_t pi = 0; pi < periods.size(); ++pi) {
+            for (int t = 0; t < trials; ++t) {
+                const uint64_t seed = 5000 + 131 * t;
+                auto zres = core::runPipeline(
+                    *bug.program, bug.setup,
+                    baseline::raceZConfig(periods[pi], seed));
+                z[pi] += workload::bugDetected(bug.bugs[0],
+                                               zres.offline.report);
+                auto pres = core::runPipeline(
+                    *bug.program, bug.setup,
+                    core::proRaceConfig(periods[pi], seed,
+                                        bug.pt_filter));
+                p[pi] += workload::bugDetected(bug.bugs[0],
+                                               pres.offline.report);
+            }
+            z_avg[pi] += 100.0 * z[pi] / trials;
+            p_avg[pi] += 100.0 * p[pi] / trials;
+        }
+        std::printf("%-16s %-18s %-18s |  %4.0f %4.0f %4.0f    |  %4.0f "
+                    "%4.0f %4.0f\n",
+                    bug.name.c_str(),
+                    bug.bugs[0].manifestation.c_str(),
+                    workload::addressKindName(bug.bugs[0].kind),
+                    100.0 * z[0] / trials, 100.0 * z[1] / trials,
+                    100.0 * z[2] / trials, 100.0 * p[0] / trials,
+                    100.0 * p[1] / trials, 100.0 * p[2] / trials);
+        std::fflush(stdout);
+    }
+    std::printf("%-16s %-18s %-18s |  %4.1f %4.1f %4.1f    |  %4.1f "
+                "%4.1f %4.1f\n",
+                "(average)", "", "", z_avg[0] / 12, z_avg[1] / 12,
+                z_avg[2] / 12, p_avg[0] / 12, p_avg[1] / 12,
+                p_avg[2] / 12);
+    std::printf("\npaper averages: ProRace 10K = 27.5%% vs RaceZ 10K = "
+                "0.2%%; ProRace detects 11/12 bugs at period 100\n");
+    return 0;
+}

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Command-line front end for the two-phase deployment:
+ *
+ *   prorace_cli list
+ *       List every built-in workload (PARSEC / real-app / racy-bug).
+ *   prorace_cli trace <workload> <trace-file> [--period N] [--seed N]
+ *               [--driver prorace|vanilla] [--scale X]
+ *       Online phase: run the workload under tracing and write the
+ *       trace file (what the production machine does).
+ *   prorace_cli analyze <workload> <trace-file> [--racez] [--scale X]
+ *       Offline phase: load the trace and run the analysis pipeline
+ *       (what the analysis machine does). --racez limits
+ *       reconstruction to basic blocks, as the RaceZ baseline does.
+ *   prorace_cli run <workload> [--period N] [--seed N] [--scale X]
+ *       Both phases in one process.
+ *
+ * The <workload> program must be identical between trace and analyze
+ * (same name and --scale), exactly as the offline phase needs the
+ * production binary.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baseline/racez.hh"
+#include "core/pipeline.hh"
+#include "trace/trace_file.hh"
+#include "workload/registry.hh"
+
+using namespace prorace;
+
+namespace {
+
+struct Args {
+    std::string command;
+    std::string workload;
+    std::string trace_file;
+    uint64_t period = 10000;
+    uint64_t seed = 1;
+    double scale = 1.0;
+    bool racez = false;
+    bool vanilla = false;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: prorace_cli list\n"
+                 "       prorace_cli trace <workload> <file> [--period N]"
+                 " [--seed N] [--driver prorace|vanilla] [--scale X]\n"
+                 "       prorace_cli analyze <workload> <file> [--racez]"
+                 " [--scale X]\n"
+                 "       prorace_cli run <workload> [--period N]"
+                 " [--seed N] [--scale X]\n");
+    return 2;
+}
+
+bool
+parseFlags(int argc, char **argv, int first, Args &args)
+{
+    for (int i = first; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (flag == "--period") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.period = std::strtoull(v, nullptr, 10);
+        } else if (flag == "--seed") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.seed = std::strtoull(v, nullptr, 10);
+        } else if (flag == "--scale") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.scale = std::atof(v);
+        } else if (flag == "--racez") {
+            args.racez = true;
+        } else if (flag == "--driver") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.vanilla = std::strcmp(v, "vanilla") == 0;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+cmdList()
+{
+    for (const std::string &name : workload::allWorkloadNames()) {
+        auto w = workload::findWorkload(name, 0.01);
+        std::printf("%-16s %s\n", name.c_str(),
+                    w ? w->description.c_str() : "");
+    }
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    auto w = workload::findWorkload(args.workload, args.scale);
+    if (!w) {
+        std::fprintf(stderr, "unknown workload: %s\n",
+                     args.workload.c_str());
+        return 1;
+    }
+    core::PipelineConfig cfg =
+        core::proRaceConfig(args.period, args.seed, w->pt_filter);
+    if (args.vanilla)
+        cfg.session.tracing.driver = driver::DriverKind::kVanilla;
+    cfg.session.run_baseline = true;
+    core::RunArtifacts run =
+        core::Session::run(*w->program, w->setup, cfg.session);
+    trace::saveTrace(run.trace, args.trace_file);
+    std::printf("traced %s: %llu insns, overhead %.2f%%, %llu samples "
+                "(%llu dropped), %.1f KB -> %s\n",
+                args.workload.c_str(),
+                static_cast<unsigned long long>(run.total_insns),
+                100.0 * run.overhead(),
+                static_cast<unsigned long long>(run.stats.samples_taken),
+                static_cast<unsigned long long>(
+                    run.stats.samplesDropped()),
+                run.trace.totalBytes() / 1024.0,
+                args.trace_file.c_str());
+    return 0;
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    auto w = workload::findWorkload(args.workload, args.scale);
+    if (!w) {
+        std::fprintf(stderr, "unknown workload: %s\n",
+                     args.workload.c_str());
+        return 1;
+    }
+    trace::RunTrace trace = trace::loadTrace(args.trace_file);
+    core::OfflineOptions opt;
+    opt.pt_filter = w->pt_filter;
+    if (args.racez)
+        opt.replay.mode = replay::ReplayMode::kBasicBlock;
+    core::OfflineAnalyzer analyzer(*w->program, opt);
+    core::OfflineResult result = analyzer.analyze(trace);
+
+    std::printf("decode %.3fs  reconstruct %.3fs  detect %.3fs  "
+                "(%llu events, recovery %.1fx, %d regeneration "
+                "rounds)\n",
+                result.decode_seconds, result.reconstruct_seconds,
+                result.detect_seconds,
+                static_cast<unsigned long long>(
+                    result.extended_trace_events),
+                result.replay_stats.recoveryRatio(),
+                result.regeneration_rounds);
+    std::printf("%s", result.report.format(w->program.get()).c_str());
+    for (const workload::RacyBug &bug : w->bugs) {
+        std::printf("ground truth %s: %s\n", bug.id.c_str(),
+                    workload::bugDetected(bug, result.report)
+                        ? "DETECTED"
+                        : "not detected in this trace");
+    }
+    return result.report.empty() ? 1 : 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    auto w = workload::findWorkload(args.workload, args.scale);
+    if (!w) {
+        std::fprintf(stderr, "unknown workload: %s\n",
+                     args.workload.c_str());
+        return 1;
+    }
+    core::PipelineConfig cfg = args.racez
+        ? baseline::raceZConfig(args.period, args.seed)
+        : core::proRaceConfig(args.period, args.seed, w->pt_filter);
+    core::PipelineResult result =
+        core::runPipeline(*w->program, w->setup, cfg);
+    std::printf("%s", result.offline.report.format(w->program.get())
+                          .c_str());
+    for (const workload::RacyBug &bug : w->bugs) {
+        std::printf("ground truth %s: %s\n", bug.id.c_str(),
+                    workload::bugDetected(bug, result.offline.report)
+                        ? "DETECTED"
+                        : "not detected in this trace");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    Args args;
+    args.command = argv[1];
+
+    if (args.command == "list")
+        return cmdList();
+    if (argc < 3)
+        return usage();
+    args.workload = argv[2];
+
+    if (args.command == "trace" || args.command == "analyze") {
+        if (argc < 4)
+            return usage();
+        args.trace_file = argv[3];
+        if (!parseFlags(argc, argv, 4, args))
+            return usage();
+        return args.command == "trace" ? cmdTrace(args)
+                                       : cmdAnalyze(args);
+    }
+    if (args.command == "run") {
+        if (!parseFlags(argc, argv, 3, args))
+            return usage();
+        return cmdRun(args);
+    }
+    return usage();
+}

@@ -1,0 +1,346 @@
+#include "asmkit/builder.hh"
+
+#include "asmkit/layout.hh"
+#include "support/log.hh"
+
+namespace prorace::asmkit {
+
+using isa::Insn;
+using isa::Op;
+
+void
+ProgramBuilder::label(const std::string &name)
+{
+    if (labels_.count(name))
+        PRORACE_FATAL("duplicate code label: ", name);
+    labels_[name] = here();
+}
+
+void
+ProgramBuilder::beginFunction(const std::string &name)
+{
+    if (function_open_)
+        endFunction();
+    label(name);
+    functions_.push_back(Function{name, here(), here()});
+    function_open_ = true;
+}
+
+void
+ProgramBuilder::endFunction()
+{
+    PRORACE_ASSERT(function_open_, "endFunction without beginFunction");
+    functions_.back().end = here();
+    function_open_ = false;
+}
+
+uint64_t
+ProgramBuilder::global(const std::string &name, uint64_t size,
+                       uint64_t align)
+{
+    if (symbols_.count(name))
+        PRORACE_FATAL("duplicate data symbol: ", name);
+    PRORACE_ASSERT(align && (align & (align - 1)) == 0,
+                   "alignment must be a power of two");
+    data_cursor_ = (data_cursor_ + align - 1) & ~(align - 1);
+    DataSymbol sym;
+    sym.name = name;
+    sym.addr = kGlobalBase + data_cursor_;
+    sym.size = size;
+    data_cursor_ += size;
+    PRORACE_ASSERT(kGlobalBase + data_cursor_ < kHeapBase,
+                   "global data segment overflow");
+    const uint64_t addr = sym.addr;
+    symbols_[name] = std::move(sym);
+    return addr;
+}
+
+uint64_t
+ProgramBuilder::globalU64(const std::string &name, uint64_t value)
+{
+    const uint64_t addr = global(name, 8, 8);
+    auto &init = symbols_[name].init;
+    init.resize(8);
+    for (int i = 0; i < 8; ++i)
+        init[i] = static_cast<uint8_t>(value >> (8 * i));
+    return addr;
+}
+
+uint64_t
+ProgramBuilder::symbolAddr(const std::string &name) const
+{
+    auto it = symbols_.find(name);
+    if (it == symbols_.end())
+        PRORACE_FATAL("unknown data symbol: ", name);
+    return it->second.addr;
+}
+
+isa::MemOperand
+ProgramBuilder::symRef(const std::string &name, int64_t offset) const
+{
+    return MemOperand::ripRel(
+        static_cast<int64_t>(symbolAddr(name)) + offset);
+}
+
+uint32_t
+ProgramBuilder::emit(Insn insn)
+{
+    code_.push_back(insn);
+    return static_cast<uint32_t>(code_.size()) - 1;
+}
+
+uint32_t
+ProgramBuilder::emitBranch(Insn insn, const std::string &target)
+{
+    const uint32_t idx = emit(insn);
+    fixups_.emplace_back(idx, target);
+    return idx;
+}
+
+uint32_t
+ProgramBuilder::nop()
+{
+    return emit(Insn{.op = Op::kNop});
+}
+
+uint32_t
+ProgramBuilder::halt()
+{
+    return emit(Insn{.op = Op::kHalt});
+}
+
+uint32_t
+ProgramBuilder::movri(Reg dst, int64_t imm)
+{
+    return emit(Insn{.op = Op::kMovRI, .dst = dst, .imm = imm});
+}
+
+uint32_t
+ProgramBuilder::movLabel(Reg dst, const std::string &label)
+{
+    return emitBranch(Insn{.op = Op::kMovRI, .dst = dst}, label);
+}
+
+uint32_t
+ProgramBuilder::movrr(Reg dst, Reg src)
+{
+    return emit(Insn{.op = Op::kMovRR, .dst = dst, .src = src});
+}
+
+uint32_t
+ProgramBuilder::load(Reg dst, const MemOperand &mem, uint8_t width,
+                     bool sign_extend)
+{
+    return emit(Insn{.op = Op::kLoad, .dst = dst, .width = width,
+                     .sign_extend = sign_extend, .mem = mem});
+}
+
+uint32_t
+ProgramBuilder::store(const MemOperand &mem, Reg src, uint8_t width)
+{
+    return emit(Insn{.op = Op::kStore, .src = src, .width = width,
+                     .mem = mem});
+}
+
+uint32_t
+ProgramBuilder::storei(const MemOperand &mem, int64_t imm, uint8_t width)
+{
+    return emit(Insn{.op = Op::kStoreI, .width = width, .imm = imm,
+                     .mem = mem});
+}
+
+uint32_t
+ProgramBuilder::lea(Reg dst, const MemOperand &mem)
+{
+    return emit(Insn{.op = Op::kLea, .dst = dst, .mem = mem});
+}
+
+uint32_t
+ProgramBuilder::alurr(AluOp op, Reg dst, Reg src)
+{
+    return emit(Insn{.op = Op::kAluRR, .dst = dst, .src = src, .alu = op});
+}
+
+uint32_t
+ProgramBuilder::aluri(AluOp op, Reg dst, int64_t imm)
+{
+    return emit(Insn{.op = Op::kAluRI, .dst = dst, .alu = op, .imm = imm});
+}
+
+uint32_t
+ProgramBuilder::cmprr(Reg lhs, Reg rhs)
+{
+    return emit(Insn{.op = Op::kCmpRR, .dst = lhs, .src = rhs});
+}
+
+uint32_t
+ProgramBuilder::cmpri(Reg lhs, int64_t imm)
+{
+    return emit(Insn{.op = Op::kCmpRI, .dst = lhs, .imm = imm});
+}
+
+uint32_t
+ProgramBuilder::testrr(Reg lhs, Reg rhs)
+{
+    return emit(Insn{.op = Op::kTestRR, .dst = lhs, .src = rhs});
+}
+
+uint32_t
+ProgramBuilder::testri(Reg lhs, int64_t imm)
+{
+    return emit(Insn{.op = Op::kTestRI, .dst = lhs, .imm = imm});
+}
+
+uint32_t
+ProgramBuilder::jcc(CondCode cond, const std::string &target)
+{
+    return emitBranch(Insn{.op = Op::kJcc, .cond = cond}, target);
+}
+
+uint32_t
+ProgramBuilder::jmp(const std::string &target)
+{
+    return emitBranch(Insn{.op = Op::kJmp}, target);
+}
+
+uint32_t
+ProgramBuilder::jmpind(Reg src)
+{
+    return emit(Insn{.op = Op::kJmpInd, .src = src});
+}
+
+uint32_t
+ProgramBuilder::call(const std::string &target)
+{
+    return emitBranch(Insn{.op = Op::kCall}, target);
+}
+
+uint32_t
+ProgramBuilder::callind(Reg src)
+{
+    return emit(Insn{.op = Op::kCallInd, .src = src});
+}
+
+uint32_t
+ProgramBuilder::ret()
+{
+    return emit(Insn{.op = Op::kRet});
+}
+
+uint32_t
+ProgramBuilder::push(Reg src)
+{
+    return emit(Insn{.op = Op::kPush, .src = src});
+}
+
+uint32_t
+ProgramBuilder::pop(Reg dst)
+{
+    return emit(Insn{.op = Op::kPop, .dst = dst});
+}
+
+uint32_t
+ProgramBuilder::atomicRmw(AluOp op, Reg dst_old, const MemOperand &mem,
+                          Reg src, uint8_t width)
+{
+    return emit(Insn{.op = Op::kAtomicRmw, .dst = dst_old, .src = src,
+                     .alu = op, .width = width, .mem = mem});
+}
+
+uint32_t
+ProgramBuilder::cas(const MemOperand &mem, Reg expected, Reg desired,
+                    uint8_t width)
+{
+    return emit(Insn{.op = Op::kCas, .dst = expected, .src = desired,
+                     .width = width, .mem = mem});
+}
+
+uint32_t
+ProgramBuilder::lock(const MemOperand &mutex_var)
+{
+    return emit(Insn{.op = Op::kLock, .mem = mutex_var});
+}
+
+uint32_t
+ProgramBuilder::unlock(const MemOperand &mutex_var)
+{
+    return emit(Insn{.op = Op::kUnlock, .mem = mutex_var});
+}
+
+uint32_t
+ProgramBuilder::condWait(const MemOperand &cond_var, Reg mutex_addr)
+{
+    return emit(Insn{.op = Op::kCondWait, .src = mutex_addr,
+                     .mem = cond_var});
+}
+
+uint32_t
+ProgramBuilder::condSignal(const MemOperand &cond_var)
+{
+    return emit(Insn{.op = Op::kCondSignal, .mem = cond_var});
+}
+
+uint32_t
+ProgramBuilder::condBroadcast(const MemOperand &cond_var)
+{
+    return emit(Insn{.op = Op::kCondBcast, .mem = cond_var});
+}
+
+uint32_t
+ProgramBuilder::barrier(const MemOperand &barrier_var, int64_t parties)
+{
+    return emit(Insn{.op = Op::kBarrier, .imm = parties,
+                     .mem = barrier_var});
+}
+
+uint32_t
+ProgramBuilder::spawn(Reg dst_tid, const std::string &entry, Reg arg)
+{
+    return emitBranch(Insn{.op = Op::kSpawn, .dst = dst_tid, .src = arg},
+                      entry);
+}
+
+uint32_t
+ProgramBuilder::join(Reg tid)
+{
+    return emit(Insn{.op = Op::kJoin, .src = tid});
+}
+
+uint32_t
+ProgramBuilder::mallocCall(Reg dst, Reg size)
+{
+    return emit(Insn{.op = Op::kMalloc, .dst = dst, .src = size});
+}
+
+uint32_t
+ProgramBuilder::freeCall(Reg addr)
+{
+    return emit(Insn{.op = Op::kFree, .src = addr});
+}
+
+uint32_t
+ProgramBuilder::syscall(SyscallNo no, int64_t imm)
+{
+    return emit(Insn{.op = Op::kSyscall, .sysno = no, .imm = imm});
+}
+
+Program
+ProgramBuilder::build()
+{
+    if (function_open_)
+        endFunction();
+    for (const auto &[idx, name] : fixups_) {
+        auto it = labels_.find(name);
+        if (it == labels_.end())
+            PRORACE_FATAL("unresolved code label: ", name);
+        if (code_[idx].op == Op::kMovRI)
+            code_[idx].imm = it->second; // movLabel: code pointer
+        else
+            code_[idx].target = it->second;
+    }
+    fixups_.clear();
+    return Program(std::move(code_), std::move(labels_),
+                   std::move(symbols_), std::move(functions_));
+}
+
+} // namespace prorace::asmkit

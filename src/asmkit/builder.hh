@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Label-based assembler for constructing simulated programs.
+ *
+ * Workloads use this fluent builder the way a compiler's codegen would:
+ * emit instructions, reference forward labels freely, declare global data
+ * symbols, and call build() to resolve fixups into an immutable Program.
+ */
+
+#ifndef PRORACE_ASMKIT_BUILDER_HH
+#define PRORACE_ASMKIT_BUILDER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asmkit/program.hh"
+#include "isa/insn.hh"
+
+namespace prorace::asmkit {
+
+/**
+ * Incremental program builder with deferred label resolution.
+ *
+ * Every emitter returns the index of the emitted instruction so callers
+ * (e.g. racy-bug workloads) can record ground-truth instruction sites.
+ */
+class ProgramBuilder
+{
+  public:
+    using Reg = isa::Reg;
+    using AluOp = isa::AluOp;
+    using CondCode = isa::CondCode;
+    using MemOperand = isa::MemOperand;
+    using SyscallNo = isa::SyscallNo;
+
+    /** Bind @p name to the next emitted instruction. */
+    void label(const std::string &name);
+
+    /** Start a named function (records a code-region for PT filters). */
+    void beginFunction(const std::string &name);
+
+    /** Close the currently open function. */
+    void endFunction();
+
+    /**
+     * Reserve @p size bytes of zero-initialized global data.
+     * @return the symbol's address.
+     */
+    uint64_t global(const std::string &name, uint64_t size,
+                    uint64_t align = 8);
+
+    /** Reserve an 8-byte global initialized to @p value. */
+    uint64_t globalU64(const std::string &name, uint64_t value);
+
+    /** Address of a previously declared global. */
+    uint64_t symbolAddr(const std::string &name) const;
+
+    /** Memory operand referencing a global PC-relatively. */
+    MemOperand symRef(const std::string &name, int64_t offset = 0) const;
+
+    // --- instruction emitters (return the instruction index) ---
+
+    uint32_t nop();
+    uint32_t halt();
+    uint32_t movri(Reg dst, int64_t imm);
+    /** dst <- instruction index of @p label (a code pointer). */
+    uint32_t movLabel(Reg dst, const std::string &label);
+    uint32_t movrr(Reg dst, Reg src);
+    uint32_t load(Reg dst, const MemOperand &mem, uint8_t width = 8,
+                  bool sign_extend = false);
+    uint32_t store(const MemOperand &mem, Reg src, uint8_t width = 8);
+    uint32_t storei(const MemOperand &mem, int64_t imm, uint8_t width = 8);
+    uint32_t lea(Reg dst, const MemOperand &mem);
+    uint32_t alurr(AluOp op, Reg dst, Reg src);
+    uint32_t aluri(AluOp op, Reg dst, int64_t imm);
+    uint32_t addri(Reg dst, int64_t imm) { return aluri(AluOp::kAdd, dst, imm); }
+    uint32_t subri(Reg dst, int64_t imm) { return aluri(AluOp::kSub, dst, imm); }
+    uint32_t addrr(Reg dst, Reg src) { return alurr(AluOp::kAdd, dst, src); }
+    uint32_t subrr(Reg dst, Reg src) { return alurr(AluOp::kSub, dst, src); }
+    uint32_t xorrr(Reg dst, Reg src) { return alurr(AluOp::kXor, dst, src); }
+    uint32_t cmprr(Reg lhs, Reg rhs);
+    uint32_t cmpri(Reg lhs, int64_t imm);
+    uint32_t testrr(Reg lhs, Reg rhs);
+    uint32_t testri(Reg lhs, int64_t imm);
+    uint32_t jcc(CondCode cond, const std::string &target);
+    uint32_t jmp(const std::string &target);
+    uint32_t jmpind(Reg src);
+    uint32_t call(const std::string &target);
+    uint32_t callind(Reg src);
+    uint32_t ret();
+    uint32_t push(Reg src);
+    uint32_t pop(Reg dst);
+    uint32_t atomicRmw(AluOp op, Reg dst_old, const MemOperand &mem, Reg src,
+                       uint8_t width = 8);
+    uint32_t cas(const MemOperand &mem, Reg expected, Reg desired,
+                 uint8_t width = 8);
+    uint32_t lock(const MemOperand &mutex_var);
+    uint32_t unlock(const MemOperand &mutex_var);
+    uint32_t condWait(const MemOperand &cond_var, Reg mutex_addr);
+    uint32_t condSignal(const MemOperand &cond_var);
+    uint32_t condBroadcast(const MemOperand &cond_var);
+    uint32_t barrier(const MemOperand &barrier_var, int64_t parties);
+    uint32_t spawn(Reg dst_tid, const std::string &entry, Reg arg);
+    uint32_t join(Reg tid);
+    uint32_t mallocCall(Reg dst, Reg size);
+    uint32_t freeCall(Reg addr);
+    uint32_t syscall(SyscallNo no, int64_t imm = 0);
+
+    /** Index the next emitted instruction will occupy. */
+    uint32_t here() const { return static_cast<uint32_t>(code_.size()); }
+
+    /** Resolve labels and freeze the program. Fatal on unresolved labels. */
+    Program build();
+
+  private:
+    uint32_t emit(isa::Insn insn);
+    uint32_t emitBranch(isa::Insn insn, const std::string &target);
+
+    std::vector<isa::Insn> code_;
+    std::map<std::string, uint32_t> labels_;
+    std::map<std::string, DataSymbol> symbols_;
+    std::vector<Function> functions_;
+    std::vector<std::pair<uint32_t, std::string>> fixups_;
+    uint64_t data_cursor_ = 0; ///< offset from kGlobalBase
+    bool function_open_ = false;
+};
+
+} // namespace prorace::asmkit
+
+#endif // PRORACE_ASMKIT_BUILDER_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Address-space layout of simulated programs.
+ *
+ * The simulated data address space is flat and 64-bit. Code addresses are
+ * instruction indices and live in their own space (the PT filters and the
+ * replayer operate on instruction indices).
+ */
+
+#ifndef PRORACE_ASMKIT_LAYOUT_HH
+#define PRORACE_ASMKIT_LAYOUT_HH
+
+#include <cstdint>
+
+namespace prorace::asmkit {
+
+/** Base of the global/static data segment (builder-assigned symbols). */
+inline constexpr uint64_t kGlobalBase = 0x0000000000010000ull;
+
+/** Base of the simulated heap (malloc). */
+inline constexpr uint64_t kHeapBase = 0x0000000001000000ull;
+
+/** Upper bound of the heap region. */
+inline constexpr uint64_t kHeapLimit = 0x0000000040000000ull;
+
+/** Top of the stack of thread 0; stacks grow downwards. */
+inline constexpr uint64_t kStackTop = 0x00007f0000000000ull;
+
+/** Bytes reserved per thread stack (including guard slack). */
+inline constexpr uint64_t kStackRegion = 1ull << 20;
+
+/** Usable stack size per thread. */
+inline constexpr uint64_t kStackSize = 256 * 1024;
+
+/** Initial stack pointer of thread @p tid. */
+constexpr uint64_t
+stackTopFor(uint32_t tid)
+{
+    return kStackTop - static_cast<uint64_t>(tid) * kStackRegion;
+}
+
+/** True if @p addr falls in some thread's stack region. */
+constexpr bool
+isStackAddress(uint64_t addr)
+{
+    return addr > kStackTop - (1ull << 32) && addr <= kStackTop;
+}
+
+/** True if @p addr falls in the heap region. */
+constexpr bool
+isHeapAddress(uint64_t addr)
+{
+    return addr >= kHeapBase && addr < kHeapLimit;
+}
+
+/** True if @p addr falls in the global data segment. */
+constexpr bool
+isGlobalAddress(uint64_t addr)
+{
+    return addr >= kGlobalBase && addr < kHeapBase;
+}
+
+} // namespace prorace::asmkit
+
+#endif // PRORACE_ASMKIT_LAYOUT_HH

@@ -1,0 +1,21 @@
+#include "baseline/racez.hh"
+
+namespace prorace::baseline {
+
+core::PipelineConfig
+raceZConfig(uint64_t period, uint64_t seed)
+{
+    core::PipelineConfig cfg;
+    cfg.session.machine.seed = seed;
+    cfg.session.run_baseline = false;
+    cfg.session.tracing.pebs_period = period;
+    // RaceZ rides the stock Linux PEBS driver (no randomized first
+    // window, per-record kernel processing) and does not use PT.
+    cfg.session.tracing.driver = driver::DriverKind::kVanilla;
+    cfg.session.tracing.enable_pt = false;
+    cfg.session.tracing.seed = seed ^ 0x2545f4914f6cdd1dull;
+    cfg.offline.replay.mode = replay::ReplayMode::kBasicBlock;
+    return cfg;
+}
+
+} // namespace prorace::baseline

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The RaceZ baseline (Sheng et al., ICSE 2011), as the paper models it
+ * for comparison: PEBS sampling through the stock Linux driver, no PT,
+ * and memory-trace reconstruction limited to the sampled instruction's
+ * basic block with only trivial in-block backward propagation.
+ */
+
+#ifndef PRORACE_BASELINE_RACEZ_HH
+#define PRORACE_BASELINE_RACEZ_HH
+
+#include "core/pipeline.hh"
+
+namespace prorace::baseline {
+
+/**
+ * RaceZ pipeline configuration.
+ *
+ * @param period  PEBS sampling period
+ * @param seed    machine + tracing randomness seed
+ */
+core::PipelineConfig raceZConfig(uint64_t period, uint64_t seed);
+
+} // namespace prorace::baseline
+
+#endif // PRORACE_BASELINE_RACEZ_HH

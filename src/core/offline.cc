@@ -1,0 +1,251 @@
+#include "core/offline.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/log.hh"
+
+namespace prorace::core {
+
+using detect::AccessOrigin;
+using vm::SyncKind;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - t0).count();
+}
+
+/** One entry of the merged detector feed. */
+struct FeedEvent {
+    uint64_t tsc = 0;
+    uint8_t subrank = 1; ///< same-TSC tie-break: release < access < acquire
+    uint32_t tid = 0;
+    uint64_t position = 0;
+    bool is_sync = false;
+    size_t index = 0; ///< into the access vector or the sync trace
+};
+
+/**
+ * Tie-break rank at equal TSC: happens-before sources (releases, exits,
+ * spawns) sort before plain accesses, which sort before happens-before
+ * sinks (acquires, joins, wakes).
+ */
+uint8_t
+syncSubrank(SyncKind kind)
+{
+    switch (kind) {
+      case SyncKind::kUnlock:
+      case SyncKind::kCondWaitBegin:
+      case SyncKind::kCondSignal:
+      case SyncKind::kCondBroadcast:
+      case SyncKind::kBarrierEnter:
+      case SyncKind::kSpawn:
+      case SyncKind::kThreadExit:
+        return 0;
+      case SyncKind::kLock:
+      case SyncKind::kCondWake:
+      case SyncKind::kBarrierExit:
+      case SyncKind::kJoin:
+      case SyncKind::kThreadStart:
+        return 2;
+      default:
+        return 1; // malloc/free order with accesses
+    }
+}
+
+} // namespace
+
+OfflineAnalyzer::OfflineAnalyzer(const asmkit::Program &program,
+                                 const OfflineOptions &options)
+    : program_(program), options_(options)
+{
+}
+
+void
+OfflineAnalyzer::analyzeOnce(
+    const trace::RunTrace &run,
+    const std::map<uint32_t, pmu::ThreadPath> &paths,
+    const std::map<uint32_t, replay::ThreadAlignment> &alignments,
+    const replay::ReplayConfig &replay_config, OfflineResult &result,
+    std::unordered_set<uint64_t> &consumed)
+{
+    // --- reconstruction ---
+    auto t0 = std::chrono::steady_clock::now();
+    replay::Replayer replayer(program_, replay_config);
+    std::vector<replay::ReconstructedAccess> accesses =
+        replayer.replayAll(paths, alignments, run);
+    result.replay_stats = replayer.stats();
+    result.extended_trace_events = accesses.size();
+    consumed = replayer.consumedAddresses();
+    result.reconstruct_seconds += secondsSince(t0);
+
+    // --- detection ---
+    t0 = std::chrono::steady_clock::now();
+
+    // Per-thread positions of sync records (exact program order) let the
+    // merge tie-break same-TSC events correctly.
+    std::unordered_map<size_t, uint64_t> sync_positions;
+    for (const auto &[tid, align] : alignments) {
+        for (const auto &s : align.syncs)
+            sync_positions[s.record_index] = s.position;
+    }
+
+    std::vector<FeedEvent> feed;
+    feed.reserve(accesses.size() + run.sync.size());
+    for (size_t i = 0; i < accesses.size(); ++i) {
+        feed.push_back({accesses[i].tsc, 1, accesses[i].tid,
+                        accesses[i].position, false, i});
+    }
+    for (size_t i = 0; i < run.sync.size(); ++i) {
+        uint64_t pos = 0;
+        if (auto it = sync_positions.find(i); it != sync_positions.end())
+            pos = it->second;
+        feed.push_back({run.sync[i].tsc, syncSubrank(run.sync[i].kind),
+                        run.sync[i].tid, pos, true, i});
+    }
+    std::stable_sort(feed.begin(), feed.end(),
+                     [](const FeedEvent &a, const FeedEvent &b) {
+                         if (a.tsc != b.tsc)
+                             return a.tsc < b.tsc;
+                         if (a.subrank != b.subrank)
+                             return a.subrank < b.subrank;
+                         if (a.tid != b.tid)
+                             return a.tid < b.tid;
+                         return a.position < b.position;
+                     });
+
+    detect::FastTrack ft;
+    for (const FeedEvent &ev : feed) {
+        if (!ev.is_sync) {
+            const replay::ReconstructedAccess &a = accesses[ev.index];
+            detect::MemAccess ma;
+            ma.tid = a.tid;
+            ma.addr = a.addr;
+            ma.width = a.width;
+            ma.is_write = a.is_write;
+            ma.is_atomic = a.is_atomic;
+            ma.insn_index = a.insn_index;
+            ma.tsc = a.tsc;
+            ma.origin = a.origin;
+            ft.access(ma);
+            continue;
+        }
+        const trace::SyncRecord &s = run.sync[ev.index];
+        switch (s.kind) {
+          case SyncKind::kLock:
+            ft.acquire(s.tid, s.object);
+            break;
+          case SyncKind::kUnlock:
+            ft.release(s.tid, s.object);
+            break;
+          case SyncKind::kCondWaitBegin:
+            // Releases the associated mutex (aux) before blocking.
+            ft.release(s.tid, s.aux);
+            break;
+          case SyncKind::kCondWake:
+            // Reacquires the mutex and inherits the signaler's clock.
+            ft.acquire(s.tid, s.aux);
+            ft.acquire(s.tid, s.object);
+            break;
+          case SyncKind::kCondSignal:
+          case SyncKind::kCondBroadcast:
+            ft.release(s.tid, s.object);
+            break;
+          case SyncKind::kBarrierEnter:
+            ft.barrierEnter(s.tid, s.object);
+            break;
+          case SyncKind::kBarrierExit:
+            ft.barrierExit(s.tid, s.object);
+            break;
+          case SyncKind::kSpawn:
+            ft.fork(s.tid, static_cast<uint32_t>(s.aux));
+            break;
+          case SyncKind::kThreadStart:
+            break; // the fork edge already transferred the clock
+          case SyncKind::kThreadExit:
+            ft.threadExit(s.tid);
+            break;
+          case SyncKind::kJoin:
+            ft.join(s.tid, static_cast<uint32_t>(s.aux));
+            break;
+          case SyncKind::kMalloc:
+            ft.allocate(s.tid, s.object, s.aux);
+            break;
+          case SyncKind::kFree:
+            ft.deallocate(s.tid, s.object);
+            break;
+        }
+    }
+
+    result.report = ft.report();
+    result.detect_stats = ft.stats();
+    result.detect_seconds += secondsSince(t0);
+}
+
+OfflineResult
+OfflineAnalyzer::analyze(const trace::RunTrace &run)
+{
+    OfflineResult result;
+
+    std::map<uint32_t, pmu::ThreadPath> paths;
+    std::map<uint32_t, replay::ThreadAlignment> alignments;
+    if (options_.replay.mode != replay::ReplayMode::kBasicBlock) {
+        auto t0 = std::chrono::steady_clock::now();
+        paths = pmu::decodePt(program_, options_.pt_filter, run,
+                              &result.decode_stats);
+        result.decode_seconds = secondsSince(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        alignments = replay::alignTrace(program_, paths, run,
+                                        &result.align_stats);
+        result.reconstruct_seconds += secondsSince(t0);
+    }
+
+    replay::ReplayConfig replay_config = options_.replay;
+    for (int round = 0;; ++round) {
+        result.regeneration_rounds = round;
+        std::unordered_set<uint64_t> consumed;
+        OfflineResult pass = result; // keep timing accumulators
+        pass.report = detect::RaceReport();
+        analyzeOnce(run, paths, alignments, replay_config, pass, consumed);
+        result = pass;
+
+        if (round >= options_.max_regeneration_rounds)
+            break;
+
+        // Paper §5.1: if a race was detected on a location whose
+        // emulated value the replay consumed, that reconstruction is
+        // suspect — blacklist the location and regenerate the trace.
+        std::vector<std::pair<uint64_t, uint64_t>> new_blacklist;
+        for (const detect::DataRace &race : result.report.races()) {
+            bool used = false;
+            for (uint64_t b = race.addr; b < race.addr + 8; ++b) {
+                if (consumed.count(b)) {
+                    used = true;
+                    break;
+                }
+            }
+            if (!used)
+                continue;
+            bool already = false;
+            for (const auto &[addr, size] : replay_config.mem_blacklist) {
+                if (race.addr >= addr && race.addr < addr + size)
+                    already = true;
+            }
+            if (!already)
+                new_blacklist.emplace_back(race.addr, 8);
+        }
+        if (new_blacklist.empty())
+            break;
+        replay_config.mem_blacklist.insert(
+            replay_config.mem_blacklist.end(), new_blacklist.begin(),
+            new_blacklist.end());
+    }
+    return result;
+}
+
+} // namespace prorace::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Offline phase entry point: PT decode, trace alignment, memory-trace
+ * reconstruction, and FastTrack race detection, with the paper's
+ * racy-emulated-location regeneration loop (§5.1).
+ */
+
+#ifndef PRORACE_CORE_OFFLINE_HH
+#define PRORACE_CORE_OFFLINE_HH
+
+#include <cstdint>
+
+#include "asmkit/program.hh"
+#include "detect/fasttrack.hh"
+#include "detect/report.hh"
+#include "pmu/pt.hh"
+#include "pmu/pt_decode.hh"
+#include "replay/align.hh"
+#include "replay/replayer.hh"
+#include "trace/records.hh"
+
+namespace prorace::core {
+
+/** Offline-phase configuration. */
+struct OfflineOptions {
+    replay::ReplayConfig replay;
+    /** Must match the PT filter the online phase traced with. */
+    pmu::PtFilter pt_filter = pmu::PtFilter::all();
+    /** Regeneration rounds when races land on emulated locations. */
+    int max_regeneration_rounds = 2;
+};
+
+/** Everything the offline phase produces. */
+struct OfflineResult {
+    detect::RaceReport report;
+    replay::ReplayStats replay_stats;
+    pmu::PtDecodeStats decode_stats;
+    replay::AlignStats align_stats;
+    detect::FastTrackStats detect_stats;
+    uint64_t extended_trace_events = 0;
+    int regeneration_rounds = 0;
+
+    // Wall-clock cost split of the offline pipeline (paper §7.6).
+    double decode_seconds = 0;
+    double reconstruct_seconds = 0; ///< alignment + replay
+    double detect_seconds = 0;
+
+    double
+    totalSeconds() const
+    {
+        return decode_seconds + reconstruct_seconds + detect_seconds;
+    }
+};
+
+/**
+ * The offline analyzer: feed it the program binary and a run trace; it
+ * returns the race report and pipeline statistics.
+ */
+class OfflineAnalyzer
+{
+  public:
+    OfflineAnalyzer(const asmkit::Program &program,
+                    const OfflineOptions &options);
+
+    /** Run the full offline pipeline over @p run. */
+    OfflineResult analyze(const trace::RunTrace &run);
+
+  private:
+    /** One reconstruction + detection pass with the given blacklist. */
+    void analyzeOnce(const trace::RunTrace &run,
+                     const std::map<uint32_t, pmu::ThreadPath> &paths,
+                     const std::map<uint32_t,
+                                    replay::ThreadAlignment> &alignments,
+                     const replay::ReplayConfig &replay_config,
+                     OfflineResult &result,
+                     std::unordered_set<uint64_t> &consumed);
+
+    const asmkit::Program &program_;
+    OfflineOptions options_;
+};
+
+} // namespace prorace::core
+
+#endif // PRORACE_CORE_OFFLINE_HH

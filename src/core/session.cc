@@ -1,0 +1,44 @@
+#include "core/session.hh"
+
+#include "support/log.hh"
+
+namespace prorace::core {
+
+RunArtifacts
+Session::run(const asmkit::Program &program, const Setup &setup,
+             const SessionOptions &options)
+{
+    RunArtifacts out;
+
+    if (options.run_baseline) {
+        vm::Machine baseline(program, options.machine);
+        setup(baseline);
+        baseline.run();
+        out.baseline_cycles = baseline.wallTime();
+    }
+
+    vm::Machine machine(program, options.machine);
+    driver::TracingSession tracing(options.tracing,
+                                   options.machine.num_cores);
+    machine.setObserver(&tracing);
+    setup(machine);
+    out.status = machine.run();
+
+    out.trace = tracing.finish();
+    out.stats = tracing.stats();
+    out.traced_cycles = machine.wallTime();
+    out.total_insns = machine.totalInstructions();
+    out.total_mem_ops = machine.totalMemOps();
+
+    out.trace.meta.wall_cycles = out.traced_cycles;
+    out.trace.meta.baseline_cycles = out.baseline_cycles;
+    out.trace.meta.total_insns = out.total_insns;
+    out.trace.meta.total_mem_ops = out.total_mem_ops;
+    for (uint32_t tid = 0; tid < machine.numThreads(); ++tid) {
+        out.trace.meta.threads.push_back(
+            {tid, machine.thread(tid).entry_ip});
+    }
+    return out;
+}
+
+} // namespace prorace::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Online phase entry point: run a program under the tracing stack and
+ * produce the run trace plus overhead measurements.
+ */
+
+#ifndef PRORACE_CORE_SESSION_HH
+#define PRORACE_CORE_SESSION_HH
+
+#include <functional>
+
+#include "asmkit/program.hh"
+#include "driver/session.hh"
+#include "trace/records.hh"
+#include "vm/machine.hh"
+
+namespace prorace::core {
+
+/** Everything the online phase produces. */
+struct RunArtifacts {
+    trace::RunTrace trace;          ///< what reaches the analysis machines
+    driver::TracingStats stats;     ///< online counters
+    vm::RunStatus status = vm::RunStatus::kFinished;
+    uint64_t traced_cycles = 0;     ///< wall time with tracing
+    uint64_t baseline_cycles = 0;   ///< wall time without tracing (0 if not run)
+    uint64_t total_insns = 0;
+    uint64_t total_mem_ops = 0;
+
+    /** Overhead ratio: traced/baseline - 1 (requires a baseline run). */
+    double
+    overhead() const
+    {
+        if (baseline_cycles == 0)
+            return 0;
+        return static_cast<double>(traced_cycles) /
+            static_cast<double>(baseline_cycles) - 1.0;
+    }
+
+    /** Trace generation rate in MB per second of traced execution. */
+    double
+    traceMBPerSecond() const
+    {
+        if (traced_cycles == 0)
+            return 0;
+        const double seconds = static_cast<double>(traced_cycles) /
+            driver::kCyclesPerSecond;
+        return static_cast<double>(trace.totalBytes()) / 1.0e6 / seconds;
+    }
+};
+
+/** Options for one online run. */
+struct SessionOptions {
+    vm::MachineConfig machine;
+    driver::TraceConfig tracing;
+    bool run_baseline = true; ///< also run untraced for overhead numbers
+};
+
+/**
+ * The online phase: execute the program (twice when a baseline is
+ * requested — once untraced, once traced) and assemble artifacts.
+ */
+class Session
+{
+  public:
+    /** Creates the initial threads of a run (the "command line"). */
+    using Setup = std::function<void(vm::Machine &)>;
+
+    /**
+     * Run @p program with threads created by @p setup under @p options.
+     */
+    static RunArtifacts run(const asmkit::Program &program,
+                            const Setup &setup,
+                            const SessionOptions &options);
+};
+
+} // namespace prorace::core
+
+#endif // PRORACE_CORE_SESSION_HH

@@ -1,0 +1,273 @@
+#include "detect/fasttrack.hh"
+
+#include "support/log.hh"
+
+namespace prorace::detect {
+
+namespace {
+
+constexpr unsigned kGranuleShift = 3; ///< 8-byte shadow granules
+
+uint64_t
+granuleOf(uint64_t addr)
+{
+    return addr >> kGranuleShift;
+}
+
+} // namespace
+
+/** Shadow state of one 8-byte granule. */
+struct FastTrack::VarState {
+    Epoch write_epoch;
+    RaceAccess last_write;
+    bool write_atomic = false;
+
+    // Reads: a single epoch while totally ordered, a vector clock once
+    // concurrent reads exist (the FastTrack read-share adaptation).
+    Epoch read_epoch;
+    RaceAccess last_read;
+    bool read_atomic = true;      ///< all recorded reads were atomic
+    std::unique_ptr<VectorClock> read_shared;
+    RaceAccess shared_read_sample; ///< representative reader for reports
+};
+
+/** Per-thread detector state. */
+struct FastTrack::ThreadState {
+    explicit ThreadState(uint32_t tid) : tid(tid)
+    {
+        clock.set(tid, 1);
+    }
+
+    uint32_t tid;
+    VectorClock clock;
+
+    uint64_t epochClock() const { return clock.get(tid); }
+    Epoch epoch() const { return Epoch(tid, epochClock()); }
+
+    void
+    increment()
+    {
+        clock.set(tid, epochClock() + 1);
+    }
+};
+
+FastTrack::FastTrack() = default;
+FastTrack::~FastTrack() = default;
+
+FastTrack::ThreadState &
+FastTrack::threadState(uint32_t tid)
+{
+    if (tid >= threads_.size())
+        threads_.resize(tid + 1);
+    if (!threads_[tid])
+        threads_[tid] = std::make_unique<ThreadState>(tid);
+    return *threads_[tid];
+}
+
+VectorClock &
+FastTrack::lockClock(uint64_t object)
+{
+    return locks_[object];
+}
+
+void
+FastTrack::acquire(uint32_t tid, uint64_t object)
+{
+    ++stats_.sync_ops;
+    threadState(tid).clock.join(lockClock(object));
+}
+
+void
+FastTrack::release(uint32_t tid, uint64_t object)
+{
+    ++stats_.sync_ops;
+    ThreadState &th = threadState(tid);
+    lockClock(object).assign(th.clock);
+    th.increment();
+}
+
+void
+FastTrack::barrierEnter(uint32_t tid, uint64_t object)
+{
+    ++stats_.sync_ops;
+    ThreadState &th = threadState(tid);
+    lockClock(object).join(th.clock);
+    th.increment();
+}
+
+void
+FastTrack::barrierExit(uint32_t tid, uint64_t object)
+{
+    ++stats_.sync_ops;
+    threadState(tid).clock.join(lockClock(object));
+}
+
+void
+FastTrack::fork(uint32_t parent, uint32_t child)
+{
+    ++stats_.sync_ops;
+    ThreadState &p = threadState(parent);
+    threadState(child).clock.join(p.clock);
+    p.increment();
+}
+
+void
+FastTrack::threadExit(uint32_t tid)
+{
+    ++stats_.sync_ops;
+    exited_[tid].assign(threadState(tid).clock);
+}
+
+void
+FastTrack::join(uint32_t parent, uint32_t child)
+{
+    ++stats_.sync_ops;
+    auto it = exited_.find(child);
+    if (it == exited_.end()) {
+        warn("join of thread ", child, " with no recorded exit");
+        return;
+    }
+    threadState(parent).clock.join(it->second);
+}
+
+void
+FastTrack::allocate(uint32_t tid, uint64_t addr, uint64_t size)
+{
+    (void)tid;
+    ++stats_.sync_ops;
+    alloc_sizes_[addr] = size;
+    // A fresh lifetime: discard stale shadow state so accesses to the
+    // previous occupant of this address cannot be paired with accesses
+    // to the new object.
+    const uint64_t first = granuleOf(addr);
+    const uint64_t last = granuleOf(addr + (size ? size - 1 : 0));
+    shadow_.erase(shadow_.lower_bound(first), shadow_.upper_bound(last));
+}
+
+void
+FastTrack::deallocate(uint32_t tid, uint64_t addr)
+{
+    (void)tid;
+    ++stats_.sync_ops;
+    auto it = alloc_sizes_.find(addr);
+    if (it == alloc_sizes_.end())
+        return;
+    const uint64_t size = it->second;
+    alloc_sizes_.erase(it);
+    const uint64_t first = granuleOf(addr);
+    const uint64_t last = granuleOf(addr + (size ? size - 1 : 0));
+    shadow_.erase(shadow_.lower_bound(first), shadow_.upper_bound(last));
+}
+
+void
+FastTrack::reportRace(const VarState &var, bool prior_is_write,
+                      const MemAccess &ma, uint64_t granule_addr)
+{
+    DataRace race;
+    race.addr = granule_addr;
+    if (prior_is_write) {
+        race.prior = var.last_write;
+    } else {
+        race.prior = var.read_shared ? var.shared_read_sample
+                                     : var.last_read;
+    }
+    race.current = {ma.tid, ma.insn_index, ma.is_write, ma.tsc, ma.origin};
+    report_.add(race);
+}
+
+void
+FastTrack::checkRead(VarState &var, const MemAccess &ma, ThreadState &th)
+{
+    ++stats_.reads;
+
+    // Same-epoch fast path.
+    if (var.read_epoch == th.epoch() && !var.read_shared) {
+        ++stats_.epoch_fast_path;
+        return;
+    }
+
+    // write-read race?
+    if (!var.write_epoch.isZero() &&
+        !var.write_epoch.happensBefore(th.clock) &&
+        !(var.write_atomic && ma.is_atomic)) {
+        reportRace(var, true, ma, ma.addr & ~7ull);
+    }
+
+    const RaceAccess this_access{ma.tid, ma.insn_index, false, ma.tsc,
+                                 ma.origin};
+    if (var.read_shared) {
+        var.read_shared->set(ma.tid, th.epochClock());
+        var.shared_read_sample = this_access;
+        var.read_atomic = var.read_atomic && ma.is_atomic;
+    } else if (var.read_epoch.isZero() ||
+               var.read_epoch.happensBefore(th.clock)) {
+        // Reads stay totally ordered: keep the epoch representation.
+        var.read_epoch = Epoch(ma.tid, th.epochClock());
+        var.last_read = this_access;
+        var.read_atomic = ma.is_atomic;
+    } else {
+        // Concurrent reads: inflate to a read vector clock.
+        ++stats_.read_shares;
+        var.read_shared = std::make_unique<VectorClock>();
+        var.read_shared->set(var.read_epoch.tid(), var.read_epoch.clock());
+        var.read_shared->set(ma.tid, th.epochClock());
+        var.shared_read_sample = this_access;
+        var.read_atomic = var.read_atomic && ma.is_atomic;
+    }
+}
+
+void
+FastTrack::checkWrite(VarState &var, const MemAccess &ma, ThreadState &th)
+{
+    ++stats_.writes;
+
+    if (var.write_epoch == th.epoch()) {
+        ++stats_.epoch_fast_path;
+        return;
+    }
+
+    // write-write race?
+    if (!var.write_epoch.isZero() &&
+        !var.write_epoch.happensBefore(th.clock) &&
+        !(var.write_atomic && ma.is_atomic)) {
+        reportRace(var, true, ma, ma.addr & ~7ull);
+    }
+
+    // read-write race?
+    if (var.read_shared) {
+        if (!var.read_shared->lessOrEqual(th.clock) &&
+            !(var.read_atomic && ma.is_atomic)) {
+            reportRace(var, false, ma, ma.addr & ~7ull);
+        }
+        // Writes collapse the read state back to epochs.
+        var.read_shared.reset();
+        var.read_epoch = Epoch();
+    } else if (!var.read_epoch.isZero() &&
+               !var.read_epoch.happensBefore(th.clock) &&
+               !(var.read_atomic && ma.is_atomic)) {
+        reportRace(var, false, ma, ma.addr & ~7ull);
+    }
+
+    var.write_epoch = Epoch(ma.tid, th.epochClock());
+    var.last_write = {ma.tid, ma.insn_index, true, ma.tsc, ma.origin};
+    var.write_atomic = ma.is_atomic;
+}
+
+void
+FastTrack::access(const MemAccess &ma)
+{
+    ThreadState &th = threadState(ma.tid);
+    // An access may straddle a granule boundary; check every granule it
+    // touches.
+    const uint64_t first = granuleOf(ma.addr);
+    const uint64_t last = granuleOf(ma.addr + (ma.width ? ma.width - 1 : 0));
+    for (uint64_t g = first; g <= last; ++g) {
+        VarState &var = shadow_[g];
+        if (ma.is_write)
+            checkWrite(var, ma, th);
+        else
+            checkRead(var, ma, th);
+    }
+}
+
+} // namespace prorace::detect

@@ -1,0 +1,63 @@
+#include "detect/vector_clock.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace prorace::detect {
+
+uint64_t
+VectorClock::get(uint32_t tid) const
+{
+    if (tid >= clocks_.size())
+        return 0;
+    return clocks_[tid];
+}
+
+void
+VectorClock::set(uint32_t tid, uint64_t value)
+{
+    if (tid >= clocks_.size())
+        clocks_.resize(tid + 1, 0);
+    clocks_[tid] = value;
+}
+
+void
+VectorClock::join(const VectorClock &other)
+{
+    if (other.clocks_.size() > clocks_.size())
+        clocks_.resize(other.clocks_.size(), 0);
+    for (size_t i = 0; i < other.clocks_.size(); ++i)
+        clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+}
+
+void
+VectorClock::assign(const VectorClock &other)
+{
+    clocks_ = other.clocks_;
+}
+
+bool
+VectorClock::lessOrEqual(const VectorClock &other) const
+{
+    for (size_t i = 0; i < clocks_.size(); ++i) {
+        if (clocks_[i] > other.get(static_cast<uint32_t>(i)))
+            return false;
+    }
+    return true;
+}
+
+std::string
+VectorClock::toString() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < clocks_.size(); ++i) {
+        if (i)
+            os << " ";
+        os << "t" << i << ":" << clocks_[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace prorace::detect

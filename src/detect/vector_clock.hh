@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Vector clocks for happens-before race detection.
+ */
+
+#ifndef PRORACE_DETECT_VECTOR_CLOCK_HH
+#define PRORACE_DETECT_VECTOR_CLOCK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prorace::detect {
+
+/**
+ * A grow-on-demand vector clock. Component t holds the last clock value
+ * of thread t that the owner has synchronized with.
+ */
+class VectorClock
+{
+  public:
+    /** Clock component for thread @p tid (0 if never seen). */
+    uint64_t get(uint32_t tid) const;
+
+    /** Set component @p tid to @p value. */
+    void set(uint32_t tid, uint64_t value);
+
+    /** Pointwise maximum: *this = max(*this, other). */
+    void join(const VectorClock &other);
+
+    /** Copy assignment from another clock (FastTrack release). */
+    void assign(const VectorClock &other);
+
+    /** True when *this <= other pointwise. */
+    bool lessOrEqual(const VectorClock &other) const;
+
+    /** Number of components stored. */
+    size_t size() const { return clocks_.size(); }
+
+    /** Render as "[t0:3 t1:7]" for reports and debugging. */
+    std::string toString() const;
+
+  private:
+    std::vector<uint64_t> clocks_;
+};
+
+/**
+ * A FastTrack epoch: one (tid, clock) pair packed into 64 bits.
+ * The paper's detector uses the FastTrack algorithm, whose performance
+ * hinges on representing most variable states as single epochs instead
+ * of full vector clocks.
+ */
+class Epoch
+{
+  public:
+    Epoch() = default;
+
+    Epoch(uint32_t tid, uint64_t clock)
+        : bits_((clock << kTidBits) | (tid & kTidMask))
+    {
+    }
+
+    uint32_t tid() const { return static_cast<uint32_t>(bits_ & kTidMask); }
+    uint64_t clock() const { return bits_ >> kTidBits; }
+    bool isZero() const { return bits_ == 0; }
+
+    /** epoch <= clock of @p vc: the access is ordered before the owner. */
+    bool
+    happensBefore(const VectorClock &vc) const
+    {
+        return clock() <= vc.get(tid());
+    }
+
+    bool operator==(const Epoch &) const = default;
+
+  private:
+    static constexpr unsigned kTidBits = 10; ///< up to 1024 threads
+    static constexpr uint64_t kTidMask = (1ull << kTidBits) - 1;
+
+    uint64_t bits_ = 0;
+};
+
+} // namespace prorace::detect
+
+#endif // PRORACE_DETECT_VECTOR_CLOCK_HH

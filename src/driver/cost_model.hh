@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cycle-cost model of the online tracing stack.
+ *
+ * Every constant here stands in for a measured cost on the paper's
+ * 4.0 GHz Skylake testbed; the values are chosen from public
+ * microarchitecture numbers so the *mechanisms* (per-sample microcode
+ * assist, per-buffer interrupt, per-record kernel processing,
+ * kernel-to-user copying, storage backpressure) reproduce the paper's
+ * overhead shapes. Absolute percentages are model outputs, not inputs:
+ * nothing below encodes a target overhead.
+ */
+
+#ifndef PRORACE_DRIVER_COST_MODEL_HH
+#define PRORACE_DRIVER_COST_MODEL_HH
+
+#include <cstdint>
+
+namespace prorace::driver {
+
+/** Nominal core frequency used to convert cycles to seconds (4.0 GHz). */
+inline constexpr double kCyclesPerSecond = 4.0e9;
+
+/** Tunable cost constants (cycles unless noted). */
+struct CostModel {
+    // --- PEBS hardware ---
+    /** Microcode assist per captured PEBS record (both drivers). */
+    uint64_t pebs_assist = 400;
+    /** Serialized PEBS record size in the DS save area. */
+    uint64_t record_bytes = 176;
+    /** DS save area / aux-buffer segment size. */
+    uint64_t ds_bytes = 64 * 1024;
+    /** PMI delivery + handler entry/exit. */
+    uint64_t pmi_cost = 3000;
+
+    // --- Vanilla Linux driver (perf) ---
+    /** Per-record kernel processing: metadata, perf_event header, copy
+     *  into the shared ring buffer. */
+    uint64_t vanilla_record_cost = 900;
+    /** Per-byte cost of the perf tool draining the ring buffer and
+     *  writing perf.data, charged to application cores (cache pollution
+     *  and memory bandwidth on a fully loaded machine). */
+    double vanilla_tool_per_byte = 0.6;
+
+    // --- ProRace driver ---
+    /** Interrupt work: swap the aux-buffer segment pointer (no
+     *  per-record processing, no metadata, no kernel-to-user copy). */
+    uint64_t prorace_swap_cost = 600;
+    /** Per-byte cost of the user tool dumping full segments. */
+    double prorace_tool_per_byte = 0.05;
+
+    // --- Interrupt-handler throttling (kernel self-protection) ---
+    /** Max fraction of CPU time the handler may consume; beyond it,
+     *  records are dropped (the paper's "samples may be dropped if the
+     *  kernel finds that too much time has been spent on interrupt
+     *  handling"). */
+    double handler_cpu_fraction = 0.50;
+    /** Cost of discarding one record under throttling. */
+    uint64_t drop_cost = 40;
+
+    // --- Storage backpressure ---
+    /** Sustained trace drain rate in bytes/cycle (0.15 B/cycle at
+     *  4 GHz = 600 MB/s, a fast local SSD). */
+    double storage_bytes_per_cycle = 0.15;
+    /** Burst capacity before storage backpressure drops records. */
+    uint64_t storage_burst_bytes = 2ull << 20;
+    /** Fraction of a dropped record's bytes that still consume device
+     *  time (aborted/partial writes and metadata churn); this is what
+     *  makes extreme sampling rates *reduce* the committed trace rate,
+     *  the paper's period-10 inversion in Fig. 8. */
+    double storage_drop_waste = 0.05;
+
+    // --- PT ---
+    /** Per-byte bandwidth cost of PT packets (hardware writes them off
+     *  the critical path; only memory bandwidth is visible). */
+    double pt_per_byte = 0.1;
+
+    // --- Synchronization tracing ---
+    /** Interposed pthread/malloc wrapper overhead per call. */
+    uint64_t sync_trace_cost = 30;
+    /** Serialized sync record size. */
+    uint64_t sync_record_bytes = 33;
+
+    // --- File-I/O contention ---
+    /** How strongly trace writing inflates the application's own file
+     *  I/O latency (fraction of device time the tracer steals). */
+    double io_contention_weight = 1.0;
+};
+
+} // namespace prorace::driver
+
+#endif // PRORACE_DRIVER_COST_MODEL_HH

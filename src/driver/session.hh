@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The online tracing stack: PEBS sampling through a kernel-driver model,
+ * PT control-flow tracing, and synchronization tracing, attached to the
+ * machine as an ExecutionObserver.
+ *
+ * Two driver models are provided:
+ *  - kVanilla: the stock Linux perf PEBS path (per-record metadata and
+ *    kernel-to-user ring-buffer copying, handler throttling);
+ *  - kProRace: the paper's driver (aux-buffer segment swapping, no
+ *    per-record processing, randomized first sampling period).
+ */
+
+#ifndef PRORACE_DRIVER_SESSION_HH
+#define PRORACE_DRIVER_SESSION_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "driver/cost_model.hh"
+#include "pmu/pebs.hh"
+#include "pmu/pt.hh"
+#include "support/rng.hh"
+#include "trace/records.hh"
+#include "vm/hooks.hh"
+
+namespace prorace::driver {
+
+/** Which kernel PEBS driver services the samples. */
+enum class DriverKind : uint8_t {
+    kVanilla, ///< stock Linux perf driver
+    kProRace, ///< the paper's driver
+};
+
+/** Printable driver name. */
+const char *driverName(DriverKind kind);
+
+/** Online-phase configuration. */
+struct TraceConfig {
+    uint64_t pebs_period = 10000;
+    DriverKind driver = DriverKind::kProRace;
+    bool enable_pebs = true;
+    bool enable_pt = true;
+    bool enable_sync = true;
+    pmu::PtConfig pt;
+    uint64_t seed = 1;      ///< randomized-first-period seed
+    CostModel costs;
+};
+
+/** Counters the evaluation section reports. */
+struct TracingStats {
+    uint64_t samples_taken = 0;           ///< records captured by hardware
+    uint64_t samples_dropped_throttle = 0;///< dropped by handler throttling
+    uint64_t samples_dropped_storage = 0; ///< dropped by storage pressure
+    uint64_t interrupts = 0;
+    uint64_t pebs_bytes = 0;
+    uint64_t pt_bytes = 0;
+    uint64_t sync_bytes = 0;
+    uint64_t pebs_cycles = 0;             ///< overhead breakdown (§7.2)
+    uint64_t pt_cycles = 0;
+    uint64_t sync_cycles = 0;
+
+    uint64_t
+    samplesDropped() const
+    {
+        return samples_dropped_throttle + samples_dropped_storage;
+    }
+
+    uint64_t
+    totalBytes() const
+    {
+        return pebs_bytes + pt_bytes + sync_bytes;
+    }
+
+    uint64_t
+    totalCycles() const
+    {
+        return pebs_cycles + pt_cycles + sync_cycles;
+    }
+};
+
+/**
+ * The observer the machine runs with while tracing. Collects the PEBS,
+ * PT, and sync traces and charges the modeled tracing cycles back to the
+ * executing cores.
+ */
+class TracingSession : public vm::ExecutionObserver
+{
+  public:
+    TracingSession(const TraceConfig &config, unsigned num_cores);
+    ~TracingSession() override;
+
+    uint64_t onMemOp(const vm::MemOpEvent &ev) override;
+    uint64_t onCondBranch(const vm::BranchEvent &ev) override;
+    uint64_t onIndirectBranch(const vm::BranchEvent &ev) override;
+    void onContextSwitch(unsigned core, uint32_t tid, uint64_t tsc) override;
+    uint64_t onSync(const vm::SyncEvent &ev) override;
+    uint64_t onIoSyscall(uint32_t tid, isa::SyscallNo no,
+                         uint64_t latency) override;
+
+    /**
+     * Flush buffers, close PT streams, and assemble the run trace.
+     * Call exactly once after the machine run.
+     */
+    trace::RunTrace finish();
+
+    /** Tracing counters (valid any time). */
+    const TracingStats &stats() const { return stats_; }
+
+    /** The configuration this session runs with. */
+    const TraceConfig &config() const { return config_; }
+
+  private:
+    struct CoreState {
+        std::unique_ptr<pmu::PebsCounter> pebs;
+        std::unique_ptr<pmu::PtEncoder> pt;
+        std::vector<trace::PebsRecord> ds; ///< DS save area contents
+        double handler_budget = 0;         ///< throttle token bucket
+        uint64_t last_throttle_tsc = 0;
+        uint64_t last_pt_bytes = 0;
+        double frac_cost = 0;              ///< sub-cycle cost accumulator
+    };
+
+    /** DS area filled: run the driver's interrupt path. */
+    uint64_t handleInterrupt(CoreState &core, uint64_t tsc);
+
+    /** Try to commit @p bytes to storage; false means backpressure. */
+    bool commitToStorage(uint64_t bytes, uint64_t tsc);
+
+    /** Take the integer part of an accumulated fractional cost. */
+    uint64_t drainFrac(CoreState &core);
+
+    TraceConfig config_;
+    Rng rng_;
+    std::vector<CoreState> cores_;
+    std::vector<trace::PebsRecord> committed_;
+    std::vector<trace::SyncRecord> sync_;
+    TracingStats stats_;
+
+    double storage_budget_;
+    uint64_t storage_last_tsc_ = 0;
+    uint64_t max_tsc_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace prorace::driver
+
+#endif // PRORACE_DRIVER_SESSION_HH

@@ -1,0 +1,157 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+namespace prorace::isa {
+
+std::string
+formatMemOperand(const MemOperand &mem)
+{
+    std::ostringstream os;
+    os << "[";
+    if (mem.rip_relative) {
+        os << "rip:0x" << std::hex << mem.disp << std::dec;
+    } else {
+        bool first = true;
+        if (mem.base != Reg::none) {
+            os << regName(mem.base);
+            first = false;
+        }
+        if (mem.index != Reg::none) {
+            if (!first)
+                os << " + ";
+            os << regName(mem.index) << "*" << int(mem.scale);
+            first = false;
+        }
+        if (mem.disp != 0 || first) {
+            if (!first)
+                os << (mem.disp >= 0 ? " + " : " - ");
+            os << "0x" << std::hex
+               << (mem.disp >= 0 ? mem.disp : -mem.disp) << std::dec;
+        }
+    }
+    os << "]";
+    return os.str();
+}
+
+std::string
+disassemble(const Insn &insn)
+{
+    std::ostringstream os;
+    switch (insn.op) {
+      case Op::kNop:
+      case Op::kHalt:
+      case Op::kRet:
+        os << opName(insn.op);
+        break;
+      case Op::kMovRI:
+        os << "mov $" << insn.imm << ", %" << regName(insn.dst);
+        break;
+      case Op::kMovRR:
+        os << "mov %" << regName(insn.src) << ", %" << regName(insn.dst);
+        break;
+      case Op::kLoad:
+        os << "mov" << (insn.sign_extend ? "sx" : "") << int(insn.width)
+           << " " << formatMemOperand(insn.mem) << ", %"
+           << regName(insn.dst);
+        break;
+      case Op::kStore:
+        os << "mov" << int(insn.width) << " %" << regName(insn.src)
+           << ", " << formatMemOperand(insn.mem);
+        break;
+      case Op::kStoreI:
+        os << "mov" << int(insn.width) << " $" << insn.imm << ", "
+           << formatMemOperand(insn.mem);
+        break;
+      case Op::kLea:
+        os << "lea " << formatMemOperand(insn.mem) << ", %"
+           << regName(insn.dst);
+        break;
+      case Op::kAluRR:
+        os << aluName(insn.alu) << " %" << regName(insn.src) << ", %"
+           << regName(insn.dst);
+        break;
+      case Op::kAluRI:
+        os << aluName(insn.alu) << " $" << insn.imm << ", %"
+           << regName(insn.dst);
+        break;
+      case Op::kCmpRR:
+        os << "cmp %" << regName(insn.src) << ", %" << regName(insn.dst);
+        break;
+      case Op::kCmpRI:
+        os << "cmp $" << insn.imm << ", %" << regName(insn.dst);
+        break;
+      case Op::kTestRR:
+        os << "test %" << regName(insn.src) << ", %" << regName(insn.dst);
+        break;
+      case Op::kTestRI:
+        os << "test $" << insn.imm << ", %" << regName(insn.dst);
+        break;
+      case Op::kJcc:
+        os << "j" << condName(insn.cond) << " #" << insn.target;
+        break;
+      case Op::kJmp:
+        os << "jmp #" << insn.target;
+        break;
+      case Op::kJmpInd:
+        os << "jmp *%" << regName(insn.src);
+        break;
+      case Op::kCall:
+        os << "call #" << insn.target;
+        break;
+      case Op::kCallInd:
+        os << "call *%" << regName(insn.src);
+        break;
+      case Op::kPush:
+        os << "push %" << regName(insn.src);
+        break;
+      case Op::kPop:
+        os << "pop %" << regName(insn.dst);
+        break;
+      case Op::kAtomicRmw:
+        os << "lock " << aluName(insn.alu) << int(insn.width) << " %"
+           << regName(insn.src) << ", " << formatMemOperand(insn.mem)
+           << " -> %" << regName(insn.dst);
+        break;
+      case Op::kCas:
+        os << "lock cmpxchg" << int(insn.width) << " %"
+           << regName(insn.src) << ", " << formatMemOperand(insn.mem)
+           << " (expected %" << regName(insn.dst) << ")";
+        break;
+      case Op::kLock:
+      case Op::kUnlock:
+      case Op::kCondSignal:
+      case Op::kCondBcast:
+        os << opName(insn.op) << "(" << formatMemOperand(insn.mem) << ")";
+        break;
+      case Op::kCondWait:
+        os << "pthread_cond_wait(" << formatMemOperand(insn.mem)
+           << ", mutex=%" << regName(insn.src) << ")";
+        break;
+      case Op::kBarrier:
+        os << "pthread_barrier_wait(" << formatMemOperand(insn.mem)
+           << ", parties=" << insn.imm << ")";
+        break;
+      case Op::kSpawn:
+        os << "pthread_create(entry=#" << insn.target << ", arg=%"
+           << regName(insn.src) << ") -> %" << regName(insn.dst);
+        break;
+      case Op::kJoin:
+        os << "pthread_join(%" << regName(insn.src) << ")";
+        break;
+      case Op::kMalloc:
+        os << "malloc(%" << regName(insn.src) << ") -> %"
+           << regName(insn.dst);
+        break;
+      case Op::kFree:
+        os << "free(%" << regName(insn.src) << ")";
+        break;
+      case Op::kSyscall:
+        os << "syscall " << syscallName(insn.sysno) << "($" << insn.imm
+           << ")";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace prorace::isa

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Textual disassembler for debugging and race-report rendering.
+ */
+
+#ifndef PRORACE_ISA_DISASM_HH
+#define PRORACE_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/insn.hh"
+
+namespace prorace::isa {
+
+/** Render a memory operand as "[rax + rbx*4 + 0x10]" or "[rip + 0x40]". */
+std::string formatMemOperand(const MemOperand &mem);
+
+/** Render one instruction in an AT&T-flavoured syntax. */
+std::string disassemble(const Insn &insn);
+
+} // namespace prorace::isa
+
+#endif // PRORACE_ISA_DISASM_HH

@@ -1,0 +1,25 @@
+#include "isa/flags.hh"
+
+namespace prorace::isa {
+
+const char *
+condName(CondCode cc)
+{
+    switch (cc) {
+      case CondCode::kEq: return "e";
+      case CondCode::kNe: return "ne";
+      case CondCode::kLt: return "l";
+      case CondCode::kLe: return "le";
+      case CondCode::kGt: return "g";
+      case CondCode::kGe: return "ge";
+      case CondCode::kB:  return "b";
+      case CondCode::kBe: return "be";
+      case CondCode::kA:  return "a";
+      case CondCode::kAe: return "ae";
+      case CondCode::kS:  return "s";
+      case CondCode::kNs: return "ns";
+    }
+    return "?";
+}
+
+} // namespace prorace::isa

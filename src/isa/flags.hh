@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Condition flags and condition codes of the ProRace reference ISA.
+ */
+
+#ifndef PRORACE_ISA_FLAGS_HH
+#define PRORACE_ISA_FLAGS_HH
+
+#include <cstdint>
+
+namespace prorace::isa {
+
+/** The four x86-style condition flags the ISA models. */
+struct Flags {
+    bool zf = false; ///< zero
+    bool sf = false; ///< sign
+    bool cf = false; ///< carry (unsigned borrow/overflow)
+    bool of = false; ///< signed overflow
+
+    bool operator==(const Flags &) const = default;
+};
+
+/** Condition codes for kJcc, mirroring x86 Jcc mnemonics. */
+enum class CondCode : uint8_t {
+    kEq,    ///< je  : zf
+    kNe,    ///< jne : !zf
+    kLt,    ///< jl  : sf != of
+    kLe,    ///< jle : zf || sf != of
+    kGt,    ///< jg  : !zf && sf == of
+    kGe,    ///< jge : sf == of
+    kB,     ///< jb  : cf
+    kBe,    ///< jbe : cf || zf
+    kA,     ///< ja  : !cf && !zf
+    kAe,    ///< jae : !cf
+    kS,     ///< js  : sf
+    kNs,    ///< jns : !sf
+};
+
+/** Evaluate a condition code against a flags state. */
+constexpr bool
+condHolds(CondCode cc, const Flags &f)
+{
+    switch (cc) {
+      case CondCode::kEq: return f.zf;
+      case CondCode::kNe: return !f.zf;
+      case CondCode::kLt: return f.sf != f.of;
+      case CondCode::kLe: return f.zf || (f.sf != f.of);
+      case CondCode::kGt: return !f.zf && (f.sf == f.of);
+      case CondCode::kGe: return f.sf == f.of;
+      case CondCode::kB:  return f.cf;
+      case CondCode::kBe: return f.cf || f.zf;
+      case CondCode::kA:  return !f.cf && !f.zf;
+      case CondCode::kAe: return !f.cf;
+      case CondCode::kS:  return f.sf;
+      case CondCode::kNs: return !f.sf;
+    }
+    return false;
+}
+
+/** Printable condition-code mnemonic suffix ("e", "ne", "l", ...). */
+const char *condName(CondCode cc);
+
+} // namespace prorace::isa
+
+#endif // PRORACE_ISA_FLAGS_HH

@@ -1,0 +1,204 @@
+#include "isa/opcode.hh"
+
+namespace prorace::isa {
+
+bool
+isLoad(Op op)
+{
+    switch (op) {
+      case Op::kLoad:
+      case Op::kPop:
+      case Op::kAtomicRmw:
+      case Op::kCas:
+      case Op::kRet:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isStore(Op op)
+{
+    switch (op) {
+      case Op::kStore:
+      case Op::kStoreI:
+      case Op::kPush:
+      case Op::kAtomicRmw:
+      case Op::kCas:
+      case Op::kCall:
+      case Op::kCallInd:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+accessesMemory(Op op)
+{
+    return isLoad(op) || isStore(op);
+}
+
+bool
+isCondBranch(Op op)
+{
+    return op == Op::kJcc;
+}
+
+bool
+isIndirectBranch(Op op)
+{
+    return op == Op::kJmpInd || op == Op::kCallInd || op == Op::kRet;
+}
+
+bool
+isControlFlow(Op op)
+{
+    switch (op) {
+      case Op::kJcc:
+      case Op::kJmp:
+      case Op::kJmpInd:
+      case Op::kCall:
+      case Op::kCallInd:
+      case Op::kRet:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isSyncOp(Op op)
+{
+    switch (op) {
+      case Op::kLock:
+      case Op::kUnlock:
+      case Op::kCondWait:
+      case Op::kCondSignal:
+      case Op::kCondBcast:
+      case Op::kBarrier:
+      case Op::kSpawn:
+      case Op::kJoin:
+      case Op::kMalloc:
+      case Op::kFree:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+writesDst(Op op)
+{
+    switch (op) {
+      case Op::kMovRI:
+      case Op::kMovRR:
+      case Op::kLoad:
+      case Op::kLea:
+      case Op::kAluRR:
+      case Op::kAluRI:
+      case Op::kPop:
+      case Op::kAtomicRmw:
+      case Op::kCas:
+      case Op::kSpawn:
+      case Op::kMalloc:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+writesFlags(Op op)
+{
+    switch (op) {
+      case Op::kAluRR:
+      case Op::kAluRI:
+      case Op::kCmpRR:
+      case Op::kCmpRI:
+      case Op::kTestRR:
+      case Op::kTestRI:
+      case Op::kCas:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::kNop:        return "nop";
+      case Op::kHalt:       return "halt";
+      case Op::kMovRI:      return "mov";
+      case Op::kMovRR:      return "mov";
+      case Op::kLoad:       return "mov";
+      case Op::kStore:      return "mov";
+      case Op::kStoreI:     return "movi";
+      case Op::kLea:        return "lea";
+      case Op::kAluRR:      return "alu";
+      case Op::kAluRI:      return "alui";
+      case Op::kCmpRR:      return "cmp";
+      case Op::kCmpRI:      return "cmpi";
+      case Op::kTestRR:     return "test";
+      case Op::kTestRI:     return "testi";
+      case Op::kJcc:        return "j";
+      case Op::kJmp:        return "jmp";
+      case Op::kJmpInd:     return "jmp*";
+      case Op::kCall:       return "call";
+      case Op::kCallInd:    return "call*";
+      case Op::kRet:        return "ret";
+      case Op::kPush:       return "push";
+      case Op::kPop:        return "pop";
+      case Op::kAtomicRmw:  return "lock-rmw";
+      case Op::kCas:        return "cmpxchg";
+      case Op::kLock:       return "pthread_mutex_lock";
+      case Op::kUnlock:     return "pthread_mutex_unlock";
+      case Op::kCondWait:   return "pthread_cond_wait";
+      case Op::kCondSignal: return "pthread_cond_signal";
+      case Op::kCondBcast:  return "pthread_cond_broadcast";
+      case Op::kBarrier:    return "pthread_barrier_wait";
+      case Op::kSpawn:      return "pthread_create";
+      case Op::kJoin:       return "pthread_join";
+      case Op::kMalloc:     return "malloc";
+      case Op::kFree:       return "free";
+      case Op::kSyscall:    return "syscall";
+    }
+    return "?";
+}
+
+const char *
+aluName(AluOp op)
+{
+    switch (op) {
+      case AluOp::kAdd: return "add";
+      case AluOp::kSub: return "sub";
+      case AluOp::kAnd: return "and";
+      case AluOp::kOr:  return "or";
+      case AluOp::kXor: return "xor";
+      case AluOp::kMul: return "imul";
+      case AluOp::kShl: return "shl";
+      case AluOp::kShr: return "shr";
+      case AluOp::kSar: return "sar";
+    }
+    return "?";
+}
+
+const char *
+syscallName(SyscallNo no)
+{
+    switch (no) {
+      case SyscallNo::kNone:    return "none";
+      case SyscallNo::kRead:    return "read";
+      case SyscallNo::kWrite:   return "write";
+      case SyscallNo::kNetSend: return "send";
+      case SyscallNo::kNetRecv: return "recv";
+      case SyscallNo::kSleep:   return "nanosleep";
+      case SyscallNo::kYield:   return "sched_yield";
+    }
+    return "?";
+}
+
+} // namespace prorace::isa

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Opcodes, ALU sub-operations, syscall numbers, and opcode traits.
+ */
+
+#ifndef PRORACE_ISA_OPCODE_HH
+#define PRORACE_ISA_OPCODE_HH
+
+#include <cstdint>
+
+namespace prorace::isa {
+
+/**
+ * Instruction opcodes.
+ *
+ * The set covers what matters for memory-trace reconstruction: data
+ * movement with x86 addressing modes, flag-producing arithmetic,
+ * direct/conditional/indirect control flow, calls/returns via an
+ * architectural stack, atomics, pthread-style synchronization, heap
+ * management, and modeled syscalls.
+ */
+enum class Op : uint8_t {
+    kNop = 0,
+    kHalt,       ///< terminate the executing thread
+
+    kMovRI,      ///< dst <- imm
+    kMovRR,      ///< dst <- src
+    kLoad,       ///< dst <- [mem]     (width, optional sign extension)
+    kStore,      ///< [mem] <- src     (width)
+    kStoreI,     ///< [mem] <- imm     (width)
+    kLea,        ///< dst <- effective address of mem
+
+    kAluRR,      ///< dst <- dst aluop src        ; sets flags
+    kAluRI,      ///< dst <- dst aluop imm        ; sets flags
+    kCmpRR,      ///< flags of dst - src
+    kCmpRI,      ///< flags of dst - imm
+    kTestRR,     ///< flags of dst & src
+    kTestRI,     ///< flags of dst & imm
+
+    kJcc,        ///< conditional direct branch to target
+    kJmp,        ///< unconditional direct branch to target
+    kJmpInd,     ///< unconditional indirect branch to [src register]
+    kCall,       ///< direct call: push return ip, jump to target
+    kCallInd,    ///< indirect call through src register
+    kRet,        ///< pop return ip, jump there
+
+    kPush,       ///< rsp -= 8; [rsp] <- src
+    kPop,        ///< dst <- [rsp]; rsp += 8
+
+    kAtomicRmw,  ///< dst <- old [mem]; [mem] <- old aluop src (atomic)
+    kCas,        ///< compare-and-swap: if [mem]==dst then [mem]<-src,zf=1
+                 ///< else dst<-[mem],zf=0
+
+    kLock,       ///< acquire mutex whose variable lives at [mem]
+    kUnlock,     ///< release mutex at [mem]
+    kCondWait,   ///< wait on condvar at [mem]; mutex var addr in src reg
+    kCondSignal, ///< signal condvar at [mem]
+    kCondBcast,  ///< broadcast condvar at [mem]
+    kBarrier,    ///< wait at barrier at [mem]; imm = party count
+
+    kSpawn,      ///< dst <- new thread id; entry = target; arg reg = src
+    kJoin,       ///< join thread whose id is in src
+
+    kMalloc,     ///< dst <- allocate src bytes
+    kFree,       ///< free block at address in src
+
+    kSyscall,    ///< modeled OS call (sysno field); clobbers rax
+};
+
+/** ALU sub-operations for kAluRR/kAluRI/kAtomicRmw. */
+enum class AluOp : uint8_t {
+    kAdd = 0,
+    kSub,
+    kAnd,
+    kOr,
+    kXor,
+    kMul,
+    kShl,
+    kShr,  ///< logical right shift
+    kSar,  ///< arithmetic right shift
+};
+
+/** Modeled syscalls; used for I/O timing and replay invalidation. */
+enum class SyscallNo : uint8_t {
+    kNone = 0,
+    kRead,     ///< file read; blocks per the workload's I/O model
+    kWrite,    ///< file write
+    kNetSend,  ///< network send
+    kNetRecv,  ///< network receive
+    kSleep,    ///< sleep for imm cycles
+    kYield,    ///< scheduler hint, no blocking
+};
+
+/** True for instructions that read data memory (PEBS "load" events). */
+bool isLoad(Op op);
+
+/** True for instructions that write data memory (PEBS "store" events). */
+bool isStore(Op op);
+
+/** True when the op reads or writes data memory at a computed address. */
+bool accessesMemory(Op op);
+
+/** True for conditional branches (one PT TNT bit each). */
+bool isCondBranch(Op op);
+
+/**
+ * True for transfers whose target is not statically known
+ * (indirect jumps/calls and returns; one PT TIP packet each).
+ */
+bool isIndirectBranch(Op op);
+
+/** True for any instruction that may redirect control flow. */
+bool isControlFlow(Op op);
+
+/** True for synchronization operations logged by the sync tracer. */
+bool isSyncOp(Op op);
+
+/** True when the op writes its dst register. */
+bool writesDst(Op op);
+
+/** True when executing the op updates the flags register. */
+bool writesFlags(Op op);
+
+/** Printable mnemonic. */
+const char *opName(Op op);
+
+/** Printable ALU mnemonic. */
+const char *aluName(AluOp op);
+
+/** Printable syscall name. */
+const char *syscallName(SyscallNo no);
+
+} // namespace prorace::isa
+
+#endif // PRORACE_ISA_OPCODE_HH

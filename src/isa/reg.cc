@@ -1,0 +1,31 @@
+#include "isa/reg.hh"
+
+namespace prorace::isa {
+
+const char *
+regName(Reg r)
+{
+    switch (r) {
+      case Reg::rax:  return "rax";
+      case Reg::rbx:  return "rbx";
+      case Reg::rcx:  return "rcx";
+      case Reg::rdx:  return "rdx";
+      case Reg::rsi:  return "rsi";
+      case Reg::rdi:  return "rdi";
+      case Reg::rbp:  return "rbp";
+      case Reg::rsp:  return "rsp";
+      case Reg::r8:   return "r8";
+      case Reg::r9:   return "r9";
+      case Reg::r10:  return "r10";
+      case Reg::r11:  return "r11";
+      case Reg::r12:  return "r12";
+      case Reg::r13:  return "r13";
+      case Reg::r14:  return "r14";
+      case Reg::r15:  return "r15";
+      case Reg::rip:  return "rip";
+      case Reg::none: return "-";
+    }
+    return "?";
+}
+
+} // namespace prorace::isa

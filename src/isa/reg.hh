@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Architectural register set of the ProRace reference ISA.
+ *
+ * The ISA is a compact x86-64 analogue: sixteen 64-bit general-purpose
+ * registers plus an instruction pointer. PEBS samples capture the entire
+ * general-purpose file, exactly as Intel PEBS does.
+ */
+
+#ifndef PRORACE_ISA_REG_HH
+#define PRORACE_ISA_REG_HH
+
+#include <cstdint>
+
+namespace prorace::isa {
+
+/** General-purpose registers, the instruction pointer, and "none". */
+enum class Reg : uint8_t {
+    rax = 0, rbx, rcx, rdx, rsi, rdi, rbp, rsp,
+    r8, r9, r10, r11, r12, r13, r14, r15,
+    rip,    ///< instruction pointer; always reconstructible during replay
+    none,   ///< absent operand marker
+};
+
+/** Number of general-purpose registers (excluding rip). */
+inline constexpr unsigned kNumGprs = 16;
+
+/** True for a real general-purpose register (not rip / none). */
+constexpr bool
+isGpr(Reg r)
+{
+    return static_cast<uint8_t>(r) < kNumGprs;
+}
+
+/** Numeric index of a GPR; callers must check isGpr() first. */
+constexpr unsigned
+gprIndex(Reg r)
+{
+    return static_cast<unsigned>(r);
+}
+
+/** GPR for a numeric index in [0, kNumGprs). */
+constexpr Reg
+gprFromIndex(unsigned idx)
+{
+    return static_cast<Reg>(idx);
+}
+
+/** Printable register name ("rax", "r12", "rip", "-"). */
+const char *regName(Reg r);
+
+} // namespace prorace::isa
+
+#endif // PRORACE_ISA_REG_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Pure instruction semantics shared by the VM interpreter and the offline
+ * replay engine.
+ *
+ * Keeping value/flag/address computation in one place guarantees that the
+ * replayer reconstructs exactly what the machine executed — a correctness
+ * property ProRace's forward/backward replay depends on.
+ */
+
+#ifndef PRORACE_ISA_SEMANTICS_HH
+#define PRORACE_ISA_SEMANTICS_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "isa/flags.hh"
+#include "isa/insn.hh"
+
+namespace prorace::isa {
+
+/** Value and resulting flags of an ALU operation. */
+struct AluResult {
+    uint64_t value = 0;
+    Flags flags;
+};
+
+/** Compute a aluop b with x86-style flag semantics (64-bit). */
+AluResult evalAlu(AluOp op, uint64_t a, uint64_t b);
+
+/** Flags of the comparison a - b (value discarded). */
+Flags evalCmp(uint64_t a, uint64_t b);
+
+/** Flags of the bit test a & b (value discarded). */
+Flags evalTest(uint64_t a, uint64_t b);
+
+/**
+ * Effective address of a memory operand given a register reader.
+ * The reader is only consulted for registers the operand actually uses.
+ */
+uint64_t effectiveAddress(const MemOperand &mem,
+                          const std::function<uint64_t(Reg)> &read_reg);
+
+/** Truncate a 64-bit value to an access width (1/2/4/8 bytes). */
+uint64_t truncateToWidth(uint64_t value, uint8_t width);
+
+/**
+ * Widen a loaded sub-width value to 64 bits, sign- or zero-extending.
+ */
+uint64_t extendFromWidth(uint64_t value, uint8_t width, bool sign_extend);
+
+/**
+ * Try to invert an ALU operation: given the result and operand b, recover
+ * operand a such that a aluop b == result. Supports the integer
+ * operations ProRace's reverse execution handles (add, sub, xor).
+ *
+ * @return true and sets a_out on success.
+ */
+bool invertAlu(AluOp op, uint64_t result, uint64_t b, uint64_t &a_out);
+
+} // namespace prorace::isa
+
+#endif // PRORACE_ISA_SEMANTICS_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * PEBS hardware model: a per-core counter over retired user-level
+ * loads/stores that fires every @c period events.
+ */
+
+#ifndef PRORACE_PMU_PEBS_HH
+#define PRORACE_PMU_PEBS_HH
+
+#include <cstdint>
+
+#include "support/log.hh"
+#include "support/rng.hh"
+
+namespace prorace::pmu {
+
+/**
+ * The PEBS counter of one core.
+ *
+ * The ProRace driver arms the first period with a random value in
+ * [1, period] so each run samples at different offsets per thread
+ * (paper §4.1.2); the vanilla driver always arms the full period.
+ */
+class PebsCounter
+{
+  public:
+    /**
+     * @param period        sampling period k (fires every k-th event)
+     * @param randomize_first arm the first window with a random count
+     * @param rng           randomness source for the first window
+     */
+    PebsCounter(uint64_t period, bool randomize_first, Rng &rng)
+        : period_(period)
+    {
+        PRORACE_ASSERT(period >= 1, "PEBS period must be >= 1");
+        countdown_ = randomize_first ? rng.range(1, period) : period;
+        first_window_ = countdown_;
+    }
+
+    /**
+     * Count one retired memory event.
+     * @return true when this event is sampled (counter overflowed).
+     */
+    bool
+    tick()
+    {
+        if (--countdown_ == 0) {
+            countdown_ = period_;
+            return true;
+        }
+        return false;
+    }
+
+    uint64_t period() const { return period_; }
+
+    /** The value the counter was first armed with. */
+    uint64_t firstWindow() const { return first_window_; }
+
+  private:
+    uint64_t period_;
+    uint64_t countdown_;
+    uint64_t first_window_;
+};
+
+} // namespace prorace::pmu
+
+#endif // PRORACE_PMU_PEBS_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * PT hardware model: per-core control-flow trace encoder with code-region
+ * filters.
+ */
+
+#ifndef PRORACE_PMU_PT_HH
+#define PRORACE_PMU_PT_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pmu/pt_packet.hh"
+#include "trace/records.hh"
+
+namespace prorace::pmu {
+
+/**
+ * Code-region filter: up to four [begin, end) instruction-index ranges,
+ * matching the four address-range filter pairs of the PT hardware.
+ */
+class PtFilter
+{
+  public:
+    /** Maximum ranges the hardware supports. */
+    static constexpr size_t kMaxRanges = 4;
+
+    /** A filter admitting every instruction. */
+    static PtFilter all();
+
+    /** An empty filter admits nothing; add ranges with addRange(). */
+    PtFilter() = default;
+
+    /** Add a [begin, end) range; fatal beyond four ranges. */
+    void addRange(uint32_t begin, uint32_t end);
+
+    /** True when @p index lies in some range. */
+    bool contains(uint32_t index) const;
+
+    /** True for the match-everything filter. */
+    bool isAll() const { return all_; }
+
+    const std::vector<std::pair<uint32_t, uint32_t>> &ranges() const
+    {
+        return ranges_;
+    }
+
+  private:
+    std::vector<std::pair<uint32_t, uint32_t>> ranges_;
+    bool all_ = false;
+};
+
+/** PT configuration. */
+struct PtConfig {
+    PtFilter filter = PtFilter::all();
+    /** Emit a standalone TSC packet every this many packets. */
+    uint32_t tsc_packet_period = 32;
+};
+
+/**
+ * The PT encoder of one core. The machine reports every retired branch;
+ * the encoder applies the code-region filter and emits the compressed
+ * packet stream.
+ */
+class PtEncoder
+{
+  public:
+    explicit PtEncoder(const PtConfig &config);
+
+    /** A conditional branch retired at @p src. */
+    void onCondBranch(uint32_t src, bool taken, uint64_t tsc);
+
+    /** An indirect transfer retired at @p src jumping to @p target. */
+    void onIndirect(uint32_t src, uint32_t target, uint64_t tsc);
+
+    /** The core switched to thread @p tid. */
+    void onContextSwitch(uint32_t tid, uint64_t tsc);
+
+    /** Close the stream with an end packet and return it. */
+    trace::PtCoreStream finish();
+
+    /** Bytes emitted so far (for size metering / bandwidth cost). */
+    uint64_t bytesEmitted() const { return writer_.byteCount(); }
+
+  private:
+    void maybeEmitTsc(uint64_t tsc);
+
+    PtConfig config_;
+    BitWriter writer_;
+    uint32_t packets_since_tsc_ = 0;
+    uint64_t last_tsc_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace prorace::pmu
+
+#endif // PRORACE_PMU_PT_HH

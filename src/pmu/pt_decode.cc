@@ -1,0 +1,192 @@
+#include "pmu/pt_decode.hh"
+
+#include "support/log.hh"
+
+namespace prorace::pmu {
+
+using isa::Insn;
+using isa::Op;
+
+namespace {
+
+/** Safety bound against malformed streams producing unbounded paths. */
+constexpr uint64_t kMaxPathEntries = 200'000'000;
+
+/** Per-thread walk state. */
+struct Walker {
+    enum class Need : uint8_t {
+        kAdvance, ///< can walk statically
+        kTnt,     ///< parked at a conditional branch
+        kTip,     ///< parked at an indirect transfer
+        kPge,     ///< parked outside the filtered region
+        kDone,    ///< reached halt
+    };
+
+    uint32_t ip = 0;
+    Need need = Need::kAdvance;
+    ThreadPath path;
+    /**
+     * One past the last path position *proven* retired by the packets
+     * applied so far. The walker speculatively walks straight-line code
+     * ahead of the packets, so timing anchors must use this bound, not
+     * the walked-ahead path length — otherwise instructions executed
+     * after a blocking call could be timestamped before it.
+     */
+    uint64_t proven = 0;
+};
+
+/**
+ * Walk statically from the walker's ip, appending path entries, until a
+ * packet is required or the thread halts.
+ */
+void
+advance(Walker &w, const asmkit::Program &program, const PtFilter &filter,
+        uint64_t &total_entries)
+{
+    PRORACE_ASSERT(w.need == Walker::Need::kAdvance,
+                   "advance() on a parked walker");
+    for (;;) {
+        if (!filter.contains(w.ip)) {
+            // Execution left the traced region; a PGE packet will tell us
+            // where it comes back.
+            w.path.insns.push_back(kPathGap);
+            ++total_entries;
+            w.need = Walker::Need::kPge;
+            return;
+        }
+        const Insn &insn = program.insnAt(w.ip);
+        w.path.insns.push_back(w.ip);
+        if (++total_entries > kMaxPathEntries)
+            PRORACE_FATAL("PT decode exceeded the path-length bound");
+
+        switch (insn.op) {
+          case Op::kHalt:
+            w.need = Walker::Need::kDone;
+            w.path.complete = true;
+            return;
+          case Op::kJcc:
+            w.need = Walker::Need::kTnt;
+            return;
+          case Op::kJmp:
+          case Op::kCall:
+            w.ip = insn.target;
+            break;
+          case Op::kJmpInd:
+          case Op::kCallInd:
+          case Op::kRet:
+            w.need = Walker::Need::kTip;
+            return;
+          default:
+            ++w.ip;
+            break;
+        }
+    }
+}
+
+} // namespace
+
+std::map<uint32_t, ThreadPath>
+decodePt(const asmkit::Program &program, const PtFilter &filter,
+         const trace::RunTrace &run, PtDecodeStats *stats)
+{
+    std::map<uint32_t, uint32_t> entries;
+    for (const trace::ThreadMeta &t : run.meta.threads)
+        entries[t.tid] = t.entry_index;
+
+    std::map<uint32_t, Walker> walkers;
+    uint64_t total_entries = 0;
+    uint64_t total_packets = 0;
+
+    for (const trace::PtCoreStream &stream : run.pt) {
+        if (stream.bit_count == 0)
+            continue;
+        BitReader reader(stream.bytes, stream.bit_count);
+        Walker *current = nullptr;
+        uint64_t stream_tsc = 0;
+
+        for (;;) {
+            const PtPacket p = readPtPacket(reader);
+            ++total_packets;
+            if (p.kind == PtPacketKind::kEnd)
+                break;
+
+            switch (p.kind) {
+              case PtPacketKind::kContext: {
+                auto [it, inserted] = walkers.try_emplace(p.tid);
+                Walker &w = it->second;
+                if (inserted) {
+                    auto entry = entries.find(p.tid);
+                    if (entry == entries.end()) {
+                        PRORACE_FATAL("PT context packet for unknown tid ",
+                                      p.tid);
+                    }
+                    w.ip = entry->second;
+                    w.path.tid = p.tid;
+                    advance(w, program, filter, total_entries);
+                }
+                w.path.anchors.push_back({w.proven, p.tsc});
+                stream_tsc = p.tsc;
+                current = &w;
+                break;
+              }
+              case PtPacketKind::kTsc: {
+                stream_tsc = p.tsc_is_delta ? stream_tsc + p.tsc : p.tsc;
+                if (current) {
+                    current->path.anchors.push_back(
+                        {current->proven, stream_tsc});
+                }
+                break;
+              }
+              case PtPacketKind::kTnt: {
+                PRORACE_ASSERT(current, "TNT packet before any context");
+                Walker &w = *current;
+                PRORACE_ASSERT(w.need == Walker::Need::kTnt,
+                               "unexpected TNT packet (walker state ",
+                               int(w.need), ")");
+                const Insn &insn = program.insnAt(w.ip);
+                w.ip = p.taken ? insn.target : w.ip + 1;
+                w.need = Walker::Need::kAdvance;
+                w.proven = w.path.insns.size(); // the branch retired
+                advance(w, program, filter, total_entries);
+                break;
+              }
+              case PtPacketKind::kTip: {
+                PRORACE_ASSERT(current, "TIP packet before any context");
+                Walker &w = *current;
+                PRORACE_ASSERT(w.need == Walker::Need::kTip,
+                               "unexpected TIP packet");
+                w.ip = p.target;
+                w.need = Walker::Need::kAdvance;
+                w.proven = w.path.insns.size();
+                advance(w, program, filter, total_entries);
+                break;
+              }
+              case PtPacketKind::kPge: {
+                PRORACE_ASSERT(current, "PGE packet before any context");
+                Walker &w = *current;
+                PRORACE_ASSERT(w.need == Walker::Need::kPge,
+                               "unexpected PGE packet");
+                w.ip = p.target;
+                w.need = Walker::Need::kAdvance;
+                w.proven = w.path.insns.size();
+                advance(w, program, filter, total_entries);
+                break;
+              }
+              case PtPacketKind::kEnd:
+                break;
+            }
+        }
+    }
+
+    std::map<uint32_t, ThreadPath> paths;
+    for (auto &[tid, w] : walkers)
+        paths.emplace(tid, std::move(w.path));
+
+    if (stats) {
+        stats->packets = total_packets;
+        stats->path_entries = total_entries;
+    }
+    return paths;
+}
+
+} // namespace prorace::pmu

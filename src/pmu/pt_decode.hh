@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Offline PT decoder: turns per-core packet streams back into exact
+ * per-thread instruction paths.
+ *
+ * This is the "Decode & Synthesis" stage of the paper's offline pipeline.
+ * The decoder statically walks the program between packets, consuming a
+ * TNT bit at each conditional branch and a TIP target at each indirect
+ * transfer; context packets demultiplex the per-core stream into
+ * per-thread paths; TSC and context packets yield (path position, TSC)
+ * anchors used later to time-align PEBS samples with path positions.
+ */
+
+#ifndef PRORACE_PMU_PT_DECODE_HH
+#define PRORACE_PMU_PT_DECODE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "asmkit/program.hh"
+#include "pmu/pt.hh"
+#include "trace/records.hh"
+
+namespace prorace::pmu {
+
+/** Marker in a decoded path standing for untraced (filtered-out) code. */
+inline constexpr uint32_t kPathGap = 0xffffffffu;
+
+/** A (path position, TSC) timing anchor. */
+struct PathAnchor {
+    uint64_t position = 0; ///< path index such that insns before it retired
+                           ///< no later than tsc (approximately)
+    uint64_t tsc = 0;
+};
+
+/** The reconstructed execution path of one thread. */
+struct ThreadPath {
+    uint32_t tid = 0;
+    std::vector<uint32_t> insns;     ///< instruction indices / kPathGap
+    std::vector<PathAnchor> anchors; ///< sorted by position
+    bool complete = false;           ///< the walk reached a halt
+};
+
+/** Decoder statistics (offline-cost reporting). */
+struct PtDecodeStats {
+    uint64_t packets = 0;
+    uint64_t path_entries = 0;
+};
+
+/**
+ * Decode every core stream of @p run against @p program.
+ *
+ * @param program   the traced binary
+ * @param filter    the PT filter the encoder ran with
+ * @param run       trace with PT streams and thread entry metadata
+ * @param stats     optional output statistics
+ * @return per-tid reconstructed paths
+ */
+std::map<uint32_t, ThreadPath>
+decodePt(const asmkit::Program &program, const PtFilter &filter,
+         const trace::RunTrace &run, PtDecodeStats *stats = nullptr);
+
+} // namespace prorace::pmu
+
+#endif // PRORACE_PMU_PT_DECODE_HH

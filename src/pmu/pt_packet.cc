@@ -1,0 +1,89 @@
+#include "pmu/pt_packet.hh"
+
+#include "support/log.hh"
+
+namespace prorace::pmu {
+
+void
+writePtPacket(BitWriter &w, const PtPacket &p)
+{
+    switch (p.kind) {
+      case PtPacketKind::kTnt:
+        w.putBit(false);
+        w.putBit(p.taken);
+        break;
+      case PtPacketKind::kTip:
+        w.putBit(true);
+        w.putBit(false);
+        w.putBit(p.short_target);
+        w.putBits(p.target, p.short_target ? 16 : 32);
+        break;
+      case PtPacketKind::kPge:
+        w.putBit(true);
+        w.putBit(true);
+        w.putBit(false);
+        w.putBit(p.short_target);
+        w.putBits(p.target, p.short_target ? 16 : 32);
+        break;
+      case PtPacketKind::kContext:
+        w.putBit(true);
+        w.putBit(true);
+        w.putBit(true);
+        w.putBit(false);
+        w.putBits(p.tid, 32);
+        w.putU64(p.tsc);
+        break;
+      case PtPacketKind::kTsc:
+        w.putBit(true);
+        w.putBit(true);
+        w.putBit(true);
+        w.putBit(true);
+        w.putBit(false);
+        w.putBit(p.tsc_is_delta);
+        w.putBits(p.tsc, p.tsc_is_delta ? 32 : 64);
+        break;
+      case PtPacketKind::kEnd:
+        for (int i = 0; i < 5; ++i)
+            w.putBit(true);
+        break;
+    }
+}
+
+PtPacket
+readPtPacket(BitReader &r)
+{
+    PtPacket p;
+    if (!r.getBit()) {
+        p.kind = PtPacketKind::kTnt;
+        p.taken = r.getBit();
+        return p;
+    }
+    if (!r.getBit()) {
+        p.kind = PtPacketKind::kTip;
+        p.short_target = r.getBit();
+        p.target = static_cast<uint32_t>(r.getBits(p.short_target ? 16 : 32));
+        return p;
+    }
+    if (!r.getBit()) {
+        p.kind = PtPacketKind::kPge;
+        p.short_target = r.getBit();
+        p.target = static_cast<uint32_t>(r.getBits(p.short_target ? 16 : 32));
+        return p;
+    }
+    if (!r.getBit()) {
+        p.kind = PtPacketKind::kContext;
+        p.tid = static_cast<uint32_t>(r.getBits(32));
+        p.tsc = r.getU64();
+        return p;
+    }
+    if (!r.getBit()) {
+        p.kind = PtPacketKind::kTsc;
+        p.tsc_is_delta = r.getBit();
+        p.tsc = r.getBits(p.tsc_is_delta ? 32 : 64);
+        return p;
+    }
+    p.kind = PtPacketKind::kEnd;
+    return p;
+}
+
+} // namespace prorace::pmu

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * PT packet format.
+ *
+ * A compact analogue of Intel PT's packet vocabulary, bit-packed and
+ * prefix-free. Conditional-branch outcomes cost ~2 bits (header + TNT
+ * bit); indirect transfers carry an explicit target (TIP); re-entry into
+ * a filtered code region after untraced code carries the resume target
+ * (TIP.PGE); context-switch packets identify the scheduled thread (PIP)
+ * and double as timing anchors; standalone TSC packets are emitted
+ * periodically for offline time synchronization.
+ */
+
+#ifndef PRORACE_PMU_PT_PACKET_HH
+#define PRORACE_PMU_PT_PACKET_HH
+
+#include <cstdint>
+
+#include "support/bitstream.hh"
+
+namespace prorace::pmu {
+
+/** Packet kinds, in header order. */
+enum class PtPacketKind : uint8_t {
+    kTnt,     ///< header "0"     + 1 taken/not-taken bit
+    kTip,     ///< header "10"    + 32-bit target
+    kPge,     ///< header "110"   + 32-bit target (trace re-enable)
+    kContext, ///< header "1110"  + 32-bit tid + 64-bit TSC
+    kTsc,     ///< header "11110" + 64-bit TSC
+    kEnd,     ///< header "11111"
+};
+
+/** A decoded packet. */
+struct PtPacket {
+    PtPacketKind kind = PtPacketKind::kEnd;
+    bool taken = false;       ///< kTnt
+    bool short_target = false;///< kTip / kPge: 16-bit compressed target
+    bool tsc_is_delta = false;///< kTsc: 32-bit delta vs 64-bit absolute
+    uint32_t target = 0;      ///< kTip / kPge
+    uint32_t tid = 0;         ///< kContext
+    uint64_t tsc = 0;         ///< kContext; kTsc: delta or absolute
+};
+
+/** Append one packet to a bit stream. */
+void writePtPacket(BitWriter &w, const PtPacket &p);
+
+/** Read the next packet; panics on a malformed stream. */
+PtPacket readPtPacket(BitReader &r);
+
+} // namespace prorace::pmu
+
+#endif // PRORACE_PMU_PT_PACKET_HH

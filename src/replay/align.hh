@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Trace alignment: time-synchronize the PEBS sample trace and the sync
+ * trace with the PT-decoded instruction paths (the paper's "Decode &
+ * Synthesis" step).
+ *
+ * Both traces carry per-core TSC values (invariant TSC), so samples can
+ * be located on the path by time. Within a timing bracket a sampled
+ * instruction may occur several times (loops); candidates are
+ * disambiguated by register consistency: registers not written between
+ * two samples must hold identical values in both samples' register
+ * files.
+ */
+
+#ifndef PRORACE_REPLAY_ALIGN_HH
+#define PRORACE_REPLAY_ALIGN_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "asmkit/program.hh"
+#include "pmu/pt_decode.hh"
+#include "trace/records.hh"
+
+namespace prorace::replay {
+
+/** A PEBS record located on its thread's path. */
+struct AlignedSample {
+    size_t record_index = 0; ///< index into RunTrace::pebs
+    uint64_t position = 0;   ///< path index of the sampled instruction
+};
+
+/** A sync record located on its thread's path. */
+struct AlignedSync {
+    size_t record_index = 0; ///< index into RunTrace::sync
+    uint64_t position = 0;
+};
+
+/** Alignment of one thread. */
+struct ThreadAlignment {
+    uint32_t tid = 0;
+    std::vector<AlignedSample> samples; ///< ascending by position
+    std::vector<AlignedSync> syncs;     ///< ascending by position
+    std::vector<pmu::PathAnchor> anchors; ///< merged, ascending by position
+
+    /** Estimated TSC of a path position (anchor interpolation). */
+    uint64_t tscAt(uint64_t position) const;
+};
+
+/** Alignment statistics. */
+struct AlignStats {
+    uint64_t samples_matched = 0;
+    uint64_t samples_unmatched = 0;
+    uint64_t candidates_rejected = 0; ///< register-inconsistent candidates
+};
+
+/**
+ * Align every thread's samples and sync records against its decoded
+ * path.
+ */
+std::map<uint32_t, ThreadAlignment>
+alignTrace(const asmkit::Program &program,
+           const std::map<uint32_t, pmu::ThreadPath> &paths,
+           const trace::RunTrace &run, AlignStats *stats = nullptr);
+
+} // namespace prorace::replay
+
+#endif // PRORACE_REPLAY_ALIGN_HH

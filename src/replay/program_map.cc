@@ -1,0 +1,108 @@
+#include "replay/program_map.hh"
+
+#include <bit>
+
+#include "support/log.hh"
+
+namespace prorace::replay {
+
+using isa::Reg;
+
+void
+ProgramMap::restoreRegs(const vm::RegFile &regs)
+{
+    values_ = regs.gpr;
+    avail_mask_ = 0xffff;
+}
+
+bool
+ProgramMap::regAvailable(Reg reg) const
+{
+    PRORACE_ASSERT(isGpr(reg), "availability of non-GPR");
+    return (avail_mask_ >> gprIndex(reg)) & 1u;
+}
+
+uint64_t
+ProgramMap::regValue(Reg reg) const
+{
+    PRORACE_ASSERT(regAvailable(reg), "read of unavailable register ",
+                   isa::regName(reg));
+    return values_[gprIndex(reg)];
+}
+
+void
+ProgramMap::setReg(Reg reg, uint64_t value)
+{
+    PRORACE_ASSERT(isGpr(reg), "set of non-GPR");
+    values_[gprIndex(reg)] = value;
+    avail_mask_ |= static_cast<uint16_t>(1u << gprIndex(reg));
+}
+
+void
+ProgramMap::invalidateReg(Reg reg)
+{
+    PRORACE_ASSERT(isGpr(reg), "invalidate of non-GPR");
+    avail_mask_ &= static_cast<uint16_t>(~(1u << gprIndex(reg)));
+}
+
+void
+ProgramMap::invalidateAllRegs()
+{
+    avail_mask_ = 0;
+}
+
+void
+ProgramMap::writeMem(uint64_t addr, uint64_t value, uint8_t width)
+{
+    for (unsigned i = 0; i < width; ++i) {
+        const uint64_t byte_addr = addr + i;
+        if (blacklist_.count(byte_addr))
+            continue;
+        mem_[byte_addr] = static_cast<uint8_t>(value >> (8 * i));
+    }
+}
+
+void
+ProgramMap::invalidateMem(uint64_t addr, uint8_t width)
+{
+    for (unsigned i = 0; i < width; ++i)
+        mem_.erase(addr + i);
+}
+
+std::optional<uint64_t>
+ProgramMap::readMem(uint64_t addr, uint8_t width)
+{
+    uint64_t value = 0;
+    for (unsigned i = 0; i < width; ++i) {
+        auto it = mem_.find(addr + i);
+        if (it == mem_.end())
+            return std::nullopt;
+        value |= static_cast<uint64_t>(it->second) << (8 * i);
+    }
+    for (unsigned i = 0; i < width; ++i)
+        consumed_.insert(addr + i);
+    return value;
+}
+
+void
+ProgramMap::invalidateMemory()
+{
+    mem_.clear();
+}
+
+void
+ProgramMap::blacklistMem(uint64_t addr, uint64_t size)
+{
+    for (uint64_t i = 0; i < size; ++i) {
+        blacklist_.insert(addr + i);
+        mem_.erase(addr + i);
+    }
+}
+
+unsigned
+ProgramMap::availableRegCount() const
+{
+    return static_cast<unsigned>(std::popcount(avail_mask_));
+}
+
+} // namespace prorace::replay

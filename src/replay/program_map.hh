@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The "program map" of the paper's replay engine (§5.1): an
+ * availability-tracked model of the architectural state used while
+ * re-executing the binary offline.
+ *
+ * Every register is either available (value known) or unavailable.
+ * Memory is emulated opportunistically: a store of a known value to a
+ * known address makes that location available; loads from unavailable
+ * locations poison their destination register; syscalls and other
+ * scheduling points conservatively invalidate all emulated memory.
+ */
+
+#ifndef PRORACE_REPLAY_PROGRAM_MAP_HH
+#define PRORACE_REPLAY_PROGRAM_MAP_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "isa/reg.hh"
+#include "vm/cpu.hh"
+
+namespace prorace::replay {
+
+/** Availability-tracked registers + emulated memory. */
+class ProgramMap
+{
+  public:
+    /** Start with every register and all memory unavailable. */
+    ProgramMap() = default;
+
+    /** Restore the full register file from a PEBS sample. */
+    void restoreRegs(const vm::RegFile &regs);
+
+    /** True when @p reg holds a known value. */
+    bool regAvailable(isa::Reg reg) const;
+
+    /** Value of an available register (assert-checked). */
+    uint64_t regValue(isa::Reg reg) const;
+
+    /** Make @p reg available with @p value. */
+    void setReg(isa::Reg reg, uint64_t value);
+
+    /** Mark @p reg unavailable. */
+    void invalidateReg(isa::Reg reg);
+
+    /** Mark every register unavailable (library-code gaps). */
+    void invalidateAllRegs();
+
+    /** Emulate a store of a known value (marks bytes available). */
+    void writeMem(uint64_t addr, uint64_t value, uint8_t width);
+
+    /** Mark [addr, addr+width) unavailable (store of unknown value). */
+    void invalidateMem(uint64_t addr, uint8_t width);
+
+    /**
+     * Emulated load: the value if every byte is available. A successful
+     * read records the address range as *consumed*, so the pipeline can
+     * later regenerate the trace if a race is found on it (§5.1).
+     */
+    std::optional<uint64_t> readMem(uint64_t addr, uint8_t width);
+
+    /** Drop all emulated memory (syscall / scheduling point). */
+    void invalidateMemory();
+
+    /**
+     * Blacklist an address range: it is never emulated again (used when
+     * regenerating after a race on an emulated location).
+     */
+    void blacklistMem(uint64_t addr, uint64_t size);
+
+    /** Emulated addresses whose values were consumed by reads. */
+    const std::unordered_set<uint64_t> &consumedAddresses() const
+    {
+        return consumed_;
+    }
+
+    /** Number of registers currently available. */
+    unsigned availableRegCount() const;
+
+  private:
+    std::array<uint64_t, isa::kNumGprs> values_{};
+    uint16_t avail_mask_ = 0;
+    std::unordered_map<uint64_t, uint8_t> mem_;      ///< byte -> value
+    std::unordered_set<uint64_t> blacklist_;         ///< poisoned bytes
+    std::unordered_set<uint64_t> consumed_;          ///< read-back bytes
+};
+
+} // namespace prorace::replay
+
+#endif // PRORACE_REPLAY_PROGRAM_MAP_HH

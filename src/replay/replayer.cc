@@ -1,0 +1,1038 @@
+#include "replay/replayer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <array>
+#include <optional>
+
+#include "isa/semantics.hh"
+#include "replay/static_info.hh"
+#include "support/log.hh"
+
+namespace prorace::replay {
+
+using detect::AccessOrigin;
+using isa::AluOp;
+using isa::Insn;
+using isa::Op;
+using isa::Reg;
+using pmu::kPathGap;
+
+const char *
+replayModeName(ReplayMode mode)
+{
+    switch (mode) {
+      case ReplayMode::kBasicBlock:      return "basic-block";
+      case ReplayMode::kForwardOnly:     return "forward";
+      case ReplayMode::kForwardBackward: return "forward+backward";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Try to invert an ALU op used as reverse execution. */
+bool
+invertibleAlu(AluOp op)
+{
+    return op == AluOp::kAdd || op == AluOp::kSub || op == AluOp::kXor;
+}
+
+} // namespace
+
+/** Deduplicating per-window emission buffer keyed by (position, slot). */
+struct Replayer::EmitMap {
+    std::map<uint64_t, ReconstructedAccess> entries;
+
+    bool
+    add(uint64_t position, unsigned slot, const ReconstructedAccess &acc)
+    {
+        return entries.try_emplace(position * 4 + slot, acc).second;
+    }
+};
+
+/** A replay window between two adjacent samples of one thread. */
+struct Replayer::Window {
+    uint32_t tid = 0;
+    uint64_t start = 0; ///< path position (inclusive)
+    uint64_t end = 0;   ///< path position (exclusive)
+    const trace::PebsRecord *s1 = nullptr; ///< sample at start, if any
+    const trace::PebsRecord *s2 = nullptr; ///< sample at end, if any
+    const std::map<uint64_t, const trace::SyncRecord *> *sync_at = nullptr;
+};
+
+Replayer::Replayer(const asmkit::Program &program,
+                   const ReplayConfig &config)
+    : program_(program), config_(config)
+{
+}
+
+void
+Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
+                      const trace::RunTrace &run, const FactList &facts,
+                      AccessOrigin tag, EmitMap &emit, FactList *hints_out,
+                      bool *consistent_out, uint64_t *bad_pos_out)
+{
+    size_t fact_cursor = 0;
+    while (fact_cursor < facts.size() &&
+           facts[fact_cursor].pos < win.start) {
+        ++fact_cursor;
+    }
+    (void)run;
+    ProgramMap pm;
+    if (win.s1)
+        pm.restoreRegs(win.s1->regs);
+    for (const auto &[addr, size] : config_.mem_blacklist)
+        pm.blacklistMem(addr, size);
+    // Emulated condition flags, where computable. Every conditional
+    // branch whose flags are known is cross-checked against the
+    // PT-recorded direction: a contradiction proves the window's
+    // register state is wrong (misaligned sample), and the window is
+    // discarded.
+    isa::Flags flags_value;
+    bool flags_known = false;
+
+    // A consistency violation proves the replayed state is wrong at
+    // this point (usually a sample matched to the wrong loop iteration).
+    // Repair locally: discard the reconstructions of the current loop
+    // body, invalidate the registers that produced the contradiction,
+    // and continue — but give up on the window beyond a violation
+    // budget (alignment is then hopeless).
+    constexpr uint64_t kViolationScope = 24; // positions erased backwards
+    constexpr unsigned kViolationBudget = 8;
+    unsigned violations = 0;
+    uint16_t flag_src_mask = 0; // regs feeding the live flags
+    auto violation = [&](uint64_t pos) {
+        ++violations;
+        if (consistent_out && violations > kViolationBudget)
+            *consistent_out = false;
+        if (bad_pos_out && violations > kViolationBudget)
+            *bad_pos_out = std::min(*bad_pos_out, pos);
+        // Erase suspect reconstructions of the enclosing loop body.
+        const uint64_t lo = pos > kViolationScope ? pos - kViolationScope
+                                                  : 0;
+        auto it = emit.entries.lower_bound(lo * 4);
+        while (it != emit.entries.end() && it->first <= pos * 4 + 3) {
+            const AccessOrigin origin = it->second.origin;
+            if (origin == AccessOrigin::kForward ||
+                origin == AccessOrigin::kBackward) {
+                if (origin == AccessOrigin::kForward)
+                    --stats_.recovered_forward;
+                else
+                    --stats_.recovered_backward;
+                it = emit.entries.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        // Invalidate the registers behind the contradiction.
+        for (unsigned r = 0; r < isa::kNumGprs; ++r) {
+            if ((flag_src_mask >> r) & 1u)
+                pm.invalidateReg(isa::gprFromIndex(r));
+        }
+    };
+
+    auto try_ea = [&](const isa::MemOperand &mem)
+        -> std::optional<uint64_t> {
+        if (mem.rip_relative)
+            return static_cast<uint64_t>(mem.disp);
+        if (mem.base != Reg::none && !pm.regAvailable(mem.base))
+            return std::nullopt;
+        if (mem.index != Reg::none && !pm.regAvailable(mem.index))
+            return std::nullopt;
+        uint64_t addr = static_cast<uint64_t>(mem.disp);
+        if (mem.base != Reg::none)
+            addr += pm.regValue(mem.base);
+        if (mem.index != Reg::none)
+            addr += pm.regValue(mem.index) * mem.scale;
+        return addr;
+    };
+
+    auto src_val = [&](Reg r) -> std::optional<uint64_t> {
+        if (!isGpr(r) || !pm.regAvailable(r))
+            return std::nullopt;
+        return pm.regValue(r);
+    };
+
+    for (uint64_t pos = win.start; pos < win.end; ++pos) {
+        while (fact_cursor < facts.size() &&
+               facts[fact_cursor].pos == pos) {
+            const ReplayFact &fact = facts[fact_cursor];
+            // Where forward and backward knowledge overlap they must
+            // agree; disagreement reveals misaligned samples.
+            if (pm.regAvailable(fact.reg) &&
+                pm.regValue(fact.reg) != fact.val) {
+                ++stats_.violations_fact;
+                violation(pos);
+            }
+            pm.setReg(fact.reg, fact.val);
+            ++fact_cursor;
+        }
+        const uint32_t idx = path.insns[pos];
+        if (idx == kPathGap) {
+            // Untraced code ran here: nothing survives.
+            pm.invalidateAllRegs();
+            pm.invalidateMemory();
+            flags_known = false;
+            continue;
+        }
+        const Insn &insn = program_.insnAt(idx);
+        const bool is_sample = pos == win.start && win.s1;
+
+        auto origin_for = [&](bool rip_rel) {
+            if (is_sample)
+                return AccessOrigin::kSampled;
+            if (rip_rel)
+                return AccessOrigin::kPcRelative;
+            return tag;
+        };
+
+        auto emit_access = [&](unsigned slot, uint64_t addr, uint8_t width,
+                               bool is_write, bool atomic, bool rip_rel) {
+            ReconstructedAccess acc;
+            acc.tid = win.tid;
+            acc.position = pos;
+            acc.insn_index = idx;
+            acc.addr = addr;
+            acc.width = width;
+            acc.is_write = is_write;
+            acc.is_atomic = atomic;
+            acc.origin = origin_for(rip_rel);
+            if (emit.add(pos, slot, acc)) {
+                switch (acc.origin) {
+                  case AccessOrigin::kSampled:
+                    ++stats_.sampled;
+                    break;
+                  case AccessOrigin::kPcRelative:
+                    ++stats_.recovered_pcrel;
+                    ++stats_.recovered_forward;
+                    break;
+                  case AccessOrigin::kForward:
+                    ++stats_.recovered_forward;
+                    break;
+                  case AccessOrigin::kBackward:
+                    ++stats_.recovered_backward;
+                    break;
+                  default:
+                    break;
+                }
+            }
+        };
+
+        // Record forward hints at memory instructions we cannot resolve,
+        // so the next backward round can extend its knowledge.
+        auto note_hint = [&]() {
+            if (!hints_out)
+                return;
+            for (unsigned r = 0; r < isa::kNumGprs; ++r) {
+                const Reg reg = isa::gprFromIndex(r);
+                if (pm.regAvailable(reg))
+                    hints_out->push_back({pos, reg, pm.regValue(reg)});
+            }
+        };
+
+        switch (insn.op) {
+          case Op::kNop:
+          case Op::kHalt:
+          case Op::kJmp:
+          case Op::kJmpInd:
+            break;
+
+          case Op::kCmpRR: {
+            auto a = src_val(insn.dst);
+            auto bv = src_val(insn.src);
+            flags_known = a && bv;
+            if (flags_known)
+                flags_value = isa::evalCmp(*a, *bv);
+            flag_src_mask = static_cast<uint16_t>(
+                (1u << gprIndex(insn.dst)) | (1u << gprIndex(insn.src)));
+            break;
+          }
+          case Op::kCmpRI: {
+            auto a = src_val(insn.dst);
+            flags_known = a.has_value();
+            if (flags_known)
+                flags_value = isa::evalCmp(*a,
+                                           static_cast<uint64_t>(insn.imm));
+            flag_src_mask =
+                static_cast<uint16_t>(1u << gprIndex(insn.dst));
+            break;
+          }
+          case Op::kTestRR: {
+            auto a = src_val(insn.dst);
+            auto bv = src_val(insn.src);
+            flags_known = a && bv;
+            if (flags_known)
+                flags_value = isa::evalTest(*a, *bv);
+            flag_src_mask = static_cast<uint16_t>(
+                (1u << gprIndex(insn.dst)) | (1u << gprIndex(insn.src)));
+            break;
+          }
+          case Op::kTestRI: {
+            auto a = src_val(insn.dst);
+            flags_known = a.has_value();
+            if (flags_known)
+                flags_value = isa::evalTest(*a,
+                                            static_cast<uint64_t>(insn.imm));
+            flag_src_mask =
+                static_cast<uint16_t>(1u << gprIndex(insn.dst));
+            break;
+          }
+          case Op::kJcc: {
+            if (flags_known && insn.target != idx + 1 &&
+                pos + 1 < path.insns.size() &&
+                path.insns[pos + 1] != kPathGap) {
+                const bool expected = isa::condHolds(insn.cond,
+                                                     flags_value);
+                const bool actual = path.insns[pos + 1] == insn.target;
+                if (expected != actual) {
+                    ++stats_.violations_branch;
+                    violation(pos);
+                    flags_known = false;
+                }
+            }
+            break;
+          }
+
+          case Op::kMovRI:
+            pm.setReg(insn.dst, static_cast<uint64_t>(insn.imm));
+            break;
+
+          case Op::kMovRR:
+            if (auto v = src_val(insn.src))
+                pm.setReg(insn.dst, *v);
+            else
+                pm.invalidateReg(insn.dst);
+            break;
+
+          case Op::kLoad: {
+            uint64_t addr;
+            if (is_sample) {
+                addr = win.s1->addr;
+            } else if (auto ea = try_ea(insn.mem)) {
+                addr = *ea;
+            } else {
+                note_hint();
+                pm.invalidateReg(insn.dst);
+                break;
+            }
+            if (is_sample) {
+                if (auto ea = try_ea(insn.mem); ea && *ea != addr) {
+                    ++stats_.violations_sample;
+                    violation(pos);
+                }
+            }
+            emit_access(0, addr, insn.width, false, false,
+                        insn.mem.rip_relative);
+            if (auto v = pm.readMem(addr, insn.width)) {
+                pm.setReg(insn.dst, isa::extendFromWidth(*v, insn.width,
+                                                         insn.sign_extend));
+            } else {
+                pm.invalidateReg(insn.dst);
+            }
+            break;
+          }
+
+          case Op::kStore:
+          case Op::kStoreI: {
+            uint64_t addr;
+            if (is_sample) {
+                addr = win.s1->addr;
+            } else if (auto ea = try_ea(insn.mem)) {
+                addr = *ea;
+            } else {
+                note_hint();
+                // A store to an unknown address may clobber any emulated
+                // location.
+                pm.invalidateMemory();
+                break;
+            }
+            emit_access(0, addr, insn.width, true, false,
+                        insn.mem.rip_relative);
+            std::optional<uint64_t> value;
+            if (insn.op == Op::kStoreI)
+                value = static_cast<uint64_t>(insn.imm);
+            else
+                value = src_val(insn.src);
+            if (value) {
+                pm.writeMem(addr, isa::truncateToWidth(*value, insn.width),
+                            insn.width);
+            } else {
+                pm.invalidateMem(addr, insn.width);
+            }
+            break;
+          }
+
+          case Op::kLea:
+            if (auto ea = try_ea(insn.mem))
+                pm.setReg(insn.dst, *ea);
+            else
+                pm.invalidateReg(insn.dst);
+            break;
+
+          case Op::kAluRR: {
+            auto a = src_val(insn.dst);
+            auto b = src_val(insn.src);
+            if (a && b) {
+                const auto r = isa::evalAlu(insn.alu, *a, *b);
+                pm.setReg(insn.dst, r.value);
+                flags_value = r.flags;
+                flags_known = true;
+                flag_src_mask = static_cast<uint16_t>(
+                    (1u << gprIndex(insn.dst)) |
+                    (1u << gprIndex(insn.src)));
+            } else {
+                pm.invalidateReg(insn.dst);
+                flags_known = false;
+            }
+            break;
+          }
+
+          case Op::kAluRI: {
+            if (auto a = src_val(insn.dst)) {
+                const auto r = isa::evalAlu(
+                    insn.alu, *a, static_cast<uint64_t>(insn.imm));
+                pm.setReg(insn.dst, r.value);
+                flags_value = r.flags;
+                flags_known = true;
+                flag_src_mask =
+                    static_cast<uint16_t>(1u << gprIndex(insn.dst));
+            } else {
+                pm.invalidateReg(insn.dst);
+                flags_known = false;
+            }
+            break;
+          }
+
+          case Op::kCall:
+          case Op::kCallInd:
+          case Op::kPush: {
+            uint64_t value_known = insn.op != Op::kPush;
+            uint64_t value = idx + 1;
+            if (insn.op == Op::kPush) {
+                if (auto v = src_val(insn.src)) {
+                    value = *v;
+                    value_known = true;
+                }
+            }
+            if (auto rsp = src_val(Reg::rsp)) {
+                const uint64_t addr = *rsp - 8;
+                const bool sampled_here = is_sample;
+                emit_access(0, sampled_here ? win.s1->addr : addr, 8, true,
+                            false, false);
+                if (value_known)
+                    pm.writeMem(addr, value, 8);
+                else
+                    pm.invalidateMem(addr, 8);
+                pm.setReg(Reg::rsp, addr);
+            } else {
+                note_hint();
+                pm.invalidateMemory();
+            }
+            break;
+          }
+
+          case Op::kRet: {
+            if (auto rsp = src_val(Reg::rsp)) {
+                emit_access(0, is_sample ? win.s1->addr : *rsp, 8, false,
+                            false, false);
+                pm.setReg(Reg::rsp, *rsp + 8);
+            } else {
+                note_hint();
+            }
+            break;
+          }
+
+          case Op::kPop: {
+            if (auto rsp = src_val(Reg::rsp)) {
+                emit_access(0, is_sample ? win.s1->addr : *rsp, 8, false,
+                            false, false);
+                if (auto v = pm.readMem(*rsp, 8))
+                    pm.setReg(insn.dst, *v);
+                else
+                    pm.invalidateReg(insn.dst);
+                pm.setReg(Reg::rsp, *rsp + 8);
+            } else {
+                note_hint();
+                pm.invalidateReg(insn.dst);
+            }
+            break;
+          }
+
+          case Op::kAtomicRmw: {
+            uint64_t addr;
+            if (is_sample) {
+                addr = win.s1->addr;
+            } else if (auto ea = try_ea(insn.mem)) {
+                addr = *ea;
+            } else {
+                note_hint();
+                pm.invalidateReg(insn.dst);
+                pm.invalidateMemory();
+                break;
+            }
+            emit_access(0, addr, insn.width, false, true,
+                        insn.mem.rip_relative);
+            emit_access(1, addr, insn.width, true, true,
+                        insn.mem.rip_relative);
+            auto old = pm.readMem(addr, insn.width);
+            auto rhs = src_val(insn.src);
+            if (old) {
+                pm.setReg(insn.dst,
+                          isa::extendFromWidth(*old, insn.width, false));
+            } else {
+                pm.invalidateReg(insn.dst);
+            }
+            if (old && rhs) {
+                pm.writeMem(addr,
+                            isa::truncateToWidth(
+                                isa::evalAlu(insn.alu, *old, *rhs).value,
+                                insn.width),
+                            insn.width);
+            } else {
+                pm.invalidateMem(addr, insn.width);
+            }
+            break;
+          }
+
+          case Op::kCas: {
+            uint64_t addr;
+            if (is_sample) {
+                addr = win.s1->addr;
+            } else if (auto ea = try_ea(insn.mem)) {
+                addr = *ea;
+            } else {
+                note_hint();
+                pm.invalidateReg(insn.dst);
+                pm.invalidateMemory();
+                break;
+            }
+            emit_access(0, addr, insn.width, false, true,
+                        insn.mem.rip_relative);
+            auto old = pm.readMem(addr, insn.width);
+            auto expected = src_val(insn.dst);
+            auto desired = src_val(insn.src);
+            if (old && expected && desired) {
+                if (*old == isa::truncateToWidth(*expected, insn.width)) {
+                    emit_access(1, addr, insn.width, true, true,
+                                insn.mem.rip_relative);
+                    pm.writeMem(addr,
+                                isa::truncateToWidth(*desired, insn.width),
+                                insn.width);
+                } else {
+                    pm.setReg(insn.dst,
+                              isa::extendFromWidth(*old, insn.width,
+                                                   false));
+                }
+            } else {
+                // Outcome unknown: the destination and the location both
+                // become unavailable.
+                pm.invalidateReg(insn.dst);
+                pm.invalidateMem(addr, insn.width);
+            }
+            flags_known = false;
+            break;
+          }
+
+          // Synchronization and allocation routines run library/kernel
+          // code: emulated memory does not survive them (the scheduler
+          // may have run other threads meanwhile).
+          case Op::kLock:
+          case Op::kUnlock:
+          case Op::kCondWait:
+          case Op::kCondSignal:
+          case Op::kCondBcast:
+          case Op::kBarrier:
+          case Op::kJoin:
+          case Op::kFree:
+            pm.invalidateMemory();
+            break;
+
+          case Op::kSpawn:
+          case Op::kMalloc: {
+            pm.invalidateMemory();
+            // The sync trace logs the result (child tid / block address),
+            // so the offline replay knows this call's return value.
+            const trace::SyncRecord *rec = nullptr;
+            if (win.sync_at) {
+                if (auto it = win.sync_at->find(pos);
+                    it != win.sync_at->end()) {
+                    rec = it->second;
+                }
+            }
+            if (rec) {
+                pm.setReg(insn.dst, insn.op == Op::kMalloc ? rec->object
+                                                           : rec->aux);
+            } else {
+                pm.invalidateReg(insn.dst);
+            }
+            break;
+          }
+
+          case Op::kSyscall:
+            pm.invalidateMemory();
+            pm.invalidateReg(Reg::rax);
+            break;
+        }
+    }
+
+    consumed_.insert(pm.consumedAddresses().begin(),
+                     pm.consumedAddresses().end());
+
+    if (win.s2) {
+        for (unsigned r = 0; r < isa::kNumGprs; ++r) {
+            const Reg reg = isa::gprFromIndex(r);
+            if (pm.regAvailable(reg) &&
+                pm.regValue(reg) != win.s2->regs.gpr[r]) {
+                ++stats_.violations_end;
+                violation(win.end ? win.end - 1 : 0);
+            }
+        }
+    }
+}
+
+void
+Replayer::backwardScan(const Window &win, const pmu::ThreadPath &path,
+                       const FactList &hints, FactList &facts_out,
+                       bool *consistent_out)
+{
+    size_t hint_cursor = hints.size(); // consumed in descending order
+
+    PRORACE_ASSERT(win.s2, "backward scan requires an ending sample");
+    // K[r]: value of register r at the *pre-state* of the current
+    // position, where known.
+    std::array<std::optional<uint64_t>, isa::kNumGprs> know;
+    for (unsigned r = 0; r < isa::kNumGprs; ++r)
+        know[r] = win.s2->regs.gpr[r];
+
+    auto record_fact = [&](uint64_t pos, Reg reg, uint64_t value) {
+        if (pos >= win.end)
+            return;
+        facts_out.push_back({pos, reg, value});
+    };
+
+    // Registers that survive all the way to the window end are injected
+    // wherever their validity begins; writes terminate validity.
+    for (uint64_t pp = win.end; pp-- > win.start;) {
+        const uint32_t idx = path.insns[pp];
+        if (idx == kPathGap) {
+            // Unknown code: nothing is known before this point; inject
+            // the survivors right after the gap.
+            for (unsigned r = 0; r < isa::kNumGprs; ++r) {
+                if (know[r]) {
+                    record_fact(pp + 1, isa::gprFromIndex(r), *know[r]);
+                    know[r] = std::nullopt;
+                }
+            }
+            continue;
+        }
+        const Insn &insn = program_.insnAt(idx);
+        const uint16_t wmask = regWriteMask(insn);
+
+        std::array<std::optional<uint64_t>, isa::kNumGprs> next = know;
+        // Default: a write makes the pre-state unknown; the surviving
+        // post-state value is injected just after the write (backward
+        // propagation, §5.2.1).
+        for (unsigned r = 0; r < isa::kNumGprs; ++r) {
+            if ((wmask >> r) & 1u) {
+                if (know[r])
+                    record_fact(pp + 1, isa::gprFromIndex(r), *know[r]);
+                next[r] = std::nullopt;
+            }
+        }
+
+        // Reverse execution (§5.2.2): invert what can be inverted and
+        // learn operands from copies.
+        switch (insn.op) {
+          case Op::kMovRI:
+            // The post-state of an immediate move is statically known:
+            // a derived value that contradicts it means the closing
+            // sample was matched to the wrong path position, and the
+            // whole window is suspect.
+            if (know[gprIndex(insn.dst)] &&
+                *know[gprIndex(insn.dst)] !=
+                    static_cast<uint64_t>(insn.imm) &&
+                consistent_out) {
+                ++stats_.violations_backward;
+                *consistent_out = false;
+            }
+            break;
+          case Op::kLea:
+            if (insn.mem.rip_relative) {
+                if (know[gprIndex(insn.dst)] &&
+                    *know[gprIndex(insn.dst)] !=
+                        static_cast<uint64_t>(insn.mem.disp) &&
+                    consistent_out) {
+                    ++stats_.violations_backward;
+                    *consistent_out = false;
+                }
+                break;
+            }
+            // dst_post = base_pre + disp (single-base operands only).
+            if (know[gprIndex(insn.dst)] &&
+                insn.mem.base != Reg::none &&
+                insn.mem.index == Reg::none) {
+                const uint64_t base_pre = *know[gprIndex(insn.dst)] -
+                    static_cast<uint64_t>(insn.mem.disp);
+                if (!next[gprIndex(insn.mem.base)]) {
+                    next[gprIndex(insn.mem.base)] = base_pre;
+                    record_fact(pp, insn.mem.base, base_pre);
+                }
+            }
+            break;
+          case Op::kAluRI:
+            if (invertibleAlu(insn.alu) && know[gprIndex(insn.dst)]) {
+                uint64_t pre = 0;
+                if (isa::invertAlu(insn.alu, *know[gprIndex(insn.dst)],
+                                   static_cast<uint64_t>(insn.imm), pre)) {
+                    next[gprIndex(insn.dst)] = pre;
+                }
+            }
+            break;
+          case Op::kAluRR:
+            if (invertibleAlu(insn.alu) && insn.src != insn.dst &&
+                know[gprIndex(insn.dst)] && know[gprIndex(insn.src)]) {
+                uint64_t pre = 0;
+                if (isa::invertAlu(insn.alu, *know[gprIndex(insn.dst)],
+                                   *know[gprIndex(insn.src)], pre)) {
+                    next[gprIndex(insn.dst)] = pre;
+                }
+            }
+            break;
+          case Op::kMovRR:
+            // dst_post == src_pre == src_post: learn the source.
+            if (know[gprIndex(insn.dst)] && insn.src != insn.dst) {
+                if (!next[gprIndex(insn.src)]) {
+                    next[gprIndex(insn.src)] = *know[gprIndex(insn.dst)];
+                    record_fact(pp, insn.src, *know[gprIndex(insn.dst)]);
+                }
+            }
+            break;
+          case Op::kPush:
+          case Op::kCall:
+          case Op::kCallInd:
+            if (know[gprIndex(Reg::rsp)])
+                next[gprIndex(Reg::rsp)] = *know[gprIndex(Reg::rsp)] + 8;
+            break;
+          case Op::kPop:
+          case Op::kRet:
+            if (know[gprIndex(Reg::rsp)])
+                next[gprIndex(Reg::rsp)] = *know[gprIndex(Reg::rsp)] - 8;
+            break;
+          default:
+            break;
+        }
+
+        know = next;
+
+        // Forward hints: registers the previous forward pass knew at
+        // this position extend the backward knowledge (fixed-point
+        // iteration between the two directions).
+        while (hint_cursor > 0 && hints[hint_cursor - 1].pos > pp)
+            --hint_cursor;
+        for (size_t i = hint_cursor; i > 0 && hints[i - 1].pos == pp;
+             --i) {
+            const ReplayFact &hint = hints[i - 1];
+            if (!know[gprIndex(hint.reg)])
+                know[gprIndex(hint.reg)] = hint.val;
+        }
+    }
+
+    // Survivors reach the window start.
+    for (unsigned r = 0; r < isa::kNumGprs; ++r) {
+        if (know[r])
+            record_fact(win.start, isa::gprFromIndex(r), *know[r]);
+    }
+}
+
+void
+Replayer::replayWindow(const Window &win, const pmu::ThreadPath &path,
+                       const ThreadAlignment &alignment,
+                       const trace::RunTrace &run, EmitMap &emit_out)
+{
+    (void)alignment;
+    ++stats_.windows;
+    // Reconstruct into a window-local buffer. Consistency violations
+    // (branch directions or known immediates contradicting the replayed
+    // state, forward/backward disagreement, closing-sample mismatch)
+    // mean part of the window is suspect: forward-derived events past
+    // the first forward violation are dropped, and backward-derived
+    // events are dropped whenever the backward side is implicated —
+    // FastTrack's no-false-positive guarantee is worth more than the
+    // extra coverage.
+    EmitMap emit;
+    bool fwd_ok = true;
+    uint64_t fwd_bad_pos = ~0ull;
+    bool bwd_ok = true;
+
+    if (config_.mode == ReplayMode::kForwardOnly || !win.s2) {
+        forwardPass(win, path, run, {}, AccessOrigin::kForward, emit,
+                    nullptr, &fwd_ok, &fwd_bad_pos);
+    } else {
+        // Round 0: plain forward replay; collects hints at unresolved
+        // memory instructions and classifies forward-recoverable
+        // accesses.
+        FactList hints;
+        forwardPass(win, path, run, {}, AccessOrigin::kForward, emit,
+                    &hints, &fwd_ok, &fwd_bad_pos);
+
+        auto by_pos = [](const ReplayFact &a, const ReplayFact &b) {
+            return a.pos < b.pos;
+        };
+        size_t emitted = emit.entries.size();
+        for (int round = 0; round < config_.max_backward_rounds; ++round) {
+            ++stats_.backward_rounds;
+            FactList facts;
+            backwardScan(win, path, hints, facts, &bwd_ok);
+            if (facts.empty())
+                break;
+            std::stable_sort(facts.begin(), facts.end(), by_pos);
+            hints.clear();
+            bool mixed_ok = true;
+            uint64_t mixed_bad_pos = ~0ull;
+            forwardPass(win, path, run, facts, AccessOrigin::kBackward,
+                        emit, &hints, &mixed_ok, &mixed_bad_pos);
+            if (!mixed_ok && mixed_bad_pos < fwd_bad_pos) {
+                // A violation in a region the plain forward pass had
+                // validated implicates the injected backward facts.
+                bwd_ok = false;
+            }
+            if (emit.entries.size() == emitted)
+                break;
+            emitted = emit.entries.size();
+        }
+    }
+
+    if (!fwd_ok || !bwd_ok)
+        ++stats_.inconsistent_windows;
+
+    for (const auto &[key, acc] : emit.entries) {
+        // PC-relative addresses derive from the PT path alone and
+        // sampled accesses from the hardware record; both always
+        // survive.
+        bool keep = true;
+        switch (acc.origin) {
+          case AccessOrigin::kForward:
+            keep = acc.position < fwd_bad_pos;
+            break;
+          case AccessOrigin::kBackward:
+            keep = bwd_ok && acc.position < fwd_bad_pos;
+            break;
+          default:
+            break;
+        }
+        if (!keep) {
+            if (acc.origin == AccessOrigin::kForward)
+                --stats_.recovered_forward;
+            else
+                --stats_.recovered_backward;
+            continue;
+        }
+        emit_out.entries.insert({key, acc});
+    }
+}
+
+void
+Replayer::replayBasicBlock(const trace::PebsRecord &rec, EmitMap &emit)
+{
+    const uint32_t block = program_.blockOf(rec.insn_index);
+    const uint32_t begin = program_.blockBegin(block);
+    const uint32_t end = program_.blockEnd(block);
+
+    // Synthetic path covering exactly this basic block; the sample's
+    // position within it anchors the register file.
+    pmu::ThreadPath bb_path;
+    bb_path.tid = rec.tid;
+    for (uint32_t i = begin; i < end; ++i)
+        bb_path.insns.push_back(i);
+    const uint64_t sample_pos = rec.insn_index - begin;
+
+    // Forward part: from the sample to the end of the block.
+    Window fwd;
+    fwd.tid = rec.tid;
+    fwd.start = sample_pos;
+    fwd.end = bb_path.insns.size();
+    fwd.s1 = &rec;
+    bool consistent = true;
+    forwardPass(fwd, bb_path, {}, {}, AccessOrigin::kForward, emit,
+                nullptr, &consistent, nullptr);
+
+    // Trivial backward propagation: registers not written between a
+    // block position and the sample hold their sampled values there
+    // (RaceZ's single-basic-block scheme).
+    if (sample_pos > 0) {
+        FactList facts;
+        uint16_t written = 0;
+        std::vector<uint16_t> mask_from(sample_pos);
+        for (uint64_t p = sample_pos; p-- > 0;) {
+            written |= regWriteMask(program_.insnAt(bb_path.insns[p]));
+            mask_from[p] = written;
+        }
+        for (uint64_t p = 0; p < sample_pos; ++p) {
+            for (unsigned r = 0; r < isa::kNumGprs; ++r) {
+                if (!((mask_from[p] >> r) & 1u))
+                    facts.push_back({p, isa::gprFromIndex(r),
+                                     rec.regs.gpr[r]});
+            }
+        }
+        Window bwd;
+        bwd.tid = rec.tid;
+        bwd.start = 0;
+        bwd.end = sample_pos;
+        forwardPass(bwd, bb_path, {}, facts, AccessOrigin::kForward, emit,
+                    nullptr, nullptr, nullptr);
+    }
+}
+
+void
+Replayer::replayThread(const pmu::ThreadPath &path,
+                       const ThreadAlignment &alignment,
+                       const trace::RunTrace &run,
+                       std::vector<ReconstructedAccess> &out)
+{
+    // malloc/pthread_create results are visible to the offline phase via
+    // the sync trace; map them to path positions for register recovery.
+    std::map<uint64_t, const trace::SyncRecord *> sync_at;
+    for (const AlignedSync &s : alignment.syncs) {
+        const trace::SyncRecord &rec = run.sync[s.record_index];
+        if (rec.kind == vm::SyncKind::kMalloc ||
+            rec.kind == vm::SyncKind::kSpawn) {
+            sync_at[s.position] = &rec;
+        }
+    }
+
+    EmitMap emit;
+    std::vector<Window> windows;
+    const auto &samples = alignment.samples;
+    if (samples.empty()) {
+        Window w;
+        w.tid = path.tid;
+        w.start = 0;
+        w.end = path.insns.size();
+        w.sync_at = &sync_at;
+        windows.push_back(w);
+    } else {
+        if (samples.front().position > 0) {
+            Window w;
+            w.tid = path.tid;
+            w.start = 0;
+            w.end = samples.front().position;
+            w.s2 = &run.pebs[samples.front().record_index];
+            w.sync_at = &sync_at;
+            windows.push_back(w);
+        }
+        for (size_t i = 0; i < samples.size(); ++i) {
+            Window w;
+            w.tid = path.tid;
+            w.start = samples[i].position;
+            w.end = i + 1 < samples.size() ? samples[i + 1].position
+                                           : path.insns.size();
+            w.s1 = &run.pebs[samples[i].record_index];
+            w.s2 = i + 1 < samples.size()
+                ? &run.pebs[samples[i + 1].record_index]
+                : nullptr;
+            w.sync_at = &sync_at;
+            windows.push_back(w);
+        }
+    }
+
+    for (const Window &w : windows)
+        replayWindow(w, path, alignment, run, emit);
+
+    for (auto &[key, acc] : emit.entries) {
+        acc.tsc = alignment.tscAt(acc.position);
+        out.push_back(acc);
+    }
+
+    // Samples that could not be located on the path (typically taken
+    // inside untraced library code) still carry an exact access.
+    std::unordered_set<size_t> matched;
+    for (const AlignedSample &s : alignment.samples)
+        matched.insert(s.record_index);
+    for (size_t i = 0; i < run.pebs.size(); ++i) {
+        const trace::PebsRecord &rec = run.pebs[i];
+        if (rec.tid != path.tid || matched.count(i))
+            continue;
+        ReconstructedAccess acc;
+        acc.tid = rec.tid;
+        acc.insn_index = rec.insn_index;
+        acc.addr = rec.addr;
+        acc.width = rec.width;
+        acc.is_write = rec.is_write;
+        acc.is_atomic = rec.is_atomic;
+        acc.tsc = rec.tsc;
+        acc.origin = detect::AccessOrigin::kSampled;
+        // Position is unknown; use the nearest path position by time so
+        // the detector's same-thread ordering stays sane.
+        acc.position = 0;
+        ++stats_.sampled;
+        out.push_back(acc);
+    }
+}
+
+std::vector<ReconstructedAccess>
+Replayer::replayAll(const std::map<uint32_t, pmu::ThreadPath> &paths,
+                    const std::map<uint32_t, ThreadAlignment> &alignments,
+                    const trace::RunTrace &run)
+{
+    std::vector<ReconstructedAccess> out;
+
+    if (config_.mode == ReplayMode::kBasicBlock) {
+        // RaceZ does not use PT: every sample is reconstructed within
+        // its static basic block, ordered by sample time.
+        for (const trace::PebsRecord &rec : run.pebs) {
+            EmitMap emit;
+            replayBasicBlock(rec, emit);
+            for (auto &[key, acc] : emit.entries) {
+                // Order accesses around the sample's timestamp while
+                // preserving intra-block program order.
+                const int64_t delta =
+                    static_cast<int64_t>(acc.position) -
+                    static_cast<int64_t>(rec.insn_index -
+                                         program_.blockBegin(
+                                             program_.blockOf(
+                                                 rec.insn_index)));
+                acc.tsc = rec.tsc + delta;
+                out.push_back(acc);
+            }
+        }
+    } else {
+        for (const auto &[tid, path] : paths) {
+            auto it = alignments.find(tid);
+            if (it == alignments.end())
+                continue;
+            replayThread(path, it->second, run, out);
+        }
+        // Samples of threads without decoded paths still contribute
+        // their own access.
+        for (const trace::PebsRecord &rec : run.pebs) {
+            if (paths.count(rec.tid))
+                continue;
+            ReconstructedAccess acc;
+            acc.tid = rec.tid;
+            acc.insn_index = rec.insn_index;
+            acc.addr = rec.addr;
+            acc.width = rec.width;
+            acc.is_write = rec.is_write;
+            acc.is_atomic = rec.is_atomic;
+            acc.tsc = rec.tsc;
+            acc.origin = AccessOrigin::kSampled;
+            ++stats_.sampled;
+            out.push_back(acc);
+        }
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const ReconstructedAccess &a,
+                 const ReconstructedAccess &b) {
+                  if (a.tsc != b.tsc)
+                      return a.tsc < b.tsc;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.position < b.position;
+              });
+    return out;
+}
+
+} // namespace prorace::replay

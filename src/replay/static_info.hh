@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Static per-instruction facts shared by the aligner and the replayer.
+ */
+
+#ifndef PRORACE_REPLAY_STATIC_INFO_HH
+#define PRORACE_REPLAY_STATIC_INFO_HH
+
+#include <cstdint>
+
+#include "isa/insn.hh"
+
+namespace prorace::replay {
+
+/**
+ * Bitmask of GPRs an instruction may write (bit i = gpr i).
+ * "May write" is what matters: backward propagation of a register value
+ * is valid only across instructions that definitely do not write it.
+ */
+inline uint16_t
+regWriteMask(const isa::Insn &insn)
+{
+    using isa::Op;
+    using isa::Reg;
+    uint16_t mask = 0;
+    if (isa::writesDst(insn.op) && isa::isGpr(insn.dst))
+        mask |= static_cast<uint16_t>(1u << isa::gprIndex(insn.dst));
+    switch (insn.op) {
+      case Op::kPush:
+      case Op::kPop:
+      case Op::kCall:
+      case Op::kCallInd:
+      case Op::kRet:
+        mask |= static_cast<uint16_t>(1u << isa::gprIndex(Reg::rsp));
+        break;
+      case Op::kSyscall:
+        mask |= static_cast<uint16_t>(1u << isa::gprIndex(Reg::rax));
+        break;
+      default:
+        break;
+    }
+    return mask;
+}
+
+/** The write mask of a path gap: untraced code may clobber anything. */
+inline constexpr uint16_t kGapWriteMask = 0xffff;
+
+/**
+ * Number of PEBS-countable memory events one instruction retires.
+ * kCas may retire one or two (the store happens only on success);
+ * callers using this for distance arithmetic must allow slack.
+ */
+inline unsigned
+memOpCount(const isa::Insn &insn)
+{
+    using isa::Op;
+    switch (insn.op) {
+      case Op::kLoad:
+      case Op::kStore:
+      case Op::kStoreI:
+      case Op::kPush:
+      case Op::kPop:
+      case Op::kCall:
+      case Op::kCallInd:
+      case Op::kRet:
+        return 1;
+      case Op::kAtomicRmw:
+      case Op::kCas:
+        return 2;
+      default:
+        return 0;
+    }
+}
+
+} // namespace prorace::replay
+
+#endif // PRORACE_REPLAY_STATIC_INFO_HH

@@ -1,0 +1,61 @@
+#include "support/bitstream.hh"
+
+#include "support/log.hh"
+
+namespace prorace {
+
+void
+BitWriter::putBit(bool bit)
+{
+    const unsigned offset = bit_count_ % 8;
+    if (offset == 0)
+        bytes_.push_back(0);
+    if (bit)
+        bytes_.back() |= static_cast<uint8_t>(1u << offset);
+    ++bit_count_;
+}
+
+void
+BitWriter::putBits(uint64_t value, unsigned nbits)
+{
+    PRORACE_ASSERT(nbits <= 64, "putBits width out of range: ", nbits);
+    for (unsigned i = 0; i < nbits; ++i)
+        putBit((value >> i) & 1u);
+}
+
+void
+BitWriter::clear()
+{
+    bytes_.clear();
+    bit_count_ = 0;
+}
+
+BitReader::BitReader(const std::vector<uint8_t> &bytes, uint64_t bit_count)
+    : bytes_(bytes), bit_count_(bit_count)
+{
+    PRORACE_ASSERT(bit_count <= bytes.size() * 8,
+                   "BitReader bit count exceeds buffer");
+}
+
+bool
+BitReader::getBit()
+{
+    PRORACE_ASSERT(pos_ < bit_count_, "BitReader read past end");
+    const bool bit = (bytes_[pos_ / 8] >> (pos_ % 8)) & 1u;
+    ++pos_;
+    return bit;
+}
+
+uint64_t
+BitReader::getBits(unsigned nbits)
+{
+    PRORACE_ASSERT(nbits <= 64, "getBits width out of range: ", nbits);
+    uint64_t value = 0;
+    for (unsigned i = 0; i < nbits; ++i) {
+        if (getBit())
+            value |= (uint64_t{1} << i);
+    }
+    return value;
+}
+
+} // namespace prorace

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bit-granular writer/reader used by the PT packet codec.
+ *
+ * Intel PT compresses conditional-branch outcomes into TNT packets of
+ * single bits; our encoder needs a compact bit-level stream with byte
+ * framing for multi-bit fields (packet headers, addresses).
+ */
+
+#ifndef PRORACE_SUPPORT_BITSTREAM_HH
+#define PRORACE_SUPPORT_BITSTREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace prorace {
+
+/** Append-only bit stream writer (LSB-first within each byte). */
+class BitWriter
+{
+  public:
+    /** Append a single bit. */
+    void putBit(bool bit);
+
+    /** Append the low @p nbits bits of @p value, LSB first; nbits <= 64. */
+    void putBits(uint64_t value, unsigned nbits);
+
+    /** Append a whole byte (8 bits). */
+    void putByte(uint8_t byte) { putBits(byte, 8); }
+
+    /** Append a 64-bit little-endian word. */
+    void putU64(uint64_t value) { putBits(value, 64); }
+
+    /** Number of bits written so far. */
+    uint64_t bitCount() const { return bit_count_; }
+
+    /** Number of bytes the stream occupies (rounded up). */
+    uint64_t byteCount() const { return (bit_count_ + 7) / 8; }
+
+    /** The backing buffer; the final byte may be partially filled. */
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
+    /** Reset to an empty stream. */
+    void clear();
+
+  private:
+    std::vector<uint8_t> bytes_;
+    uint64_t bit_count_ = 0;
+};
+
+/** Sequential reader over a bit stream produced by BitWriter. */
+class BitReader
+{
+  public:
+    /** View over @p bytes holding @p bit_count valid bits. */
+    BitReader(const std::vector<uint8_t> &bytes, uint64_t bit_count);
+
+    /** Read one bit; it is an error to read past the end. */
+    bool getBit();
+
+    /** Read @p nbits bits LSB-first; nbits <= 64. */
+    uint64_t getBits(unsigned nbits);
+
+    /** Read a whole byte. */
+    uint8_t getByte() { return static_cast<uint8_t>(getBits(8)); }
+
+    /** Read a 64-bit little-endian word. */
+    uint64_t getU64() { return getBits(64); }
+
+    /** Bits remaining. */
+    uint64_t remaining() const { return bit_count_ - pos_; }
+
+    /** True when all bits have been consumed. */
+    bool atEnd() const { return pos_ >= bit_count_; }
+
+  private:
+    const std::vector<uint8_t> &bytes_;
+    uint64_t bit_count_;
+    uint64_t pos_ = 0;
+};
+
+} // namespace prorace
+
+#endif // PRORACE_SUPPORT_BITSTREAM_HH

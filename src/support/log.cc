@@ -1,0 +1,67 @@
+#include "support/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace prorace {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo:  return "info";
+      case LogLevel::kWarn:  return "warn";
+      case LogLevel::kError: return "error";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+namespace detail {
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level < g_level)
+        return;
+    std::fprintf(stderr, "prorace: %s: %s\n", levelTag(level), msg.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "prorace: panic: %s:%d: %s\n", file, line,
+                 msg.c_str());
+    // Throwing keeps panics testable; uncaught, it still terminates.
+    throw std::logic_error("prorace panic: " + msg);
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "prorace: fatal: %s\n", msg.c_str());
+    throw std::runtime_error("prorace fatal: " + msg);
+}
+
+} // namespace detail
+
+} // namespace prorace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Logging and error-reporting helpers shared across ProRace.
+ *
+ * Follows the gem5 convention: panic() marks internal invariant violations
+ * (a ProRace bug), fatal() marks user errors (bad configuration), warn()
+ * and inform() are advisory.
+ */
+
+#ifndef PRORACE_SUPPORT_LOG_HH
+#define PRORACE_SUPPORT_LOG_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace prorace {
+
+/** Severity of a log message. */
+enum class LogLevel : uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+/**
+ * Set the global minimum level below which messages are suppressed.
+ * Defaults to LogLevel::kWarn so library users are not spammed.
+ */
+void setLogLevel(LogLevel level);
+
+/** Current global minimum log level. */
+LogLevel logLevel();
+
+namespace detail {
+
+/** Emit a message to stderr with a severity tag. */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Abort with an internal-error message (ProRace bug). */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Exit with a user-error message (bad configuration or input). */
+[[noreturn]] void fatalImpl(const std::string &msg);
+
+/** Fold a list of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Log an informational message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::logMessage(LogLevel::kInfo,
+                       detail::concat(std::forward<Args>(args)...));
+}
+
+/** Log a warning. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::logMessage(LogLevel::kWarn,
+                       detail::concat(std::forward<Args>(args)...));
+}
+
+/** Log a debug message (suppressed unless the level is lowered). */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    detail::logMessage(LogLevel::kDebug,
+                       detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace prorace
+
+/** Abort on an internal invariant violation. */
+#define PRORACE_PANIC(...)                                                   \
+    ::prorace::detail::panicImpl(__FILE__, __LINE__,                         \
+                                 ::prorace::detail::concat(__VA_ARGS__))
+
+/** Exit on a user error. */
+#define PRORACE_FATAL(...)                                                   \
+    ::prorace::detail::fatalImpl(::prorace::detail::concat(__VA_ARGS__))
+
+/** Assert an invariant that must hold unless ProRace itself is buggy. */
+#define PRORACE_ASSERT(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            PRORACE_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__);    \
+        }                                                                    \
+    } while (0)
+
+#endif // PRORACE_SUPPORT_LOG_HH

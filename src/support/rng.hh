@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything stochastic in ProRace (scheduler quanta, the randomized first
+ * PEBS period, workload data) draws from an explicitly seeded Rng so that
+ * every experiment is reproducible and trials are varied by seed alone.
+ */
+
+#ifndef PRORACE_SUPPORT_RNG_HH
+#define PRORACE_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace prorace {
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256** seeded via splitmix64).
+ *
+ * Not cryptographic; plenty for simulation purposes. Copyable so derived
+ * streams can be forked with fork().
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds yield equal streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound) for bound >= 1. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive; requires lo <= hi. */
+    uint64_t range(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Fork an independent child stream. The child is seeded from this
+     * stream's output, so forking advances this stream by one draw.
+     */
+    Rng fork();
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace prorace
+
+#endif // PRORACE_SUPPORT_RNG_HH

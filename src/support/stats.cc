@@ -1,0 +1,112 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/log.hh"
+
+namespace prorace {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0;
+    double sum = 0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0;
+    double log_sum = 0;
+    for (double x : xs) {
+        PRORACE_ASSERT(x > 0, "geomean requires positive values, got ", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0;
+    const double m = mean(xs);
+    double acc = 0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    PRORACE_ASSERT(!xs.empty(), "minOf on empty sample");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    PRORACE_ASSERT(!xs.empty(), "maxOf on empty sample");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    sum_ += x;
+    ++count_;
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0;
+}
+
+double
+RunningStat::min() const
+{
+    return min_;
+}
+
+double
+RunningStat::max() const
+{
+    return max_;
+}
+
+std::string
+formatOverhead(double ratio)
+{
+    char buf[32];
+    if (ratio < 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.1f%%", ratio * 100.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2fx", ratio + 1.0);
+    }
+    return buf;
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+} // namespace prorace

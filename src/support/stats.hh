@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Small statistics helpers used by the evaluation harnesses.
+ */
+
+#ifndef PRORACE_SUPPORT_STATS_HH
+#define PRORACE_SUPPORT_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prorace {
+
+/** Arithmetic mean of a sample; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Geometric mean of a sample of positive values; 0 for an empty sample.
+ * The paper reports geometric means for its overhead figures.
+ */
+double geomean(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for fewer than two points. */
+double stddev(const std::vector<double> &xs);
+
+/** Minimum of a non-empty sample. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum of a non-empty sample. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Running accumulator for a stream of observations.
+ *
+ * Collects count/sum/min/max without storing the stream.
+ */
+class RunningStat
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    size_t count() const { return count_; }
+
+    /** Sum of observations. */
+    double sum() const { return sum_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Smallest observation; 0 when empty. */
+    double min() const;
+
+    /** Largest observation; 0 when empty. */
+    double max() const;
+
+  private:
+    size_t count_ = 0;
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/**
+ * Render a ratio as the paper does: percentages below 2x
+ * ("34%"), multipliers above ("2.85x").
+ */
+std::string formatOverhead(double ratio);
+
+/** Fixed-precision helper, e.g. formatDouble(1.2345, 2) == "1.23". */
+std::string formatDouble(double value, int precision);
+
+} // namespace prorace
+
+#endif // PRORACE_SUPPORT_STATS_HH

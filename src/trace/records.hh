@@ -1,0 +1,91 @@
+/**
+ * @file
+ * On-"disk" trace record types produced by the online phase.
+ *
+ * These mirror what the paper's online stack emits: PEBS records with the
+ * full architectural register file, per-core PT packet streams, and the
+ * per-thread synchronization log collected by libc interposition.
+ */
+
+#ifndef PRORACE_TRACE_RECORDS_HH
+#define PRORACE_TRACE_RECORDS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/cpu.hh"
+#include "vm/hooks.hh"
+
+namespace prorace::trace {
+
+/**
+ * One PEBS sample: the sampled instruction, its data address, the TSC,
+ * and the complete register file captured *before* the instruction
+ * executes (the state the replayer restores).
+ */
+struct PebsRecord {
+    uint32_t tid = 0;
+    uint32_t core = 0;
+    uint32_t insn_index = 0;
+    uint64_t addr = 0;
+    uint8_t width = 8;
+    bool is_write = false;
+    bool is_atomic = false;
+    uint64_t tsc = 0;
+    vm::RegFile regs;
+};
+
+/** One synchronization record (same payload as the VM event). */
+using SyncRecord = vm::SyncEvent;
+
+/** The raw PT packet stream of one core. */
+struct PtCoreStream {
+    std::vector<uint8_t> bytes;
+    uint64_t bit_count = 0;
+};
+
+/** Per-thread metadata the offline phase needs. */
+struct ThreadMeta {
+    uint32_t tid = 0;
+    uint32_t entry_index = 0; ///< first instruction of the thread
+};
+
+/** Run-level metadata. */
+struct TraceMeta {
+    uint32_t num_cores = 0;
+    uint64_t wall_cycles = 0;      ///< traced run wall time
+    uint64_t baseline_cycles = 0;  ///< untraced run wall time (if known)
+    uint64_t total_insns = 0;
+    uint64_t total_mem_ops = 0;
+    uint64_t pebs_period = 0;
+    uint64_t samples_taken = 0;
+    uint64_t samples_dropped = 0;
+    uint64_t pebs_bytes = 0;
+    uint64_t pt_bytes = 0;
+    uint64_t sync_bytes = 0;
+    /** Initial PEBS counter value per core (the driver logs the
+     *  randomized first window so offline alignment can anchor the
+     *  first sample). */
+    std::vector<uint64_t> first_periods;
+    std::vector<ThreadMeta> threads;
+};
+
+/** Everything the online phase hands to the offline phase. */
+struct RunTrace {
+    TraceMeta meta;
+    std::vector<PebsRecord> pebs;      ///< in file-commit order
+    std::vector<SyncRecord> sync;      ///< in TSC order per thread
+    std::vector<PtCoreStream> pt;      ///< indexed by core
+
+    /** Total committed trace bytes (PEBS + PT + sync). */
+    uint64_t
+    totalBytes() const
+    {
+        return meta.pebs_bytes + meta.pt_bytes + meta.sync_bytes;
+    }
+};
+
+} // namespace prorace::trace
+
+#endif // PRORACE_TRACE_RECORDS_HH

@@ -1,0 +1,291 @@
+#include "trace/trace_file.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "support/log.hh"
+
+namespace prorace::trace {
+
+namespace {
+
+/** Little-endian append-only byte sink. */
+class Writer
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    bytes(const std::vector<uint8_t> &b)
+    {
+        buf_.insert(buf_.end(), b.begin(), b.end());
+    }
+
+    std::vector<uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/** Sequential reader with bounds checking. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<uint8_t> &buf) : buf_(buf) {}
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return buf_[pos_++];
+    }
+
+    uint32_t
+    u32()
+    {
+        need(4);
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(buf_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        need(8);
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(buf_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::vector<uint8_t>
+    bytes(size_t n)
+    {
+        need(n);
+        std::vector<uint8_t> out(buf_.begin() + pos_,
+                                 buf_.begin() + pos_ + n);
+        pos_ += n;
+        return out;
+    }
+
+  private:
+    void
+    need(size_t n)
+    {
+        if (pos_ + n > buf_.size())
+            PRORACE_FATAL("truncated trace file");
+    }
+
+    const std::vector<uint8_t> &buf_;
+    size_t pos_ = 0;
+};
+
+void
+writePebs(Writer &w, const PebsRecord &r)
+{
+    w.u32(r.tid);
+    w.u32(r.core);
+    w.u32(r.insn_index);
+    w.u64(r.addr);
+    w.u8(r.width);
+    w.u8(r.is_write);
+    w.u8(r.is_atomic);
+    w.u64(r.tsc);
+    for (uint64_t g : r.regs.gpr)
+        w.u64(g);
+}
+
+PebsRecord
+readPebs(Reader &r)
+{
+    PebsRecord rec;
+    rec.tid = r.u32();
+    rec.core = r.u32();
+    rec.insn_index = r.u32();
+    rec.addr = r.u64();
+    rec.width = r.u8();
+    rec.is_write = r.u8() != 0;
+    rec.is_atomic = r.u8() != 0;
+    rec.tsc = r.u64();
+    for (uint64_t &g : rec.regs.gpr)
+        g = r.u64();
+    return rec;
+}
+
+void
+writeSync(Writer &w, const SyncRecord &s)
+{
+    w.u32(s.tid);
+    w.u8(static_cast<uint8_t>(s.kind));
+    w.u64(s.object);
+    w.u64(s.aux);
+    w.u64(s.tsc);
+    w.u32(s.insn_index);
+}
+
+SyncRecord
+readSync(Reader &r)
+{
+    SyncRecord s;
+    s.tid = r.u32();
+    s.kind = static_cast<vm::SyncKind>(r.u8());
+    s.object = r.u64();
+    s.aux = r.u64();
+    s.tsc = r.u64();
+    s.insn_index = r.u32();
+    return s;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+serializeTrace(const RunTrace &trace)
+{
+    Writer w;
+    w.u32(kTraceMagic);
+    w.u32(kTraceVersion);
+
+    const TraceMeta &m = trace.meta;
+    w.u32(m.num_cores);
+    w.u64(m.wall_cycles);
+    w.u64(m.baseline_cycles);
+    w.u64(m.total_insns);
+    w.u64(m.total_mem_ops);
+    w.u64(m.pebs_period);
+    w.u64(m.samples_taken);
+    w.u64(m.samples_dropped);
+    w.u64(m.pebs_bytes);
+    w.u64(m.pt_bytes);
+    w.u64(m.sync_bytes);
+    w.u32(static_cast<uint32_t>(m.first_periods.size()));
+    for (uint64_t fp : m.first_periods)
+        w.u64(fp);
+    w.u32(static_cast<uint32_t>(m.threads.size()));
+    for (const ThreadMeta &t : m.threads) {
+        w.u32(t.tid);
+        w.u32(t.entry_index);
+    }
+
+    w.u64(trace.pebs.size());
+    for (const PebsRecord &r : trace.pebs)
+        writePebs(w, r);
+
+    w.u64(trace.sync.size());
+    for (const SyncRecord &s : trace.sync)
+        writeSync(w, s);
+
+    w.u32(static_cast<uint32_t>(trace.pt.size()));
+    for (const PtCoreStream &s : trace.pt) {
+        w.u64(s.bit_count);
+        w.u64(s.bytes.size());
+        w.bytes(s.bytes);
+    }
+    return w.take();
+}
+
+RunTrace
+deserializeTrace(const std::vector<uint8_t> &bytes)
+{
+    Reader r(bytes);
+    if (r.u32() != kTraceMagic)
+        PRORACE_FATAL("not a ProRace trace file (bad magic)");
+    const uint32_t version = r.u32();
+    if (version != kTraceVersion)
+        PRORACE_FATAL("unsupported trace version ", version);
+
+    RunTrace trace;
+    TraceMeta &m = trace.meta;
+    m.num_cores = r.u32();
+    m.wall_cycles = r.u64();
+    m.baseline_cycles = r.u64();
+    m.total_insns = r.u64();
+    m.total_mem_ops = r.u64();
+    m.pebs_period = r.u64();
+    m.samples_taken = r.u64();
+    m.samples_dropped = r.u64();
+    m.pebs_bytes = r.u64();
+    m.pt_bytes = r.u64();
+    m.sync_bytes = r.u64();
+    const uint32_t nfp = r.u32();
+    for (uint32_t i = 0; i < nfp; ++i)
+        m.first_periods.push_back(r.u64());
+    const uint32_t nthreads = r.u32();
+    for (uint32_t i = 0; i < nthreads; ++i) {
+        ThreadMeta t;
+        t.tid = r.u32();
+        t.entry_index = r.u32();
+        m.threads.push_back(t);
+    }
+
+    const uint64_t npebs = r.u64();
+    trace.pebs.reserve(npebs);
+    for (uint64_t i = 0; i < npebs; ++i)
+        trace.pebs.push_back(readPebs(r));
+
+    const uint64_t nsync = r.u64();
+    trace.sync.reserve(nsync);
+    for (uint64_t i = 0; i < nsync; ++i)
+        trace.sync.push_back(readSync(r));
+
+    const uint32_t ncores = r.u32();
+    for (uint32_t i = 0; i < ncores; ++i) {
+        PtCoreStream s;
+        s.bit_count = r.u64();
+        const uint64_t nbytes = r.u64();
+        s.bytes = r.bytes(nbytes);
+        trace.pt.push_back(std::move(s));
+    }
+    return trace;
+}
+
+void
+saveTrace(const RunTrace &trace, const std::string &path)
+{
+    const std::vector<uint8_t> bytes = serializeTrace(trace);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        PRORACE_FATAL("cannot open trace file for writing: ", path);
+    const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (written != bytes.size())
+        PRORACE_FATAL("short write to trace file: ", path);
+}
+
+RunTrace
+loadTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        PRORACE_FATAL("cannot open trace file: ", path);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> bytes(static_cast<size_t>(size));
+    const size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (got != bytes.size())
+        PRORACE_FATAL("short read from trace file: ", path);
+    return deserializeTrace(bytes);
+}
+
+} // namespace prorace::trace

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Binary serialization of run traces.
+ *
+ * In the paper's deployment model the production machine appends traces
+ * to files that dedicated analysis machines consume later; this module is
+ * that file format. The format is versioned and self-describing enough to
+ * reject foreign files.
+ */
+
+#ifndef PRORACE_TRACE_TRACE_FILE_HH
+#define PRORACE_TRACE_TRACE_FILE_HH
+
+#include <string>
+
+#include "trace/records.hh"
+
+namespace prorace::trace {
+
+/** Magic bytes at the head of every trace file. */
+inline constexpr uint32_t kTraceMagic = 0x50524354; // "PRCT"
+
+/** Current format version. */
+inline constexpr uint32_t kTraceVersion = 3;
+
+/** Write @p trace to @p path; fatal on I/O errors. */
+void saveTrace(const RunTrace &trace, const std::string &path);
+
+/** Read a trace from @p path; fatal on I/O or format errors. */
+RunTrace loadTrace(const std::string &path);
+
+/** Serialize to an in-memory buffer (used by tests and size metering). */
+std::vector<uint8_t> serializeTrace(const RunTrace &trace);
+
+/** Deserialize from an in-memory buffer; fatal on format errors. */
+RunTrace deserializeTrace(const std::vector<uint8_t> &bytes);
+
+} // namespace prorace::trace
+
+#endif // PRORACE_TRACE_TRACE_FILE_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-thread architectural state: register file, flags, thread status.
+ */
+
+#ifndef PRORACE_VM_CPU_HH
+#define PRORACE_VM_CPU_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/flags.hh"
+#include "isa/reg.hh"
+
+namespace prorace::vm {
+
+/** The sixteen general-purpose registers of one thread. */
+struct RegFile {
+    std::array<uint64_t, isa::kNumGprs> gpr{};
+
+    uint64_t
+    get(isa::Reg r) const
+    {
+        return gpr[isa::gprIndex(r)];
+    }
+
+    void
+    set(isa::Reg r, uint64_t value)
+    {
+        gpr[isa::gprIndex(r)] = value;
+    }
+
+    bool operator==(const RegFile &) const = default;
+};
+
+/** Scheduling state of a thread. */
+enum class ThreadState : uint8_t {
+    kRunnable,      ///< ready to execute
+    kRunning,       ///< currently scheduled on a core
+    kBlockedMutex,  ///< waiting to acquire a mutex
+    kBlockedCond,   ///< waiting on a condition variable
+    kBlockedBarrier,///< waiting at a barrier
+    kBlockedJoin,   ///< waiting for another thread to exit
+    kBlockedIo,     ///< waiting for a modeled I/O completion
+    kDone,          ///< exited
+};
+
+/** Full per-thread context maintained by the machine. */
+struct ThreadContext {
+    uint32_t tid = 0;
+    unsigned core = 0;          ///< core the thread is pinned to
+    RegFile regs;
+    isa::Flags flags;
+    uint32_t ip = 0;            ///< next instruction index
+    uint32_t entry_ip = 0;      ///< first instruction of the thread
+    ThreadState state = ThreadState::kRunnable;
+
+    uint64_t blocked_on = 0;    ///< sync object address or joined tid
+    uint64_t cond_mutex = 0;    ///< mutex to reacquire after a cond wait
+    uint64_t wake_time = 0;     ///< earliest cycle an I/O block may end
+    uint64_t ready_time = 0;    ///< cycle the thread last became runnable
+
+    uint64_t retired_insns = 0;
+    uint64_t retired_mem_ops = 0;
+    uint64_t sync_ops = 0;
+};
+
+} // namespace prorace::vm
+
+#endif // PRORACE_VM_CPU_HH

@@ -1,0 +1,27 @@
+#include "vm/hooks.hh"
+
+namespace prorace::vm {
+
+const char *
+syncKindName(SyncKind kind)
+{
+    switch (kind) {
+      case SyncKind::kLock:          return "lock";
+      case SyncKind::kUnlock:        return "unlock";
+      case SyncKind::kCondWaitBegin: return "cond-wait";
+      case SyncKind::kCondWake:      return "cond-wake";
+      case SyncKind::kCondSignal:    return "cond-signal";
+      case SyncKind::kCondBroadcast: return "cond-broadcast";
+      case SyncKind::kBarrierEnter:  return "barrier-enter";
+      case SyncKind::kBarrierExit:   return "barrier-exit";
+      case SyncKind::kSpawn:         return "spawn";
+      case SyncKind::kThreadStart:   return "thread-start";
+      case SyncKind::kThreadExit:    return "thread-exit";
+      case SyncKind::kJoin:          return "join";
+      case SyncKind::kMalloc:        return "malloc";
+      case SyncKind::kFree:          return "free";
+    }
+    return "?";
+}
+
+} // namespace prorace::vm

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Observation interface between the machine and the tracing stack.
+ *
+ * The machine knows nothing about PEBS, PT, drivers, or sync tracing; it
+ * reports retirement events through this interface and charges whatever
+ * extra cycles the observer returns (the tracing overhead model).
+ */
+
+#ifndef PRORACE_VM_HOOKS_HH
+#define PRORACE_VM_HOOKS_HH
+
+#include <cstdint>
+
+#include "isa/opcode.hh"
+#include "vm/cpu.hh"
+
+namespace prorace::vm {
+
+/** A retired load or store (PEBS-visible event). */
+struct MemOpEvent {
+    unsigned core = 0;
+    uint32_t tid = 0;
+    uint32_t insn_index = 0;   ///< sampled instruction address
+    uint64_t addr = 0;         ///< effective data address
+    uint8_t width = 8;
+    bool is_write = false;
+    bool is_atomic = false;
+    uint64_t tsc = 0;
+    const RegFile *regs = nullptr; ///< state *before* the instruction
+};
+
+/** A retired control transfer (PT-visible event). */
+struct BranchEvent {
+    unsigned core = 0;
+    uint32_t tid = 0;
+    uint32_t insn_index = 0;
+    bool taken = false;        ///< for conditional branches
+    uint32_t target = 0;       ///< for taken/indirect transfers
+    uint64_t tsc = 0;
+};
+
+/** Kinds of synchronization records (libc-interposition-visible). */
+enum class SyncKind : uint8_t {
+    kLock = 0,
+    kUnlock,
+    kCondWaitBegin,  ///< releases the mutex, blocks on the condvar
+    kCondWake,       ///< woken: has reacquired the mutex
+    kCondSignal,
+    kCondBroadcast,
+    kBarrierEnter,
+    kBarrierExit,
+    kSpawn,          ///< aux = child tid
+    kThreadStart,    ///< first event of a thread; aux = parent tid
+    kThreadExit,
+    kJoin,           ///< aux = joined tid
+    kMalloc,         ///< object = block address, aux = size
+    kFree,           ///< object = block address
+};
+
+/** Printable sync-kind name. */
+const char *syncKindName(SyncKind kind);
+
+/** A synchronization or allocation event. */
+struct SyncEvent {
+    uint32_t tid = 0;
+    SyncKind kind = SyncKind::kLock;
+    uint64_t object = 0;   ///< sync object / block address
+    uint64_t aux = 0;      ///< kind-specific payload
+    uint64_t tsc = 0;
+    uint32_t insn_index = 0;
+};
+
+/**
+ * Machine observer. Default implementations observe nothing and charge
+ * no cycles; the tracing stack overrides what it needs.
+ */
+class ExecutionObserver
+{
+  public:
+    virtual ~ExecutionObserver() = default;
+
+    /** A load/store retired. @return extra cycles charged to the core. */
+    virtual uint64_t onMemOp(const MemOpEvent &) { return 0; }
+
+    /** A conditional branch retired. @return extra cycles. */
+    virtual uint64_t onCondBranch(const BranchEvent &) { return 0; }
+
+    /** An indirect jmp, indirect call, or ret retired. @return extra. */
+    virtual uint64_t onIndirectBranch(const BranchEvent &) { return 0; }
+
+    /** A core switched to a (possibly new) thread. */
+    virtual void onContextSwitch(unsigned core, uint32_t tid, uint64_t tsc)
+    {
+        (void)core; (void)tid; (void)tsc;
+    }
+
+    /** A sync/allocation op retired. @return extra cycles. */
+    virtual uint64_t onSync(const SyncEvent &) { return 0; }
+
+    /**
+     * Extra latency added to a file-I/O syscall (models contention with
+     * trace-file writes sharing the storage device).
+     */
+    virtual uint64_t
+    onIoSyscall(uint32_t tid, isa::SyscallNo no, uint64_t latency)
+    {
+        (void)tid; (void)no; (void)latency;
+        return 0;
+    }
+};
+
+} // namespace prorace::vm
+
+#endif // PRORACE_VM_HOOKS_HH

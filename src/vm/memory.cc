@@ -1,0 +1,54 @@
+#include "vm/memory.hh"
+
+#include "support/log.hh"
+
+namespace prorace::vm {
+
+uint8_t
+Memory::readByte(uint64_t addr) const
+{
+    auto it = pages_.find(addr >> kPageShift);
+    if (it == pages_.end())
+        return 0;
+    return (*it->second)[addr & (kPageSize - 1)];
+}
+
+void
+Memory::writeByte(uint64_t addr, uint8_t value)
+{
+    pageFor(addr)[addr & (kPageSize - 1)] = value;
+}
+
+Memory::Page &
+Memory::pageFor(uint64_t addr)
+{
+    auto &slot = pages_[addr >> kPageShift];
+    if (!slot)
+        slot = std::make_unique<Page>();
+    return *slot;
+}
+
+uint64_t
+Memory::read(uint64_t addr, uint8_t width) const
+{
+    uint64_t value = 0;
+    for (unsigned i = 0; i < width; ++i)
+        value |= static_cast<uint64_t>(readByte(addr + i)) << (8 * i);
+    return value;
+}
+
+void
+Memory::write(uint64_t addr, uint64_t value, uint8_t width)
+{
+    for (unsigned i = 0; i < width; ++i)
+        writeByte(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+Memory::writeBytes(uint64_t addr, const std::vector<uint8_t> &bytes)
+{
+    for (size_t i = 0; i < bytes.size(); ++i)
+        writeByte(addr + i, bytes[i]);
+}
+
+} // namespace prorace::vm

@@ -1,0 +1,268 @@
+#include "workload/apps.hh"
+
+#include <algorithm>
+
+#include "support/log.hh"
+#include "workload/kernels.hh"
+
+namespace prorace::workload {
+
+using isa::SyscallNo;
+
+Workload
+makeAppWorkload(AppProfile p)
+{
+    PRORACE_ASSERT(p.threads >= 1, "app needs at least one worker");
+    const uint32_t items = std::max<uint32_t>(
+        1, static_cast<uint32_t>(p.items * p.scale));
+    const uint32_t barrier_every =
+        p.barrier_every ? std::max<uint32_t>(1, p.barrier_every) : 0;
+
+    ProgramBuilder b;
+    const uint32_t ring_nodes = 64;
+    b.global("mtx", 8);
+    b.globalU64("shared_counter", 0);
+    b.global("bar", 8);
+    b.global("ring", ring_nodes * 8);
+    b.global("arrays", static_cast<uint64_t>(p.threads) *
+                           std::max<uint32_t>(p.sweep_elems, 1) * 8);
+
+    // main: initialize shared structures, spawn workers, join.
+    b.label("main");
+    emitRingInit(b, "main", "ring", ring_nodes);
+    b.movri(Reg::rcx, 0);
+    b.label("main_spawn");
+    b.movrr(Reg::r12, Reg::rcx);
+    b.spawn(Reg::rax, "worker", Reg::r12);
+    b.push(Reg::rax);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, p.threads);
+    b.jcc(CondCode::kLt, "main_spawn");
+    b.movri(Reg::rcx, 0);
+    b.label("main_join");
+    b.pop(Reg::rax);
+    b.join(Reg::rax);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, p.threads);
+    b.jcc(CondCode::kLt, "main_join");
+    b.halt();
+
+    // worker(tid in rdi)
+    b.beginFunction("worker");
+    b.movrr(Reg::r14, Reg::rdi);          // tid
+    // r15 = arrays + tid * sweep_elems * 8 (private region)
+    b.lea(Reg::r15, b.symRef("arrays"));
+    b.movri(Reg::rax, std::max<uint32_t>(p.sweep_elems, 1) * 8);
+    b.alurr(AluOp::kMul, Reg::rax, Reg::r14);
+    b.alurr(AluOp::kAdd, Reg::r15, Reg::rax);
+    b.movri(Reg::r13, 0);                 // item counter
+    b.label("worker_item");
+
+    if (p.net_recv_cycles)
+        b.syscall(SyscallNo::kNetRecv, p.net_recv_cycles);
+    if (p.file_read_cycles)
+        b.syscall(SyscallNo::kRead, p.file_read_cycles);
+
+    if (p.compute_iters)
+        emitComputeLoop(b, "worker_c", p.compute_iters);
+    if (p.sweep_elems)
+        emitArraySweep(b, "worker_s", Reg::r15, p.sweep_elems,
+                       p.sweep_writes);
+    if (p.chase_steps) {
+        b.lea(Reg::rbx, b.symRef("ring"));
+        emitPointerChase(b, "worker_p", Reg::rbx, p.chase_steps);
+    }
+    if (p.lib_every) {
+        // Call the untraced library on a subset of items.
+        b.movrr(Reg::rax, Reg::r13);
+        b.aluri(AluOp::kAnd, Reg::rax, p.lib_every - 1);
+        b.cmpri(Reg::rax, 0);
+        b.jcc(CondCode::kNe, "worker_nolib");
+        b.movrr(Reg::rdi, Reg::r15);
+        b.movri(Reg::rsi, std::max<uint32_t>(p.sweep_elems, 4));
+        b.call("lib_sum");
+        b.label("worker_nolib");
+    }
+    if (p.locked_update) {
+        // Shared-state updates are amortized over several items, as in
+        // the real applications (per-item global locking would both
+        // serialize the app and overstate sync-tracing cost).
+        b.movrr(Reg::rax, Reg::r13);
+        b.aluri(AluOp::kAnd, Reg::rax, 7);
+        b.cmpri(Reg::rax, 7);
+        b.jcc(CondCode::kNe, "worker_nolock");
+        emitLockedAdd(b, "mtx", "shared_counter");
+        b.label("worker_nolock");
+    }
+    if (barrier_every) {
+        b.movrr(Reg::rax, Reg::r13);
+        b.aluri(AluOp::kAnd, Reg::rax, barrier_every - 1);
+        b.cmpri(Reg::rax, barrier_every - 1);
+        b.jcc(CondCode::kNe, "worker_nobar");
+        b.barrier(b.symRef("bar"), p.threads);
+        b.label("worker_nobar");
+    }
+    if (p.net_send_cycles)
+        b.syscall(SyscallNo::kNetSend, p.net_send_cycles);
+    if (p.file_write_cycles)
+        b.syscall(SyscallNo::kWrite, p.file_write_cycles);
+
+    b.addri(Reg::r13, 1);
+    b.cmpri(Reg::r13, items);
+    b.jcc(CondCode::kLt, "worker_item");
+    b.halt();
+    b.endFunction();
+
+    // Library last, so the PT filter complement is a single range.
+    emitLibHelpers(b);
+
+    Workload w;
+    w.name = p.name;
+    w.description = p.description;
+    w.program = std::make_shared<asmkit::Program>(b.build());
+    w.setup = [](vm::Machine &m) { m.addThread("main"); };
+    w.pt_filter = mainExecutableFilter(*w.program);
+    return w;
+}
+
+std::vector<AppProfile>
+parsecProfiles()
+{
+    // CPU-bound, no I/O; mixes chosen to model each benchmark's
+    // published character (compute-, memory-, lock-, or barrier-bound).
+    std::vector<AppProfile> ps;
+    ps.push_back({.name = "blackscholes",
+                  .description = "data-parallel option pricing",
+                  .items = 260, .compute_iters = 220, .sweep_elems = 40,
+                  .chase_steps = 0, .locked_update = false,
+                  .barrier_every = 0, .lib_every = 2});
+    ps.push_back({.name = "bodytrack",
+                  .description = "computer-vision body tracking",
+                  .items = 240, .compute_iters = 110, .sweep_elems = 60,
+                  .chase_steps = 8, .barrier_every = 64});
+    ps.push_back({.name = "canneal",
+                  .description = "cache-hostile simulated annealing",
+                  .items = 220, .compute_iters = 30, .sweep_elems = 12,
+                  .chase_steps = 90, .lib_every = 4});
+    ps.push_back({.name = "dedup",
+                  .description = "pipelined compression/deduplication",
+                  .items = 240, .compute_iters = 70, .sweep_elems = 90,
+                  .chase_steps = 6, .lib_every = 1});
+    ps.push_back({.name = "facesim",
+                  .description = "physics simulation of a face",
+                  .items = 200, .compute_iters = 210, .sweep_elems = 85,
+                  .barrier_every = 32});
+    ps.push_back({.name = "ferret",
+                  .description = "content-based similarity search",
+                  .items = 230, .compute_iters = 95, .sweep_elems = 55,
+                  .chase_steps = 28});
+    ps.push_back({.name = "fluidanimate",
+                  .description = "lock-intensive fluid dynamics",
+                  .items = 260, .compute_iters = 55, .sweep_elems = 45,
+                  .chase_steps = 4, .barrier_every = 16});
+    ps.push_back({.name = "freqmine",
+                  .description = "frequent itemset mining",
+                  .items = 230, .compute_iters = 150, .sweep_elems = 70,
+                  .chase_steps = 18, .locked_update = false});
+    ps.push_back({.name = "raytrace",
+                  .description = "real-time raytracing",
+                  .items = 220, .compute_iters = 190, .sweep_elems = 25,
+                  .chase_steps = 36, .locked_update = false});
+    ps.push_back({.name = "streamcluster",
+                  .description = "barrier-synchronized online clustering",
+                  .items = 256, .compute_iters = 100, .sweep_elems = 65,
+                  .barrier_every = 8});
+    ps.push_back({.name = "swaptions",
+                  .description = "Monte-Carlo swaption pricing",
+                  .items = 240, .compute_iters = 280, .sweep_elems = 30,
+                  .locked_update = false, .lib_every = 4});
+    ps.push_back({.name = "vips",
+                  .description = "image processing pipeline",
+                  .items = 230, .compute_iters = 85, .sweep_elems = 100});
+    ps.push_back({.name = "x264",
+                  .description = "H.264 video encoding",
+                  .items = 240, .compute_iters = 115, .sweep_elems = 95,
+                  .chase_steps = 10, .barrier_every = 32});
+    return ps;
+}
+
+std::vector<AppProfile>
+realAppProfiles()
+{
+    // Thread counts follow Table 1; the network-bound services hide
+    // tracing overhead behind I/O waits (Fig 7), while mysql,
+    // transmission, pfscan, and pbzip2 have enough CPU/file-I/O work to
+    // expose it.
+    std::vector<AppProfile> ps;
+    ps.push_back({.name = "apache",
+                  .description = "web server, ApacheBench 100K requests",
+                  .threads = 4, .items = 260, .compute_iters = 75,
+                  .sweep_elems = 30, .chase_steps = 6,
+                  .net_recv_cycles = 9000, .net_send_cycles = 5000});
+    ps.push_back({.name = "cherokee",
+                  .description = "web server, 38 threads",
+                  .threads = 38, .items = 30, .compute_iters = 60,
+                  .sweep_elems = 24, .net_recv_cycles = 22000,
+                  .net_send_cycles = 9000});
+    ps.push_back({.name = "mysql",
+                  .description = "database server, SysBench OLTP",
+                  .threads = 20, .items = 46, .compute_iters = 150,
+                  .sweep_elems = 110, .chase_steps = 40,
+                  .net_recv_cycles = 2600, .net_send_cycles = 1400,
+                  .file_read_cycles = 1500, .file_write_cycles = 900});
+    ps.push_back({.name = "memcached",
+                  .description = "in-memory KV store, YCSB",
+                  .threads = 5, .items = 240, .compute_iters = 40,
+                  .sweep_elems = 26, .chase_steps = 10,
+                  .net_recv_cycles = 6500, .net_send_cycles = 3000});
+    ps.push_back({.name = "transmission",
+                  .description = "BitTorrent client, 4.48 GB file",
+                  .threads = 4, .items = 210, .compute_iters = 85,
+                  .sweep_elems = 95, .net_recv_cycles = 2400,
+                  .file_write_cycles = 2100});
+    ps.push_back({.name = "pfscan",
+                  .description = "parallel file scanner, 6.8 GB",
+                  .threads = 4, .items = 240, .compute_iters = 40,
+                  .sweep_elems = 190, .sweep_writes = false,
+                  .file_read_cycles = 1100});
+    ps.push_back({.name = "pbzip2",
+                  .description = "parallel bzip2, 1 GB file",
+                  .threads = 4, .items = 120, .compute_iters = 520,
+                  .sweep_elems = 150, .file_read_cycles = 1400,
+                  .file_write_cycles = 1100});
+    ps.push_back({.name = "aget",
+                  .description = "parallel web downloader, 2.1 GB",
+                  .threads = 4, .items = 210, .compute_iters = 30,
+                  .sweep_elems = 42, .net_recv_cycles = 11000,
+                  .file_write_cycles = 700});
+    return ps;
+}
+
+namespace {
+
+std::vector<Workload>
+buildAll(std::vector<AppProfile> profiles, double scale)
+{
+    std::vector<Workload> out;
+    for (AppProfile &p : profiles) {
+        p.scale = scale;
+        out.push_back(makeAppWorkload(p));
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<Workload>
+parsecWorkloads(double scale)
+{
+    return buildAll(parsecProfiles(), scale);
+}
+
+std::vector<Workload>
+realAppWorkloads(double scale)
+{
+    return buildAll(realAppProfiles(), scale);
+}
+
+} // namespace prorace::workload

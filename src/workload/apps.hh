@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Profile-driven application models: the 13 PARSEC benchmarks and the
+ * paper's seven-plus-one real-world applications (Table 1), rebuilt as
+ * synthetic programs whose compute / memory / branch / synchronization
+ * / I/O mixes model each subject's published characteristics.
+ */
+
+#ifndef PRORACE_WORKLOAD_APPS_HH
+#define PRORACE_WORKLOAD_APPS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace prorace::workload {
+
+/** Behavioural profile of one application model. */
+struct AppProfile {
+    const char *name = "";
+    const char *description = "";
+    unsigned threads = 4;        ///< worker threads
+    uint32_t items = 200;        ///< work items per thread
+    uint32_t compute_iters = 100;///< ALU loop length per item
+    uint32_t sweep_elems = 50;   ///< private array sweep length
+    bool sweep_writes = true;
+    uint32_t chase_steps = 0;    ///< shared read-only pointer chase
+    bool locked_update = true;   ///< shared locked counter per item
+    uint32_t barrier_every = 0;  ///< barrier period in items (0 = none)
+    uint32_t lib_every = 1;      ///< library (untraced) call period
+    uint32_t net_recv_cycles = 0;///< network receive latency per item
+    uint32_t net_send_cycles = 0;///< network send latency per item
+    uint32_t file_read_cycles = 0;
+    uint32_t file_write_cycles = 0;
+    /** Scale factor applied to items (used to shrink test runs). */
+    double scale = 1.0;
+};
+
+/** Build a runnable workload from a profile. */
+Workload makeAppWorkload(AppProfile profile);
+
+/** The 13 PARSEC benchmark profiles (simlarge, 4 threads). */
+std::vector<AppProfile> parsecProfiles();
+
+/** The real-application profiles of Table 1. */
+std::vector<AppProfile> realAppProfiles();
+
+/** Convenience: build every PARSEC workload, scaled by @p scale. */
+std::vector<Workload> parsecWorkloads(double scale = 1.0);
+
+/** Convenience: build every real-app workload, scaled by @p scale. */
+std::vector<Workload> realAppWorkloads(double scale = 1.0);
+
+} // namespace prorace::workload
+
+#endif // PRORACE_WORKLOAD_APPS_HH

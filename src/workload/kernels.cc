@@ -1,0 +1,144 @@
+#include "workload/kernels.hh"
+
+namespace prorace::workload {
+
+void
+emitLibHelpers(ProgramBuilder &b)
+{
+    // uint64_t lib_sum(const uint64_t *p /*rdi*/, uint64_t n /*rsi*/)
+    b.beginFunction("lib_sum");
+    b.movri(Reg::rax, 0);
+    b.movri(Reg::rcx, 0);
+    b.cmprr(Reg::rcx, Reg::rsi);
+    b.jcc(CondCode::kGe, "lib_sum_done");
+    b.label("lib_sum_loop");
+    b.load(Reg::rdx, MemOperand::baseIndex(Reg::rdi, Reg::rcx, 8));
+    b.alurr(AluOp::kAdd, Reg::rax, Reg::rdx);
+    b.aluri(AluOp::kXor, Reg::rax, 0x5a5a);
+    b.addri(Reg::rcx, 1);
+    b.cmprr(Reg::rcx, Reg::rsi);
+    b.jcc(CondCode::kLt, "lib_sum_loop");
+    b.label("lib_sum_done");
+    b.ret();
+    b.endFunction();
+
+    // void lib_fill(uint64_t *p /*rdi*/, uint64_t n /*rsi*/)
+    b.beginFunction("lib_fill");
+    b.movri(Reg::rcx, 0);
+    b.cmprr(Reg::rcx, Reg::rsi);
+    b.jcc(CondCode::kGe, "lib_fill_done");
+    b.movri(Reg::rdx, 0x1234);
+    b.label("lib_fill_loop");
+    b.store(MemOperand::baseIndex(Reg::rdi, Reg::rcx, 8), Reg::rdx);
+    b.aluri(AluOp::kAdd, Reg::rdx, 0x9e37);
+    b.addri(Reg::rcx, 1);
+    b.cmprr(Reg::rcx, Reg::rsi);
+    b.jcc(CondCode::kLt, "lib_fill_loop");
+    b.label("lib_fill_done");
+    b.ret();
+    b.endFunction();
+}
+
+void
+emitComputeLoop(ProgramBuilder &b, const std::string &prefix,
+                uint32_t iters)
+{
+    // Mixed ALU + stack traffic: compiled code keeps ~1/3 of its
+    // instructions touching memory (spills, locals), and the PEBS
+    // load/store counters see exactly that traffic.
+    b.movri(Reg::rax, 0x243f6a88);
+    b.movri(Reg::rcx, 0);
+    b.label(prefix + "_compute");
+    b.aluri(AluOp::kMul, Reg::rax, 6364136223846793005ll);
+    b.aluri(AluOp::kAdd, Reg::rax, 1442695040888963407ll);
+    b.store(MemOperand::baseDisp(Reg::rsp, -8), Reg::rax); // spill
+    b.movrr(Reg::rdx, Reg::rax);
+    b.aluri(AluOp::kShr, Reg::rdx, 33);
+    b.load(Reg::rdx, MemOperand::baseDisp(Reg::rsp, -8));  // reload
+    b.alurr(AluOp::kXor, Reg::rax, Reg::rdx);
+    b.load(Reg::rdx, MemOperand::baseDisp(Reg::rsp, -16)); // local var
+    b.alurr(AluOp::kOr, Reg::rax, Reg::rdx);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, iters);
+    b.jcc(CondCode::kLt, prefix + "_compute");
+}
+
+void
+emitVariableComputeLoop(ProgramBuilder &b, const std::string &prefix,
+                        Reg bound_reg)
+{
+    b.movri(Reg::rax, 0x9e3779b9);
+    b.movri(Reg::rcx, 0);
+    b.cmprr(Reg::rcx, bound_reg);
+    b.jcc(CondCode::kGe, prefix + "_vdone");
+    b.label(prefix + "_vloop");
+    b.aluri(AluOp::kMul, Reg::rax, 6364136223846793005ll);
+    b.store(MemOperand::baseDisp(Reg::rsp, -8), Reg::rax);
+    b.movrr(Reg::rdx, Reg::rax);
+    b.aluri(AluOp::kShr, Reg::rdx, 29);
+    b.load(Reg::rdx, MemOperand::baseDisp(Reg::rsp, -8));
+    b.alurr(AluOp::kXor, Reg::rax, Reg::rdx);
+    b.addri(Reg::rcx, 1);
+    b.cmprr(Reg::rcx, bound_reg);
+    b.jcc(CondCode::kLt, prefix + "_vloop");
+    b.label(prefix + "_vdone");
+}
+
+void
+emitArraySweep(ProgramBuilder &b, const std::string &prefix, Reg base_reg,
+               uint32_t elems, bool write_back)
+{
+    b.movri(Reg::rax, 0);
+    b.movri(Reg::rcx, 0);
+    b.label(prefix + "_sweep");
+    b.load(Reg::rdx, MemOperand::baseIndex(base_reg, Reg::rcx, 8));
+    b.alurr(AluOp::kAdd, Reg::rax, Reg::rdx);
+    if (write_back) {
+        b.aluri(AluOp::kAdd, Reg::rdx, 3);
+        b.store(MemOperand::baseIndex(base_reg, Reg::rcx, 8), Reg::rdx);
+    }
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, elems);
+    b.jcc(CondCode::kLt, prefix + "_sweep");
+}
+
+void
+emitPointerChase(ProgramBuilder &b, const std::string &prefix,
+                 Reg node_reg, uint32_t steps)
+{
+    b.movri(Reg::rcx, 0);
+    b.label(prefix + "_chase");
+    b.load(node_reg, MemOperand::baseDisp(node_reg, 0));
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, steps);
+    b.jcc(CondCode::kLt, prefix + "_chase");
+}
+
+void
+emitLockedAdd(ProgramBuilder &b, const std::string &mutex_sym,
+              const std::string &var_sym)
+{
+    b.lock(b.symRef(mutex_sym));
+    b.load(Reg::rax, b.symRef(var_sym));
+    b.addri(Reg::rax, 1);
+    b.store(b.symRef(var_sym), Reg::rax);
+    b.unlock(b.symRef(mutex_sym));
+}
+
+void
+emitRingInit(ProgramBuilder &b, const std::string &prefix,
+             const std::string &ring_sym, uint32_t nodes)
+{
+    b.lea(Reg::r8, b.symRef(ring_sym));
+    b.movri(Reg::rcx, 0);
+    b.label(prefix + "_ring");
+    b.lea(Reg::rdx, MemOperand::baseIndex(Reg::r8, Reg::rcx, 8, 8));
+    b.store(MemOperand::baseIndex(Reg::r8, Reg::rcx, 8), Reg::rdx);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, nodes - 1);
+    b.jcc(CondCode::kLt, prefix + "_ring");
+    // Close the ring.
+    b.store(MemOperand::baseIndex(Reg::r8, Reg::rcx, 8), Reg::r8);
+}
+
+} // namespace prorace::workload

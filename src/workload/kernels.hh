@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reusable code-generation building blocks for workload programs:
+ * compute loops, array sweeps, pointer chases, locked updates, and
+ * "library" helper functions (excluded from PT filters, like libc).
+ */
+
+#ifndef PRORACE_WORKLOAD_KERNELS_HH
+#define PRORACE_WORKLOAD_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "asmkit/builder.hh"
+
+namespace prorace::workload {
+
+using asmkit::ProgramBuilder;
+using isa::AluOp;
+using isa::CondCode;
+using isa::MemOperand;
+using isa::Reg;
+
+/**
+ * Emit the shared "library": lib_sum (checksum a region) and lib_fill
+ * (fill a region). Call once per program, after all application
+ * functions, so the PT filter complement stays within four ranges.
+ *
+ * Calling convention: rdi = pointer, rsi = length in quadwords; result
+ * in rax; rcx/rdx clobbered.
+ */
+void emitLibHelpers(ProgramBuilder &b);
+
+/**
+ * An ALU-only inner loop of @p iters iterations; clobbers rax/rcx and
+ * leaves a value in rax.
+ */
+void emitComputeLoop(ProgramBuilder &b, const std::string &prefix,
+                     uint32_t iters);
+
+/**
+ * An ALU + stack loop whose iteration count is data-dependent:
+ * bound_reg holds the bound. Clobbers rax/rcx/rdx; preserves bound_reg.
+ * Real request handlers have irregular lengths; this keeps PEBS
+ * counters from phase-locking onto loop structure.
+ */
+void emitVariableComputeLoop(ProgramBuilder &b, const std::string &prefix,
+                             Reg bound_reg);
+
+/**
+ * Sequential sweep over @p elems quadwords at [base_reg]: loads each,
+ * accumulates into rax, optionally writes back. Clobbers rax/rcx/rdx.
+ */
+void emitArraySweep(ProgramBuilder &b, const std::string &prefix,
+                    Reg base_reg, uint32_t elems, bool write_back);
+
+/**
+ * Pointer chase: node_reg = [node_reg] repeated @p steps times
+ * (memory-indirect accesses, the hardest case for reconstruction).
+ */
+void emitPointerChase(ProgramBuilder &b, const std::string &prefix,
+                      Reg node_reg, uint32_t steps);
+
+/**
+ * Lock-protected read-modify-write of a shared counter:
+ * lock(mutex_sym); [var_sym] += 1; unlock(mutex_sym). Clobbers rax.
+ */
+void emitLockedAdd(ProgramBuilder &b, const std::string &mutex_sym,
+                   const std::string &var_sym);
+
+/**
+ * Initialize a ring of pointers in global data: ring[i] -> ring[i+1],
+ * last -> first. Emitted inline (typically in main, before spawning).
+ * Clobbers r8/rcx/rdx.
+ */
+void emitRingInit(ProgramBuilder &b, const std::string &prefix,
+                  const std::string &ring_sym, uint32_t nodes);
+
+} // namespace prorace::workload
+
+#endif // PRORACE_WORKLOAD_KERNELS_HH

@@ -1,0 +1,294 @@
+#include "workload/racybugs.hh"
+
+#include <algorithm>
+
+#include "support/log.hh"
+#include "workload/kernels.hh"
+
+namespace prorace::workload {
+
+namespace {
+
+/** Racy idioms by addressing kind. */
+enum class Idiom : uint8_t {
+    kPcRelCounter,     ///< unlocked global counter via %rip
+    kRegIndirectField, ///< shared pointer live across the request
+    kMemIndirectField, ///< pointer reloaded right before the access
+};
+
+/** Shape of one bug scenario. */
+struct BugProfile {
+    const char *id;
+    const char *manifestation;
+    Idiom idiom;
+    unsigned threads = 4;
+    uint32_t items = 200;       ///< requests per worker
+    uint32_t work_before = 30;  ///< compute before the racy section
+    uint32_t work_after = 30;   ///< compute after it
+    uint32_t live_sweep = 0;    ///< accesses inside the pointer's live
+                                ///< range (register-indirect only)
+    /** The shared stats lock is taken every this many requests (a
+     *  per-request global lock would serialize the bug away). */
+    uint32_t lock_every = 16;
+    bool racy_write_both = true;///< both read and write race (vs read)
+};
+
+AddressKind
+kindOf(Idiom idiom)
+{
+    switch (idiom) {
+      case Idiom::kPcRelCounter:     return AddressKind::kPcRelative;
+      case Idiom::kRegIndirectField: return AddressKind::kRegisterIndirect;
+      case Idiom::kMemIndirectField: return AddressKind::kMemoryIndirect;
+    }
+    return AddressKind::kPcRelative;
+}
+
+const BugProfile kBugs[] = {
+    // apache-21287: a cache object's reference count is decremented
+    // without the cache lock; two concurrent decrements free it twice.
+    {"apache-21287", "double free", Idiom::kMemIndirectField, 4, 260,
+     35, 25},
+    // apache-25520: worker threads append to the shared per-child log
+    // buffer through its handle without serialization.
+    {"apache-25520", "corrupted log", Idiom::kRegIndirectField, 4, 240,
+     30, 20, 14},
+    // apache-45605: the listener's queue-info "idlers" field is
+    // updated by workers while the listener reads it.
+    {"apache-45605", "assertion", Idiom::kRegIndirectField, 4, 240,
+     25, 30, 10},
+    // mysql-3596: the active-THD list pointer is read while another
+    // connection tears it down.
+    {"mysql-3596", "crash", Idiom::kMemIndirectField, 4, 280, 40, 20},
+    // mysql-644: the table-cache entry is invalidated concurrently
+    // with a lookup.
+    {"mysql-644", "crash", Idiom::kMemIndirectField, 4, 280, 30, 30},
+    // mysql-791: a binlog status flag is toggled while the dump thread
+    // tests it, losing output.
+    {"mysql-791", "missing output", Idiom::kMemIndirectField, 4, 260,
+     35, 25},
+    // cherokee-0.9.2: concurrent writes to the shared access-log
+    // buffer handle.
+    {"cherokee-0.9.2", "corrupted log", Idiom::kRegIndirectField, 4, 240,
+     28, 22, 12},
+    // cherokee-bug326: the logger's time-cache string is rebuilt by one
+    // thread while another formats with it.
+    {"cherokee-bug326", "corrupted log", Idiom::kRegIndirectField, 4,
+     240, 32, 18, 12},
+    // pbzip2-0.9.4: the main thread frees the FIFO while a consumer
+    // still polls its "empty" field.
+    {"pbzip2-0.9.4", "crash", Idiom::kMemIndirectField, 4, 220, 45, 15},
+    // pbzip2-0.9.5: the global allDone flag is read/written unlocked
+    // (benign by intent, still a data race).
+    {"pbzip2-0.9.5", "benign", Idiom::kPcRelCounter, 4, 220, 40, 20},
+    // pfscan: the matches counter is updated unlocked; a stale read
+    // keeps the scanner looping.
+    {"pfscan", "infinite loop", Idiom::kPcRelCounter, 4, 240, 30, 30},
+    // aget-bug2: the global bwritten byte counter is updated unlocked,
+    // logging a wrong resume record.
+    {"aget-bug2", "wrong record in log", Idiom::kPcRelCounter, 4, 220,
+     26, 34},
+};
+
+Workload
+buildBug(const BugProfile &p, double scale)
+{
+    const uint32_t items = std::max<uint32_t>(
+        1, static_cast<uint32_t>(p.items * scale));
+
+    ProgramBuilder b;
+    b.global("mtx", 8);
+    b.globalU64("input_seed", 0); // per-run input, written at startup
+    b.globalU64("safe_counter", 0);
+    b.globalU64("racy_global", 0);    // pc-relative idiom target
+    b.globalU64("shared_ptr", 0);     // points at shared_obj
+    b.global("shared_obj", 64);       // racy field at +0x18
+    b.global("scratch", 4 * 32 * 8);  // per-thread private regions
+
+    RacyBug bug;
+    bug.id = p.id;
+    bug.manifestation = p.manifestation;
+    bug.kind = kindOf(p.idiom);
+
+    b.label("main");
+    // Publish the shared object's address (the "handle" the bug
+    // involves), then start the workers.
+    b.lea(Reg::rax, b.symRef("shared_obj"));
+    b.store(b.symRef("shared_ptr"), Reg::rax);
+    b.movri(Reg::rcx, 0);
+    b.label("main_spawn");
+    b.movrr(Reg::r12, Reg::rcx);
+    b.spawn(Reg::rax, "worker", Reg::r12);
+    b.push(Reg::rax);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, p.threads);
+    b.jcc(CondCode::kLt, "main_spawn");
+    b.movri(Reg::rcx, 0);
+    b.label("main_join");
+    b.pop(Reg::rax);
+    b.join(Reg::rax);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, p.threads);
+    b.jcc(CondCode::kLt, "main_join");
+    b.halt();
+
+    b.beginFunction("worker");
+    b.movrr(Reg::r14, Reg::rdi); // tid
+    b.load(Reg::r10, b.symRef("input_seed"));
+    b.lea(Reg::r15, b.symRef("scratch"));
+    b.movri(Reg::rax, 32 * 8);
+    b.alurr(AluOp::kMul, Reg::rax, Reg::r14);
+    b.alurr(AluOp::kAdd, Reg::r15, Reg::rax);
+    b.movri(Reg::r13, 0);
+    b.label("req");
+
+    // Per-request work varies with the request index *and* the run's
+    // input, as real request handlers' paths do (and as production runs
+    // differ between customers) — without this, a driver with a fixed
+    // first sampling window phase-locks onto the loop structure.
+    b.movrr(Reg::r9, Reg::r13);
+    b.alurr(AluOp::kXor, Reg::r9, Reg::r10);
+    b.aluri(AluOp::kMul, Reg::r9, 2654435761ll);
+    b.aluri(AluOp::kShr, Reg::r9, 24);
+    b.aluri(AluOp::kAnd, Reg::r9, 31);
+    b.aluri(AluOp::kAdd, Reg::r9, p.work_before);
+    emitVariableComputeLoop(b, "pre", Reg::r9);
+
+    switch (p.idiom) {
+      case Idiom::kPcRelCounter: {
+        // counter++ without the lock, through %rip addressing — executed
+        // only when the request "matches" (as pfscan bumps its counter
+        // only on pattern hits). The rarity is why RaceZ, which needs a
+        // sample inside this very basic block, almost never sees it,
+        // while ProRace needs only the PT path (paper §7.4).
+        b.movrr(Reg::rax, Reg::r9);
+        b.aluri(AluOp::kAnd, Reg::rax, 7);
+        b.cmpri(Reg::rax, 3);
+        b.jcc(CondCode::kNe, "req_nomatch");
+        const uint32_t rd = b.load(Reg::rax, b.symRef("racy_global"));
+        b.addri(Reg::rax, 1);
+        const uint32_t wr = b.store(b.symRef("racy_global"), Reg::rax);
+        b.label("req_nomatch");
+        bug.racy_insns = {rd, wr};
+        bug.racy_addr = b.symbolAddr("racy_global");
+        break;
+      }
+      case Idiom::kRegIndirectField: {
+        // The handle is fetched once per request; the racy update
+        // happens midway through the request while the handle is still
+        // live in rbx.
+        b.load(Reg::rbx, b.symRef("shared_ptr")); // handle (value unknown
+                                                  // to offline replay)
+        // Request work that keeps rbx live: sweep the private region.
+        emitArraySweep(b, "liv", Reg::r15,
+                       std::max<uint32_t>(p.live_sweep, 2), true);
+        const uint32_t rd =
+            b.load(Reg::rax, MemOperand::baseDisp(Reg::rbx, 0x18));
+        b.addri(Reg::rax, 1);
+        const uint32_t wr =
+            b.store(MemOperand::baseDisp(Reg::rbx, 0x18), Reg::rax);
+        // More work under the live handle.
+        emitArraySweep(b, "liv2", Reg::r15,
+                       std::max<uint32_t>(p.live_sweep / 2, 2), false);
+        // The handle register is reused by the next expression, ending
+        // its live range (as a compiler would).
+        b.movri(Reg::rbx, 0);
+        bug.racy_insns = {rd, wr};
+        bug.racy_addr = b.symbolAddr("shared_obj") + 0x18;
+        break;
+      }
+      case Idiom::kMemIndirectField: {
+        // The pointer is re-loaded from memory immediately before the
+        // racy access: the hardest case for reconstruction.
+        b.load(Reg::rsi, b.symRef("shared_ptr"));
+        // A handful of benign field reads precede the racy update, as
+        // in the real code (checking object state before mutating it).
+        b.load(Reg::rdx, MemOperand::baseDisp(Reg::rsi, 0x08));
+        b.alurr(AluOp::kXor, Reg::rdx, Reg::rdx);
+        const uint32_t rd =
+            b.load(Reg::rax, MemOperand::baseDisp(Reg::rsi, 0x18));
+        b.load(Reg::rdx, MemOperand::baseDisp(Reg::rsi, 0x10));
+        b.testrr(Reg::rdx, Reg::rdx);
+        b.addri(Reg::rax, 1);
+        const uint32_t wr =
+            b.store(MemOperand::baseDisp(Reg::rsi, 0x18), Reg::rax);
+        // rsi is immediately reused (short live range: this is what
+        // makes the memory-indirect bugs hard to reconstruct).
+        b.movri(Reg::rsi, 0);
+        bug.racy_insns = {rd, wr};
+        bug.racy_addr = b.symbolAddr("shared_obj") + 0x18;
+        break;
+      }
+    }
+
+    // Correctly synchronized shared work (the detector must not confuse
+    // it with the bug): a periodic stats flush under the global lock.
+    b.movrr(Reg::rax, Reg::r13);
+    b.aluri(AluOp::kAnd, Reg::rax, p.lock_every - 1);
+    b.cmpri(Reg::rax, p.lock_every - 1);
+    b.jcc(CondCode::kNe, "req_noflush");
+    emitLockedAdd(b, "mtx", "safe_counter");
+    b.label("req_noflush");
+    emitComputeLoop(b, "post", p.work_after);
+    // Library call with the racy handle dead: creates PT gaps like the
+    // real binaries' libc calls.
+    b.movrr(Reg::rdi, Reg::r15);
+    b.movri(Reg::rsi, 8);
+    b.call("lib_sum");
+
+    b.addri(Reg::r13, 1);
+    b.cmpri(Reg::r13, items);
+    b.jcc(CondCode::kLt, "req");
+    b.halt();
+    b.endFunction();
+
+    emitLibHelpers(b);
+
+    Workload w;
+    w.name = p.id;
+    w.description = std::string(p.manifestation) + " (" +
+        addressKindName(bug.kind) + ")";
+    w.program = std::make_shared<asmkit::Program>(b.build());
+    const uint64_t input_addr = w.program->symbol("input_seed").addr;
+    w.setup = [input_addr](vm::Machine &m) {
+        // The run's "input": derived from the seed, as production runs
+        // see different request streams.
+        m.memory().write(input_addr, m.config().seed * 0x9e3779b9, 8);
+        m.addThread("main");
+    };
+    w.pt_filter = mainExecutableFilter(*w.program);
+    w.bugs = {bug};
+    return w;
+}
+
+} // namespace
+
+Workload
+makeRacyBug(const std::string &id, double scale)
+{
+    for (const BugProfile &p : kBugs) {
+        if (id == p.id)
+            return buildBug(p, scale);
+    }
+    PRORACE_FATAL("unknown racy bug id: ", id);
+}
+
+std::vector<Workload>
+racyBugWorkloads(double scale)
+{
+    std::vector<Workload> out;
+    for (const BugProfile &p : kBugs)
+        out.push_back(buildBug(p, scale));
+    return out;
+}
+
+std::vector<std::string>
+racyBugIds()
+{
+    std::vector<std::string> out;
+    for (const BugProfile &p : kBugs)
+        out.emplace_back(p.id);
+    return out;
+}
+
+} // namespace prorace::workload

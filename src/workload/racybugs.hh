@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The twelve real-world data-race bugs of the paper's Table 2, rebuilt
+ * as synthetic scenarios that reproduce each bug's documented racy
+ * idiom and — crucially for detection probability — its addressing
+ * kind:
+ *
+ *  - *pc relative*: an unprotected global accessed through %rip
+ *    (pbzip2-0.9.5, pfscan, aget-bug2); recoverable from the PT path
+ *    alone.
+ *  - *register indirect*: a shared pointer loaded once per request and
+ *    then live across the request's work (apache-25520, apache-45605,
+ *    both cherokee bugs); recoverable whenever a sample lands in the
+ *    pointer's live range.
+ *  - *memory indirect*: a pointer re-loaded from memory immediately
+ *    before the racy access (both remaining apache/pbzip2 bugs and all
+ *    three mysql bugs); recoverable only from samples landing in the
+ *    few-instruction window around the access.
+ */
+
+#ifndef PRORACE_WORKLOAD_RACYBUGS_HH
+#define PRORACE_WORKLOAD_RACYBUGS_HH
+
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace prorace::workload {
+
+/** Build one racy-bug scenario by its paper identifier. */
+Workload makeRacyBug(const std::string &id, double scale = 1.0);
+
+/** All twelve Table 2 scenarios, in the paper's order. */
+std::vector<Workload> racyBugWorkloads(double scale = 1.0);
+
+/** The paper's Table 2 identifiers, in order. */
+std::vector<std::string> racyBugIds();
+
+} // namespace prorace::workload
+
+#endif // PRORACE_WORKLOAD_RACYBUGS_HH

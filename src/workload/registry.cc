@@ -1,0 +1,43 @@
+#include "workload/registry.hh"
+
+#include "workload/apps.hh"
+#include "workload/racybugs.hh"
+
+namespace prorace::workload {
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const AppProfile &p : parsecProfiles())
+        names.emplace_back(p.name);
+    for (const AppProfile &p : realAppProfiles())
+        names.emplace_back(p.name);
+    for (const std::string &id : racyBugIds())
+        names.push_back(id);
+    return names;
+}
+
+std::optional<Workload>
+findWorkload(const std::string &name, double scale)
+{
+    for (AppProfile p : parsecProfiles()) {
+        if (name == p.name) {
+            p.scale = scale;
+            return makeAppWorkload(p);
+        }
+    }
+    for (AppProfile p : realAppProfiles()) {
+        if (name == p.name) {
+            p.scale = scale;
+            return makeAppWorkload(p);
+        }
+    }
+    for (const std::string &id : racyBugIds()) {
+        if (name == id)
+            return makeRacyBug(id, scale);
+    }
+    return std::nullopt;
+}
+
+} // namespace prorace::workload

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Name-based workload lookup across all suites.
+ */
+
+#ifndef PRORACE_WORKLOAD_REGISTRY_HH
+#define PRORACE_WORKLOAD_REGISTRY_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace prorace::workload {
+
+/** All workload names, grouped: PARSEC, real apps, racy bugs. */
+std::vector<std::string> allWorkloadNames();
+
+/**
+ * Build a workload by name from any suite.
+ * @param scale shrinks/extends the run length (1.0 = evaluation size).
+ */
+std::optional<Workload> findWorkload(const std::string &name,
+                                     double scale = 1.0);
+
+} // namespace prorace::workload
+
+#endif // PRORACE_WORKLOAD_REGISTRY_HH

@@ -1,0 +1,58 @@
+#include "workload/workload.hh"
+
+#include <algorithm>
+
+#include "support/log.hh"
+
+namespace prorace::workload {
+
+const char *
+addressKindName(AddressKind kind)
+{
+    switch (kind) {
+      case AddressKind::kPcRelative:       return "pc relative";
+      case AddressKind::kRegisterIndirect: return "register indirect";
+      case AddressKind::kMemoryIndirect:   return "memory indirect";
+    }
+    return "?";
+}
+
+bool
+bugDetected(const RacyBug &bug, const detect::RaceReport &report)
+{
+    for (size_t i = 0; i < bug.racy_insns.size(); ++i) {
+        for (size_t j = i; j < bug.racy_insns.size(); ++j) {
+            if (report.containsPair(bug.racy_insns[i], bug.racy_insns[j]))
+                return true;
+        }
+    }
+    return false;
+}
+
+pmu::PtFilter
+mainExecutableFilter(const asmkit::Program &program)
+{
+    // Collect the library ranges (functions named lib_*), then cover
+    // the complement with up to four filter ranges.
+    std::vector<std::pair<uint32_t, uint32_t>> lib;
+    for (const asmkit::Function &fn : program.functions()) {
+        if (fn.name.rfind("lib_", 0) == 0)
+            lib.emplace_back(fn.begin, fn.end);
+    }
+    if (lib.empty())
+        return pmu::PtFilter::all();
+    std::sort(lib.begin(), lib.end());
+
+    pmu::PtFilter filter;
+    uint32_t cursor = 0;
+    for (const auto &[begin, end] : lib) {
+        if (begin > cursor)
+            filter.addRange(cursor, begin);
+        cursor = std::max(cursor, end);
+    }
+    if (cursor < program.size())
+        filter.addRange(cursor, program.size());
+    return filter;
+}
+
+} // namespace prorace::workload

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Workload framework: assembled programs modeling the paper's
+ * evaluation subjects, with ground-truth annotations for racy bugs.
+ */
+
+#ifndef PRORACE_WORKLOAD_WORKLOAD_HH
+#define PRORACE_WORKLOAD_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asmkit/program.hh"
+#include "detect/report.hh"
+#include "pmu/pt.hh"
+#include "vm/machine.hh"
+
+namespace prorace::workload {
+
+/** Addressing kind of a racy access (Table 2's third column). */
+enum class AddressKind : uint8_t {
+    kPcRelative,      ///< global addressed via %rip
+    kRegisterIndirect,///< pointer held in a register
+    kMemoryIndirect,  ///< pointer loaded from memory before the access
+};
+
+/** Printable addressing-kind name (matches the paper's wording). */
+const char *addressKindName(AddressKind kind);
+
+/** Ground truth for one injected race bug. */
+struct RacyBug {
+    std::string id;            ///< e.g. "apache-21287"
+    std::string manifestation; ///< e.g. "double free"
+    AddressKind kind = AddressKind::kPcRelative;
+    std::vector<uint32_t> racy_insns; ///< the racing instructions
+    uint64_t racy_addr = 0;    ///< racy variable (0 for heap objects)
+    uint64_t racy_size = 8;
+};
+
+/**
+ * True when the report names this specific bug: some reported race
+ * pairs two of the bug's racy instructions.
+ */
+bool bugDetected(const RacyBug &bug, const detect::RaceReport &report);
+
+/** A ready-to-run evaluation subject. */
+struct Workload {
+    std::string name;
+    std::string description;
+    std::shared_ptr<asmkit::Program> program;
+    /** Creates the initial threads ("the command line"). */
+    std::function<void(vm::Machine &)> setup;
+    /** PT code-region filter (main executable only, per the paper). */
+    pmu::PtFilter pt_filter = pmu::PtFilter::all();
+    /** Injected bugs, when this is a racy workload. */
+    std::vector<RacyBug> bugs;
+};
+
+/**
+ * Build a PT filter covering the whole program except functions whose
+ * name starts with "lib_" — the paper traces only the main executable's
+ * code regions and skips library code (§4.2). Uses at most the four
+ * ranges the hardware provides; fatal if the layout needs more.
+ */
+pmu::PtFilter mainExecutableFilter(const asmkit::Program &program);
+
+} // namespace prorace::workload
+
+#endif // PRORACE_WORKLOAD_WORKLOAD_HH

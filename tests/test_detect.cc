@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Unit tests for the FastTrack detector, vector clocks, and reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/fasttrack.hh"
+#include "detect/report.hh"
+#include "detect/vector_clock.hh"
+
+namespace prorace::detect {
+namespace {
+
+MemAccess
+acc(uint32_t tid, uint64_t addr, bool is_write, uint32_t insn = 0,
+    bool atomic = false)
+{
+    MemAccess ma;
+    ma.tid = tid;
+    ma.addr = addr;
+    ma.is_write = is_write;
+    ma.insn_index = insn;
+    ma.is_atomic = atomic;
+    return ma;
+}
+
+TEST(VectorClock, GetSetJoin)
+{
+    VectorClock a, b;
+    a.set(0, 5);
+    a.set(3, 2);
+    b.set(0, 3);
+    b.set(1, 9);
+    a.join(b);
+    EXPECT_EQ(a.get(0), 5u);
+    EXPECT_EQ(a.get(1), 9u);
+    EXPECT_EQ(a.get(2), 0u);
+    EXPECT_EQ(a.get(3), 2u);
+    EXPECT_EQ(a.get(100), 0u);
+}
+
+TEST(VectorClock, LessOrEqual)
+{
+    VectorClock a, b;
+    a.set(0, 1);
+    a.set(1, 2);
+    b.set(0, 1);
+    b.set(1, 3);
+    EXPECT_TRUE(a.lessOrEqual(b));
+    EXPECT_FALSE(b.lessOrEqual(a));
+    VectorClock empty;
+    EXPECT_TRUE(empty.lessOrEqual(a));
+}
+
+TEST(Epoch, PackingAndHappensBefore)
+{
+    Epoch e(7, 123);
+    EXPECT_EQ(e.tid(), 7u);
+    EXPECT_EQ(e.clock(), 123u);
+    EXPECT_FALSE(e.isZero());
+    EXPECT_TRUE(Epoch().isZero());
+
+    VectorClock vc;
+    vc.set(7, 122);
+    EXPECT_FALSE(e.happensBefore(vc));
+    vc.set(7, 123);
+    EXPECT_TRUE(e.happensBefore(vc));
+}
+
+TEST(FastTrack, DetectsUnsynchronizedWriteWrite)
+{
+    FastTrack ft;
+    ft.access(acc(0, 0x1000, true, 10));
+    ft.access(acc(1, 0x1000, true, 20));
+    ASSERT_EQ(ft.report().size(), 1u);
+    EXPECT_TRUE(ft.report().containsPair(10, 20));
+    EXPECT_TRUE(ft.report().races()[0].current.is_write);
+}
+
+TEST(FastTrack, DetectsWriteReadAndReadWrite)
+{
+    {
+        FastTrack ft;
+        ft.access(acc(0, 0x1000, true, 1));
+        ft.access(acc(1, 0x1000, false, 2));
+        EXPECT_EQ(ft.report().size(), 1u);
+    }
+    {
+        FastTrack ft;
+        ft.access(acc(0, 0x1000, false, 1));
+        ft.access(acc(1, 0x1000, true, 2));
+        EXPECT_EQ(ft.report().size(), 1u);
+    }
+}
+
+TEST(FastTrack, NoRaceUnderCommonLock)
+{
+    FastTrack ft;
+    const uint64_t m = 0x9000;
+    ft.acquire(0, m);
+    ft.access(acc(0, 0x1000, true, 1));
+    ft.release(0, m);
+    ft.acquire(1, m);
+    ft.access(acc(1, 0x1000, true, 2));
+    ft.release(1, m);
+    EXPECT_TRUE(ft.report().empty());
+}
+
+TEST(FastTrack, DifferentLocksDoNotOrder)
+{
+    FastTrack ft;
+    ft.acquire(0, 0x9000);
+    ft.access(acc(0, 0x1000, true, 1));
+    ft.release(0, 0x9000);
+    ft.acquire(1, 0x9100);
+    ft.access(acc(1, 0x1000, true, 2));
+    ft.release(1, 0x9100);
+    EXPECT_EQ(ft.report().size(), 1u);
+}
+
+TEST(FastTrack, ForkJoinCreateHappensBefore)
+{
+    FastTrack ft;
+    ft.access(acc(0, 0x1000, true, 1));
+    ft.fork(0, 1);
+    ft.access(acc(1, 0x1000, true, 2)); // ordered after parent's write
+    ft.threadExit(1);
+    ft.join(0, 1);
+    ft.access(acc(0, 0x1000, false, 3)); // ordered after child's write
+    EXPECT_TRUE(ft.report().empty());
+}
+
+TEST(FastTrack, SiblingsWithoutSyncRace)
+{
+    FastTrack ft;
+    ft.fork(0, 1);
+    ft.fork(0, 2);
+    ft.access(acc(1, 0x1000, true, 1));
+    ft.access(acc(2, 0x1000, true, 2));
+    EXPECT_EQ(ft.report().size(), 1u);
+}
+
+TEST(FastTrack, ConcurrentReadsAloneAreNotARace)
+{
+    FastTrack ft;
+    ft.fork(0, 1);
+    ft.fork(0, 2);
+    ft.access(acc(1, 0x1000, false, 1));
+    ft.access(acc(2, 0x1000, false, 2));
+    ft.access(acc(0, 0x1000, false, 3));
+    EXPECT_TRUE(ft.report().empty());
+    EXPECT_GE(ft.stats().read_shares, 1u);
+}
+
+TEST(FastTrack, WriteAfterSharedReadsRaces)
+{
+    FastTrack ft;
+    ft.fork(0, 1);
+    ft.fork(0, 2);
+    ft.access(acc(1, 0x1000, false, 1));
+    ft.access(acc(2, 0x1000, false, 2));
+    // Thread 0 writes without joining the readers: read-write race.
+    ft.access(acc(0, 0x1000, true, 3));
+    EXPECT_EQ(ft.report().size(), 1u);
+}
+
+TEST(FastTrack, WriteAfterJoinedSharedReadsIsClean)
+{
+    FastTrack ft;
+    ft.fork(0, 1);
+    ft.fork(0, 2);
+    ft.access(acc(1, 0x1000, false, 1));
+    ft.access(acc(2, 0x1000, false, 2));
+    ft.threadExit(1);
+    ft.threadExit(2);
+    ft.join(0, 1);
+    ft.join(0, 2);
+    ft.access(acc(0, 0x1000, true, 3));
+    EXPECT_TRUE(ft.report().empty());
+}
+
+TEST(FastTrack, BarrierOrdersPhases)
+{
+    FastTrack ft;
+    const uint64_t bar = 0xb000;
+    ft.fork(0, 1);
+    // Phase 1: each thread writes its own slot... then both write the
+    // same location in phase 2 after the barrier; barrier orders phase 1
+    // writes before phase 2 accesses.
+    ft.access(acc(0, 0x1000, true, 1));
+    ft.barrierEnter(0, bar);
+    ft.barrierEnter(1, bar);
+    ft.barrierExit(0, bar);
+    ft.barrierExit(1, bar);
+    ft.access(acc(1, 0x1000, false, 2)); // reads t0's phase-1 write
+    EXPECT_TRUE(ft.report().empty());
+}
+
+TEST(FastTrack, CondVarSignalWakeEdge)
+{
+    // Modeled as the offline analyzer feeds it: signaler releases the cv
+    // object, waiter acquires it on wake.
+    FastTrack ft;
+    const uint64_t cv = 0xc000, m = 0x9000;
+    ft.fork(0, 1);
+    // waiter: lock, (condition false), wait begin => release mutex
+    ft.acquire(1, m);
+    ft.release(1, m);
+    // signaler: lock, write shared, signal, unlock
+    ft.acquire(0, m);
+    ft.access(acc(0, 0x1000, true, 1));
+    ft.release(0, cv); // signal
+    ft.release(0, m);
+    // waiter wakes: acquires mutex and cv clock, then reads
+    ft.acquire(1, m);
+    ft.acquire(1, cv);
+    ft.access(acc(1, 0x1000, false, 2));
+    EXPECT_TRUE(ft.report().empty());
+}
+
+TEST(FastTrack, AtomicPairIsExcludedMixedIsNot)
+{
+    {
+        FastTrack ft;
+        ft.access(acc(0, 0x1000, true, 1, true));
+        ft.access(acc(1, 0x1000, true, 2, true));
+        EXPECT_TRUE(ft.report().empty()) << "atomic-atomic is not a race";
+    }
+    {
+        FastTrack ft;
+        ft.access(acc(0, 0x1000, true, 1, true));
+        ft.access(acc(1, 0x1000, true, 2, false));
+        EXPECT_EQ(ft.report().size(), 1u) << "atomic-plain is a race";
+    }
+}
+
+TEST(FastTrack, MallocFreeSuppressesAddressReuseFalsePositive)
+{
+    // Thread 0 uses an object, frees it; the allocator hands the same
+    // address to thread 1. Without allocation tracking this pairs the
+    // two lifetimes into a bogus race (paper §4.3).
+    FastTrack ft;
+    const uint64_t blk = 0x1000000;
+    ft.fork(0, 1);
+    ft.allocate(0, blk, 64);
+    ft.access(acc(0, blk + 16, true, 1));
+    ft.deallocate(0, blk);
+    ft.allocate(1, blk, 64);
+    ft.access(acc(1, blk + 16, true, 2));
+    EXPECT_TRUE(ft.report().empty());
+}
+
+TEST(FastTrack, WithoutFreeTrackingSameSequenceWouldRace)
+{
+    // Sanity inverse of the previous test: no allocation events => race.
+    FastTrack ft;
+    const uint64_t blk = 0x1000000;
+    ft.fork(0, 1);
+    ft.access(acc(0, blk + 16, true, 1));
+    ft.access(acc(1, blk + 16, true, 2));
+    EXPECT_EQ(ft.report().size(), 1u);
+}
+
+TEST(FastTrack, GranuleOverlapDetected)
+{
+    // A 1-byte access overlapping an 8-byte write in the same granule.
+    FastTrack ft;
+    ft.access(acc(0, 0x1000, true, 1)); // 8 bytes at 0x1000
+    MemAccess narrow = acc(1, 0x1004, false, 2);
+    narrow.width = 1;
+    ft.access(narrow);
+    EXPECT_EQ(ft.report().size(), 1u);
+}
+
+TEST(FastTrack, StraddlingAccessChecksBothGranules)
+{
+    FastTrack ft;
+    MemAccess wide = acc(0, 0x1004, true, 1);
+    wide.width = 8; // covers granules 0x1000 and 0x1008
+    ft.access(wide);
+    ft.access(acc(1, 0x1008, false, 2));
+    EXPECT_EQ(ft.report().size(), 1u);
+}
+
+TEST(FastTrack, SameThreadNeverRacesWithItself)
+{
+    FastTrack ft;
+    for (int i = 0; i < 10; ++i)
+        ft.access(acc(0, 0x1000, i % 2 == 0, 1));
+    EXPECT_TRUE(ft.report().empty());
+    EXPECT_GT(ft.stats().epoch_fast_path, 0u);
+}
+
+TEST(RaceReport, DeduplicatesInstructionPairs)
+{
+    RaceReport r;
+    DataRace race;
+    race.addr = 0x1000;
+    race.prior = {0, 10, true, 0, AccessOrigin::kSampled};
+    race.current = {1, 20, true, 0, AccessOrigin::kForward};
+    r.add(race);
+    r.add(race);
+    std::swap(race.prior.insn_index, race.current.insn_index);
+    r.add(race); // reversed pair is the same static race
+    EXPECT_EQ(r.size(), 1u);
+    EXPECT_TRUE(r.containsPair(20, 10));
+    EXPECT_TRUE(r.containsInsn(10));
+    EXPECT_FALSE(r.containsInsn(11));
+    EXPECT_TRUE(r.containsAddressRange(0x0ff8, 16));
+    EXPECT_FALSE(r.containsAddressRange(0x2000, 8));
+}
+
+TEST(RaceReport, FormatMentionsOrigins)
+{
+    RaceReport r;
+    DataRace race;
+    race.addr = 0x1000;
+    race.prior = {0, 1, true, 5, AccessOrigin::kSampled};
+    race.current = {1, 2, false, 9, AccessOrigin::kBackward};
+    r.add(race);
+    const std::string text = r.format();
+    EXPECT_NE(text.find("sampled"), std::string::npos);
+    EXPECT_NE(text.find("backward-replay"), std::string::npos);
+    EXPECT_NE(text.find("write"), std::string::npos);
+}
+
+} // namespace
+} // namespace prorace::detect

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for the ISA: semantics, flags, operands, disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "isa/insn.hh"
+#include "isa/semantics.hh"
+
+namespace prorace::isa {
+namespace {
+
+TEST(Semantics, AddComputesValueAndFlags)
+{
+    auto r = evalAlu(AluOp::kAdd, 2, 3);
+    EXPECT_EQ(r.value, 5u);
+    EXPECT_FALSE(r.flags.zf);
+    EXPECT_FALSE(r.flags.sf);
+    EXPECT_FALSE(r.flags.cf);
+    EXPECT_FALSE(r.flags.of);
+}
+
+TEST(Semantics, AddCarryWraps)
+{
+    auto r = evalAlu(AluOp::kAdd, ~0ull, 1);
+    EXPECT_EQ(r.value, 0u);
+    EXPECT_TRUE(r.flags.zf);
+    EXPECT_TRUE(r.flags.cf);
+}
+
+TEST(Semantics, AddSignedOverflow)
+{
+    const uint64_t int_max = 0x7fffffffffffffffull;
+    auto r = evalAlu(AluOp::kAdd, int_max, 1);
+    EXPECT_TRUE(r.flags.of);
+    EXPECT_TRUE(r.flags.sf);
+}
+
+TEST(Semantics, SubFlagsMatchComparisonSemantics)
+{
+    // 3 - 5: negative, borrow.
+    auto f = evalCmp(3, 5);
+    EXPECT_FALSE(f.zf);
+    EXPECT_TRUE(f.cf);
+    EXPECT_TRUE(condHolds(CondCode::kLt, f));
+    EXPECT_TRUE(condHolds(CondCode::kB, f));
+    EXPECT_FALSE(condHolds(CondCode::kGe, f));
+
+    // Equal.
+    f = evalCmp(9, 9);
+    EXPECT_TRUE(f.zf);
+    EXPECT_TRUE(condHolds(CondCode::kEq, f));
+    EXPECT_TRUE(condHolds(CondCode::kLe, f));
+    EXPECT_TRUE(condHolds(CondCode::kGe, f));
+}
+
+TEST(Semantics, SignedVsUnsignedComparison)
+{
+    // -1 vs 1: signed less, unsigned greater.
+    const uint64_t minus_one = ~0ull;
+    auto f = evalCmp(minus_one, 1);
+    EXPECT_TRUE(condHolds(CondCode::kLt, f));
+    EXPECT_TRUE(condHolds(CondCode::kA, f));
+    EXPECT_FALSE(condHolds(CondCode::kB, f));
+}
+
+TEST(Semantics, LogicOps)
+{
+    EXPECT_EQ(evalAlu(AluOp::kAnd, 0b1100, 0b1010).value, 0b1000u);
+    EXPECT_EQ(evalAlu(AluOp::kOr, 0b1100, 0b1010).value, 0b1110u);
+    EXPECT_EQ(evalAlu(AluOp::kXor, 0b1100, 0b1010).value, 0b0110u);
+    EXPECT_TRUE(evalAlu(AluOp::kXor, 5, 5).flags.zf);
+}
+
+TEST(Semantics, Shifts)
+{
+    EXPECT_EQ(evalAlu(AluOp::kShl, 1, 4).value, 16u);
+    EXPECT_EQ(evalAlu(AluOp::kShr, 0x8000000000000000ull, 63).value, 1u);
+    EXPECT_EQ(evalAlu(AluOp::kSar, ~0ull, 8).value, ~0ull);
+}
+
+TEST(Semantics, TestSetsZeroFlag)
+{
+    EXPECT_TRUE(evalTest(0b0101, 0b1010).zf);
+    EXPECT_FALSE(evalTest(0b0101, 0b0100).zf);
+}
+
+TEST(Semantics, EffectiveAddressBaseIndexScaleDisp)
+{
+    auto mem = MemOperand::baseIndex(Reg::rax, Reg::rbx, 4, 0x10);
+    auto read = [](Reg r) -> uint64_t {
+        return r == Reg::rax ? 1000 : 7;
+    };
+    EXPECT_EQ(effectiveAddress(mem, read), 1000 + 7 * 4 + 0x10u);
+}
+
+TEST(Semantics, EffectiveAddressRipRelativeIgnoresRegisters)
+{
+    auto mem = MemOperand::ripRel(0x1234);
+    auto read = [](Reg) -> uint64_t {
+        ADD_FAILURE() << "rip-relative EA must not read registers";
+        return 0;
+    };
+    EXPECT_EQ(effectiveAddress(mem, read), 0x1234u);
+}
+
+TEST(Semantics, WidthTruncateAndExtend)
+{
+    EXPECT_EQ(truncateToWidth(0x1ffull, 1), 0xffu);
+    EXPECT_EQ(extendFromWidth(0xff, 1, false), 0xffu);
+    EXPECT_EQ(extendFromWidth(0xff, 1, true), ~0ull);
+    EXPECT_EQ(extendFromWidth(0x7f, 1, true), 0x7full);
+    EXPECT_EQ(extendFromWidth(0x80000000ull, 4, true), 0xffffffff80000000ull);
+}
+
+TEST(Semantics, InvertAluRecoversOperand)
+{
+    uint64_t a = 0;
+    ASSERT_TRUE(invertAlu(AluOp::kAdd, 10, 3, a));
+    EXPECT_EQ(a, 7u);
+    ASSERT_TRUE(invertAlu(AluOp::kSub, 10, 3, a));
+    EXPECT_EQ(a, 13u);
+    ASSERT_TRUE(invertAlu(AluOp::kXor, 0b0110, 0b1010, a));
+    EXPECT_EQ(a, 0b1100u);
+    EXPECT_FALSE(invertAlu(AluOp::kAnd, 0, 0, a));
+    EXPECT_FALSE(invertAlu(AluOp::kShl, 0, 0, a));
+}
+
+TEST(Semantics, InvertIsConsistentWithEval)
+{
+    for (AluOp op : {AluOp::kAdd, AluOp::kSub, AluOp::kXor}) {
+        const uint64_t a = 0xdeadbeefcafef00dull, b = 0x1122334455667788ull;
+        const uint64_t result = evalAlu(op, a, b).value;
+        uint64_t recovered = 0;
+        ASSERT_TRUE(invertAlu(op, result, b, recovered));
+        EXPECT_EQ(recovered, a);
+    }
+}
+
+TEST(OpcodeTraits, MemoryClassification)
+{
+    EXPECT_TRUE(isLoad(Op::kLoad));
+    EXPECT_TRUE(isStore(Op::kStore));
+    EXPECT_TRUE(isLoad(Op::kAtomicRmw));
+    EXPECT_TRUE(isStore(Op::kAtomicRmw));
+    EXPECT_TRUE(isStore(Op::kPush));
+    EXPECT_TRUE(isLoad(Op::kPop));
+    EXPECT_FALSE(accessesMemory(Op::kLea));
+    EXPECT_FALSE(accessesMemory(Op::kLock));
+}
+
+TEST(OpcodeTraits, ControlFlowClassification)
+{
+    EXPECT_TRUE(isCondBranch(Op::kJcc));
+    EXPECT_FALSE(isCondBranch(Op::kJmp));
+    EXPECT_TRUE(isIndirectBranch(Op::kJmpInd));
+    EXPECT_TRUE(isIndirectBranch(Op::kRet));
+    EXPECT_FALSE(isIndirectBranch(Op::kCall));
+    EXPECT_TRUE(isControlFlow(Op::kCall));
+}
+
+TEST(OpcodeTraits, SyncClassification)
+{
+    for (Op op : {Op::kLock, Op::kUnlock, Op::kCondWait, Op::kSpawn,
+                  Op::kJoin, Op::kMalloc, Op::kFree, Op::kBarrier}) {
+        EXPECT_TRUE(isSyncOp(op)) << opName(op);
+    }
+    EXPECT_FALSE(isSyncOp(Op::kLoad));
+    EXPECT_FALSE(isSyncOp(Op::kSyscall));
+}
+
+TEST(Insn, ValidationCatchesBadOperands)
+{
+    Insn ok{.op = Op::kLoad, .dst = Reg::rax,
+            .mem = MemOperand::baseDisp(Reg::rbx, 8)};
+    EXPECT_EQ(validateInsn(ok), nullptr);
+
+    Insn bad_width = ok;
+    bad_width.width = 3;
+    EXPECT_NE(validateInsn(bad_width), nullptr);
+
+    Insn bad_scale = ok;
+    bad_scale.mem.scale = 5;
+    EXPECT_NE(validateInsn(bad_scale), nullptr);
+
+    Insn no_dst{.op = Op::kLoad, .mem = MemOperand::baseDisp(Reg::rbx)};
+    EXPECT_NE(validateInsn(no_dst), nullptr);
+
+    Insn rip_with_base{.op = Op::kLoad, .dst = Reg::rax};
+    rip_with_base.mem.rip_relative = true;
+    rip_with_base.mem.base = Reg::rbx;
+    EXPECT_NE(validateInsn(rip_with_base), nullptr);
+}
+
+TEST(Insn, PcRelativePredicate)
+{
+    Insn pc{.op = Op::kLoad, .dst = Reg::rax,
+            .mem = MemOperand::ripRel(0x100)};
+    EXPECT_TRUE(pc.pcRelative());
+    Insn reg{.op = Op::kLoad, .dst = Reg::rax,
+             .mem = MemOperand::baseDisp(Reg::rbx)};
+    EXPECT_FALSE(reg.pcRelative());
+    Insn alu{.op = Op::kAluRR, .dst = Reg::rax, .src = Reg::rbx};
+    EXPECT_FALSE(alu.pcRelative());
+}
+
+TEST(Disasm, RendersRepresentativeInstructions)
+{
+    Insn load{.op = Op::kLoad, .dst = Reg::rdx,
+              .mem = MemOperand::baseIndex(Reg::rbp, Reg::rbx, 4, 0x10)};
+    EXPECT_NE(disassemble(load).find("rbp"), std::string::npos);
+    EXPECT_NE(disassemble(load).find("rbx*4"), std::string::npos);
+
+    Insn jcc{.op = Op::kJcc, .cond = CondCode::kNe, .target = 42};
+    EXPECT_EQ(disassemble(jcc), "jne #42");
+
+    Insn rip{.op = Op::kStore, .src = Reg::rax,
+             .mem = MemOperand::ripRel(0x4000)};
+    EXPECT_NE(disassemble(rip).find("rip"), std::string::npos);
+}
+
+TEST(Reg, NamesAndIndices)
+{
+    EXPECT_STREQ(regName(Reg::rax), "rax");
+    EXPECT_STREQ(regName(Reg::r15), "r15");
+    EXPECT_STREQ(regName(Reg::rip), "rip");
+    EXPECT_TRUE(isGpr(Reg::rsp));
+    EXPECT_FALSE(isGpr(Reg::rip));
+    EXPECT_FALSE(isGpr(Reg::none));
+    for (unsigned i = 0; i < kNumGprs; ++i)
+        EXPECT_EQ(gprIndex(gprFromIndex(i)), i);
+}
+
+} // namespace
+} // namespace prorace::isa

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the offline pipeline's glue: program map, feed ordering,
+ * racy-location regeneration, and the end-to-end condvar/barrier HB
+ * edges through reconstruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asmkit/builder.hh"
+#include "core/pipeline.hh"
+#include "replay/program_map.hh"
+
+namespace prorace {
+namespace {
+
+using asmkit::Program;
+using asmkit::ProgramBuilder;
+using isa::AluOp;
+using isa::CondCode;
+using isa::Reg;
+
+TEST(ProgramMap, RegisterAvailabilityLifecycle)
+{
+    replay::ProgramMap pm;
+    EXPECT_FALSE(pm.regAvailable(Reg::rax));
+    EXPECT_EQ(pm.availableRegCount(), 0u);
+
+    pm.setReg(Reg::rax, 42);
+    EXPECT_TRUE(pm.regAvailable(Reg::rax));
+    EXPECT_EQ(pm.regValue(Reg::rax), 42u);
+    EXPECT_EQ(pm.availableRegCount(), 1u);
+
+    pm.invalidateReg(Reg::rax);
+    EXPECT_FALSE(pm.regAvailable(Reg::rax));
+
+    vm::RegFile regs;
+    regs.set(Reg::rbx, 7);
+    pm.restoreRegs(regs);
+    EXPECT_EQ(pm.availableRegCount(), isa::kNumGprs);
+    EXPECT_EQ(pm.regValue(Reg::rbx), 7u);
+
+    pm.invalidateAllRegs();
+    EXPECT_EQ(pm.availableRegCount(), 0u);
+}
+
+TEST(ProgramMap, MemoryEmulationByteGranular)
+{
+    replay::ProgramMap pm;
+    EXPECT_FALSE(pm.readMem(0x1000, 8).has_value());
+
+    pm.writeMem(0x1000, 0x1122334455667788ull, 8);
+    EXPECT_EQ(pm.readMem(0x1000, 8).value(), 0x1122334455667788ull);
+    EXPECT_EQ(pm.readMem(0x1002, 2).value(), 0x5566ull);
+
+    // Partially invalidated range: reads touching it fail.
+    pm.invalidateMem(0x1003, 1);
+    EXPECT_FALSE(pm.readMem(0x1000, 8).has_value());
+    EXPECT_TRUE(pm.readMem(0x1000, 2).has_value());
+
+    pm.invalidateMemory();
+    EXPECT_FALSE(pm.readMem(0x1000, 2).has_value());
+}
+
+TEST(ProgramMap, ConsumedAddressesAreTracked)
+{
+    replay::ProgramMap pm;
+    pm.writeMem(0x2000, 9, 8);
+    EXPECT_TRUE(pm.consumedAddresses().empty());
+    (void)pm.readMem(0x2000, 4);
+    EXPECT_EQ(pm.consumedAddresses().size(), 4u);
+    EXPECT_TRUE(pm.consumedAddresses().count(0x2003));
+    EXPECT_FALSE(pm.consumedAddresses().count(0x2004));
+}
+
+TEST(ProgramMap, BlacklistBlocksEmulation)
+{
+    replay::ProgramMap pm;
+    pm.blacklistMem(0x3000, 8);
+    pm.writeMem(0x3000, 1, 8);
+    EXPECT_FALSE(pm.readMem(0x3000, 8).has_value());
+    // Neighbours unaffected.
+    pm.writeMem(0x3008, 2, 8);
+    EXPECT_TRUE(pm.readMem(0x3008, 8).has_value());
+}
+
+/** A producer/consumer program with condvar handoff and no races. */
+Program
+condvarProgram()
+{
+    ProgramBuilder b;
+    b.globalU64("cell", 0);
+    b.globalU64("ready", 0);
+    b.globalU64("out", 0);
+    b.global("mtx", 8);
+    b.global("cv", 8);
+    b.label("main");
+    b.movri(Reg::r12, 0);
+    b.spawn(Reg::r8, "consumer", Reg::r12);
+    b.movri(Reg::rcx, 0);
+    b.label("produce");
+    b.lock(b.symRef("mtx"));
+    b.load(Reg::rax, b.symRef("cell"));
+    b.addri(Reg::rax, 5);
+    b.store(b.symRef("cell"), Reg::rax);
+    b.movri(Reg::rax, 1);
+    b.store(b.symRef("ready"), Reg::rax);
+    b.condSignal(b.symRef("cv"));
+    b.unlock(b.symRef("mtx"));
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, 40);
+    b.jcc(CondCode::kLt, "produce");
+    b.join(Reg::r8);
+    b.halt();
+    b.beginFunction("consumer");
+    b.movri(Reg::rbx, 0);
+    b.label("consume");
+    b.lock(b.symRef("mtx"));
+    b.label("wait_loop");
+    b.load(Reg::rax, b.symRef("ready"));
+    b.cmpri(Reg::rax, 1);
+    b.jcc(CondCode::kEq, "got");
+    b.lea(Reg::r13, b.symRef("mtx"));
+    b.condWait(b.symRef("cv"), Reg::r13);
+    b.jmp("wait_loop");
+    b.label("got");
+    b.load(Reg::rax, b.symRef("cell"));
+    b.store(b.symRef("out"), Reg::rax);
+    b.movri(Reg::rax, 0);
+    b.store(b.symRef("ready"), Reg::rax);
+    b.unlock(b.symRef("mtx"));
+    b.addri(Reg::rbx, 1);
+    b.cmpri(Reg::rbx, 40);
+    b.jcc(CondCode::kLt, "consume");
+    b.halt();
+    return b.build();
+}
+
+TEST(Offline, CondvarHandoffIsRaceFreeThroughThePipeline)
+{
+    Program p = condvarProgram();
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        auto cfg = core::proRaceConfig(50, seed);
+        auto result = core::runPipeline(
+            p, [](vm::Machine &m) { m.addThread("main"); }, cfg);
+        EXPECT_TRUE(result.offline.report.empty())
+            << "seed " << seed << "\n"
+            << result.offline.report.format(&p);
+    }
+}
+
+TEST(Offline, HeapRaceSurvivesRegenerationRounds)
+{
+    // A race on a heap object whose pointer the replay *can* emulate
+    // (stored then reloaded in the same window): the §5.1 regeneration
+    // loop must not erase the genuine race.
+    ProgramBuilder b;
+    b.globalU64("obj_ptr", 0);
+    b.label("main");
+    b.movri(Reg::rsi, 64);
+    b.mallocCall(Reg::rax, Reg::rsi);
+    b.store(b.symRef("obj_ptr"), Reg::rax);
+    b.movri(Reg::r12, 0);
+    b.spawn(Reg::r8, "worker", Reg::r12);
+    b.spawn(Reg::r9, "worker", Reg::r12);
+    b.join(Reg::r8);
+    b.join(Reg::r9);
+    b.halt();
+    b.beginFunction("worker");
+    b.movri(Reg::rcx, 0);
+    b.label("loop");
+    b.load(Reg::rsi, b.symRef("obj_ptr"));
+    b.load(Reg::rax, isa::MemOperand::baseDisp(Reg::rsi, 8));
+    b.addri(Reg::rax, 1);
+    b.store(isa::MemOperand::baseDisp(Reg::rsi, 8), Reg::rax);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, 400);
+    b.jcc(CondCode::kLt, "loop");
+    b.halt();
+    Program p = b.build();
+
+    int detected = 0;
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        auto cfg = core::proRaceConfig(25, seed);
+        auto result = core::runPipeline(
+            p, [](vm::Machine &m) { m.addThread("main"); }, cfg);
+        detected += !result.offline.report.empty();
+    }
+    EXPECT_GE(detected, 3);
+}
+
+TEST(Offline, BasicBlockModeSkipsPtDecode)
+{
+    Program p = condvarProgram();
+    core::SessionOptions sopt;
+    sopt.machine.seed = 2;
+    sopt.run_baseline = false;
+    sopt.tracing.pebs_period = 40;
+    auto run = core::Session::run(
+        p, [](vm::Machine &m) { m.addThread("main"); }, sopt);
+
+    core::OfflineOptions oopt;
+    oopt.replay.mode = replay::ReplayMode::kBasicBlock;
+    core::OfflineAnalyzer analyzer(p, oopt);
+    auto result = analyzer.analyze(run.trace);
+    EXPECT_EQ(result.decode_stats.packets, 0u);
+    EXPECT_EQ(result.decode_seconds, 0.0);
+    EXPECT_GT(result.extended_trace_events, 0u);
+}
+
+TEST(Offline, RecoveryRatioIsOneWithPebsOnly)
+{
+    // Without PT there are no paths: the extended trace is exactly the
+    // samples (the degenerate configuration RaceZ improves on).
+    Program p = condvarProgram();
+    core::SessionOptions sopt;
+    sopt.machine.seed = 2;
+    sopt.run_baseline = false;
+    sopt.tracing.pebs_period = 40;
+    sopt.tracing.enable_pt = false;
+    auto run = core::Session::run(
+        p, [](vm::Machine &m) { m.addThread("main"); }, sopt);
+    core::OfflineAnalyzer analyzer(p, {});
+    auto result = analyzer.analyze(run.trace);
+    EXPECT_DOUBLE_EQ(result.replay_stats.recoveryRatio(), 1.0);
+    EXPECT_EQ(result.extended_trace_events,
+              run.trace.pebs.size());
+}
+
+} // namespace
+} // namespace prorace

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for the PMU models: PT packet codec, filters, PEBS counter, and
+ * the end-to-end encode/decode fidelity of control-flow tracing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/session.hh"
+#include "pmu/pebs.hh"
+#include "pmu/pt.hh"
+#include "pmu/pt_decode.hh"
+#include "pmu/pt_packet.hh"
+#include "testutil.hh"
+
+namespace prorace::pmu {
+namespace {
+
+using testutil::makeBranchyProgram;
+using testutil::oraclePaths;
+
+TEST(PtPacket, RoundTripAllKinds)
+{
+    BitWriter w;
+    writePtPacket(w, {.kind = PtPacketKind::kTnt, .taken = true});
+    writePtPacket(w, {.kind = PtPacketKind::kTnt, .taken = false});
+    writePtPacket(w, {.kind = PtPacketKind::kTip, .target = 0xdeadbeef});
+    writePtPacket(w, {.kind = PtPacketKind::kPge, .target = 1234});
+    writePtPacket(w, {.kind = PtPacketKind::kContext, .tid = 7,
+                      .tsc = 0x123456789abcull});
+    writePtPacket(w, {.kind = PtPacketKind::kTsc, .tsc = 42});
+    writePtPacket(w, {.kind = PtPacketKind::kEnd});
+
+    BitReader r(w.bytes(), w.bitCount());
+    PtPacket p = readPtPacket(r);
+    EXPECT_EQ(p.kind, PtPacketKind::kTnt);
+    EXPECT_TRUE(p.taken);
+    p = readPtPacket(r);
+    EXPECT_EQ(p.kind, PtPacketKind::kTnt);
+    EXPECT_FALSE(p.taken);
+    p = readPtPacket(r);
+    EXPECT_EQ(p.kind, PtPacketKind::kTip);
+    EXPECT_EQ(p.target, 0xdeadbeefu);
+    p = readPtPacket(r);
+    EXPECT_EQ(p.kind, PtPacketKind::kPge);
+    EXPECT_EQ(p.target, 1234u);
+    p = readPtPacket(r);
+    EXPECT_EQ(p.kind, PtPacketKind::kContext);
+    EXPECT_EQ(p.tid, 7u);
+    EXPECT_EQ(p.tsc, 0x123456789abcull);
+    p = readPtPacket(r);
+    EXPECT_EQ(p.kind, PtPacketKind::kTsc);
+    EXPECT_EQ(p.tsc, 42u);
+    p = readPtPacket(r);
+    EXPECT_EQ(p.kind, PtPacketKind::kEnd);
+}
+
+TEST(PtPacket, TntCostsTwoBits)
+{
+    BitWriter w;
+    writePtPacket(w, {.kind = PtPacketKind::kTnt, .taken = true});
+    EXPECT_EQ(w.bitCount(), 2u);
+}
+
+TEST(PtFilter, RangesAndAll)
+{
+    PtFilter f;
+    f.addRange(10, 20);
+    f.addRange(30, 40);
+    EXPECT_TRUE(f.contains(10));
+    EXPECT_TRUE(f.contains(19));
+    EXPECT_FALSE(f.contains(20));
+    EXPECT_FALSE(f.contains(25));
+    EXPECT_TRUE(f.contains(39));
+    EXPECT_TRUE(PtFilter::all().contains(123456));
+    EXPECT_FALSE(PtFilter().contains(0));
+}
+
+TEST(PtFilter, HardwareLimitsFourRanges)
+{
+    PtFilter f;
+    f.addRange(0, 1);
+    f.addRange(1, 2);
+    f.addRange(2, 3);
+    f.addRange(3, 4);
+    EXPECT_THROW(f.addRange(4, 5), std::runtime_error);
+}
+
+TEST(PebsCounter, FiresEveryKthEvent)
+{
+    Rng rng(1);
+    PebsCounter c(5, false, rng);
+    int fires = 0;
+    for (int i = 1; i <= 50; ++i) {
+        if (c.tick()) {
+            ++fires;
+            EXPECT_EQ(i % 5, 0) << "fired off-period at event " << i;
+        }
+    }
+    EXPECT_EQ(fires, 10);
+}
+
+TEST(PebsCounter, RandomizedFirstWindowVariesBySeed)
+{
+    auto first_fire = [](uint64_t seed) {
+        Rng rng(seed);
+        PebsCounter c(1000, true, rng);
+        for (int i = 1;; ++i) {
+            if (c.tick())
+                return i;
+        }
+    };
+    const int a = first_fire(1);
+    const int b = first_fire(2);
+    const int c = first_fire(3);
+    EXPECT_TRUE(a != b || b != c) << "first windows should differ";
+    EXPECT_LE(a, 1000);
+    // After the first fire the period must be exactly k.
+    Rng rng(1);
+    PebsCounter counter(100, true, rng);
+    int last = 0, i = 0;
+    std::vector<int> gaps;
+    for (i = 1; gaps.size() < 5; ++i) {
+        if (counter.tick()) {
+            if (last)
+                gaps.push_back(i - last);
+            last = i;
+        }
+    }
+    for (int g : gaps)
+        EXPECT_EQ(g, 100);
+}
+
+/** Run the branchy program traced and return artifacts + oracle paths. */
+struct DecodeFixture {
+    asmkit::Program program = makeBranchyProgram();
+    core::RunArtifacts artifacts;
+    std::map<uint32_t, std::vector<uint32_t>> oracle;
+
+    explicit
+    DecodeFixture(const PtFilter &filter = PtFilter::all(),
+                  uint64_t seed = 3)
+    {
+        core::SessionOptions opt;
+        opt.machine.seed = seed;
+        opt.machine.record_path_log = true;
+        opt.run_baseline = false;
+        opt.tracing.enable_pebs = false;
+        opt.tracing.pt.filter = filter;
+
+        // Session runs its own machine; to get the oracle we run the
+        // identical machine configuration with the same observer attached.
+        vm::Machine machine(program, opt.machine);
+        driver::TracingSession tracing(opt.tracing, opt.machine.num_cores);
+        machine.setObserver(&tracing);
+        machine.addThread("main");
+        machine.run();
+        artifacts.trace = tracing.finish();
+        artifacts.trace.meta.wall_cycles = machine.wallTime();
+        for (uint32_t tid = 0; tid < machine.numThreads(); ++tid) {
+            artifacts.trace.meta.threads.push_back(
+                {tid, machine.thread(tid).entry_ip});
+        }
+        oracle = oraclePaths(machine);
+    }
+};
+
+TEST(PtDecode, ReconstructsExactPathsUnfiltered)
+{
+    DecodeFixture fx;
+    PtDecodeStats stats;
+    auto paths = decodePt(fx.program, PtFilter::all(), fx.artifacts.trace,
+                          &stats);
+
+    ASSERT_EQ(paths.size(), fx.oracle.size());
+    for (const auto &[tid, oracle_path] : fx.oracle) {
+        ASSERT_TRUE(paths.count(tid)) << "missing path for tid " << tid;
+        const auto &decoded = paths.at(tid).insns;
+        EXPECT_EQ(decoded, oracle_path) << "path mismatch for tid " << tid;
+        EXPECT_TRUE(paths.at(tid).complete);
+    }
+    EXPECT_GT(stats.packets, 0u);
+}
+
+TEST(PtDecode, ExactAcrossSeeds)
+{
+    for (uint64_t seed = 10; seed < 18; ++seed) {
+        DecodeFixture fx(PtFilter::all(), seed);
+        auto paths = decodePt(fx.program, PtFilter::all(),
+                              fx.artifacts.trace);
+        for (const auto &[tid, oracle_path] : fx.oracle) {
+            EXPECT_EQ(paths.at(tid).insns, oracle_path)
+                << "seed " << seed << " tid " << tid;
+        }
+    }
+}
+
+TEST(PtDecode, AnchorsAreMonotonic)
+{
+    DecodeFixture fx;
+    auto paths = decodePt(fx.program, PtFilter::all(), fx.artifacts.trace);
+    for (const auto &[tid, path] : paths) {
+        uint64_t last_pos = 0;
+        for (const PathAnchor &a : path.anchors) {
+            EXPECT_GE(a.position, last_pos) << "tid " << tid;
+            last_pos = a.position;
+            EXPECT_LE(a.position, path.insns.size());
+        }
+        EXPECT_GE(path.anchors.size(), 1u) << "tid " << tid;
+    }
+}
+
+TEST(PtDecode, FilteredLibraryBecomesGap)
+{
+    // Filter out the "helper" function; its body must disappear from
+    // decoded paths, replaced by gap markers, while everything else
+    // still matches the oracle.
+    asmkit::Program program = makeBranchyProgram();
+    const asmkit::Function *helper = nullptr;
+    for (const auto &fn : program.functions()) {
+        if (fn.name == "helper")
+            helper = &fn;
+    }
+    ASSERT_NE(helper, nullptr);
+
+    PtFilter filter;
+    filter.addRange(0, helper->begin);
+    filter.addRange(helper->end, program.size());
+
+    core::SessionOptions opt;
+    opt.machine.seed = 3;
+    opt.machine.record_path_log = true;
+    opt.tracing.enable_pebs = false;
+    opt.tracing.pt.filter = filter;
+
+    vm::Machine machine(program, opt.machine);
+    driver::TracingSession tracing(opt.tracing, opt.machine.num_cores);
+    machine.setObserver(&tracing);
+    machine.addThread("main");
+    machine.run();
+    trace::RunTrace trace = tracing.finish();
+    for (uint32_t tid = 0; tid < machine.numThreads(); ++tid)
+        trace.meta.threads.push_back({tid, machine.thread(tid).entry_ip});
+
+    auto paths = decodePt(program, filter, trace);
+    auto oracle = oraclePaths(machine);
+
+    for (const auto &[tid, oracle_path] : oracle) {
+        // Collapse the oracle's helper-body instructions into gaps.
+        std::vector<uint32_t> expected;
+        bool in_gap = false;
+        for (uint32_t idx : oracle_path) {
+            const bool inside = idx >= helper->begin && idx < helper->end;
+            if (inside) {
+                if (!in_gap) {
+                    expected.push_back(kPathGap);
+                    in_gap = true;
+                }
+            } else {
+                expected.push_back(idx);
+                in_gap = false;
+            }
+        }
+        EXPECT_EQ(paths.at(tid).insns, expected) << "tid " << tid;
+    }
+}
+
+TEST(PtDecode, TraceSizeScalesWithBranchCount)
+{
+    DecodeFixture small_fx(PtFilter::all(), 3);
+    asmkit::Program big = makeBranchyProgram(400);
+    core::SessionOptions opt;
+    opt.machine.seed = 3;
+    opt.tracing.enable_pebs = false;
+    core::RunArtifacts big_run = core::Session::run(
+        big, [](vm::Machine &m) { m.addThread("main"); }, opt);
+    EXPECT_GT(big_run.trace.meta.pt_bytes,
+              small_fx.artifacts.trace.meta.pt_bytes);
+    // PT stays compact: well under 2 bytes per retired branch.
+    EXPECT_LT(static_cast<double>(big_run.trace.meta.pt_bytes),
+              2.0 * static_cast<double>(big_run.total_insns));
+}
+
+} // namespace
+} // namespace prorace::pmu

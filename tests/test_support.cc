@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the support library (rng, stats, bitstream, log).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/bitstream.hh"
+#include "support/log.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace prorace {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng r(7);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        hit_lo |= v == 3;
+        hit_hi |= v == 5;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(5);
+    Rng child = parent.fork();
+    EXPECT_NE(parent.next(), child.next());
+}
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4.0);
+    EXPECT_NEAR(geomean({1, 100}), 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, StddevOfConstantIsZero)
+{
+    EXPECT_DOUBLE_EQ(stddev({3, 3, 3, 3}), 0.0);
+}
+
+TEST(Stats, MinMax)
+{
+    EXPECT_DOUBLE_EQ(minOf({3, 1, 2}), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf({3, 1, 2}), 3.0);
+}
+
+TEST(Stats, RunningStatMatchesBatch)
+{
+    RunningStat rs;
+    for (double x : {1.0, 2.0, 3.0, 10.0})
+        rs.add(x);
+    EXPECT_EQ(rs.count(), 4u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 10.0);
+}
+
+TEST(Stats, FormatOverheadMatchesPaperStyle)
+{
+    EXPECT_EQ(formatOverhead(0.026), "2.6%");
+    EXPECT_EQ(formatOverhead(1.85), "2.85x");
+}
+
+TEST(Bitstream, RoundTripBits)
+{
+    BitWriter w;
+    w.putBit(true);
+    w.putBit(false);
+    w.putBits(0b1011, 4);
+    w.putByte(0xab);
+    w.putU64(0x0123456789abcdefull);
+
+    BitReader r(w.bytes(), w.bitCount());
+    EXPECT_TRUE(r.getBit());
+    EXPECT_FALSE(r.getBit());
+    EXPECT_EQ(r.getBits(4), 0b1011u);
+    EXPECT_EQ(r.getByte(), 0xab);
+    EXPECT_EQ(r.getU64(), 0x0123456789abcdefull);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Bitstream, ByteCountRoundsUp)
+{
+    BitWriter w;
+    w.putBits(0x7, 3);
+    EXPECT_EQ(w.bitCount(), 3u);
+    EXPECT_EQ(w.byteCount(), 1u);
+    w.putBits(0x1f, 6);
+    EXPECT_EQ(w.byteCount(), 2u);
+}
+
+TEST(Bitstream, ManyAlternatingBits)
+{
+    BitWriter w;
+    for (int i = 0; i < 1000; ++i)
+        w.putBit(i % 3 == 0);
+    BitReader r(w.bytes(), w.bitCount());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(r.getBit(), i % 3 == 0) << "bit " << i;
+}
+
+TEST(Bitstream, ReadPastEndPanics)
+{
+    BitWriter w;
+    w.putBit(true);
+    BitReader r(w.bytes(), w.bitCount());
+    r.getBit();
+    EXPECT_THROW(r.getBit(), std::logic_error);
+}
+
+TEST(Log, PanicThrowsLogicError)
+{
+    EXPECT_THROW(PRORACE_PANIC("boom"), std::logic_error);
+}
+
+TEST(Log, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(PRORACE_FATAL("bad config"), std::runtime_error);
+}
+
+TEST(Log, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(PRORACE_ASSERT(1 + 1 == 2, "math"));
+    EXPECT_THROW(PRORACE_ASSERT(1 + 1 == 3, "math"), std::logic_error);
+}
+
+} // namespace
+} // namespace prorace

@@ -1,0 +1,626 @@
+/**
+ * @file
+ * Unit and integration tests for the simulated machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "asmkit/builder.hh"
+#include "asmkit/layout.hh"
+#include "vm/machine.hh"
+
+namespace prorace::vm {
+namespace {
+
+using asmkit::Program;
+using asmkit::ProgramBuilder;
+using isa::AluOp;
+using isa::CondCode;
+using isa::MemOperand;
+using isa::Reg;
+using isa::SyscallNo;
+
+MachineConfig
+quietConfig()
+{
+    MachineConfig cfg;
+    cfg.seed = 1;
+    return cfg;
+}
+
+TEST(Machine, ArithmeticLoopComputesSum)
+{
+    ProgramBuilder b;
+    b.globalU64("sum", 0);
+    b.label("main");
+    b.movri(Reg::rax, 0);   // i
+    b.movri(Reg::rbx, 0);   // acc
+    b.label("loop");
+    b.alurr(AluOp::kAdd, Reg::rbx, Reg::rax);
+    b.addri(Reg::rax, 1);
+    b.cmpri(Reg::rax, 100);
+    b.jcc(CondCode::kLt, "loop");
+    b.store(b.symRef("sum"), Reg::rbx);
+    b.halt();
+    Program p = b.build();
+
+    Machine m(p, quietConfig());
+    m.addThread("main");
+    EXPECT_EQ(m.run(), RunStatus::kFinished);
+    EXPECT_EQ(m.memory().read(p.symbol("sum").addr, 8), 4950u);
+}
+
+TEST(Machine, LoadStoreWidthsAndSignExtension)
+{
+    ProgramBuilder b;
+    b.global("buf", 16);
+    b.label("main");
+    b.movri(Reg::rax, -2);  // 0xfffffffffffffffe
+    b.store(b.symRef("buf"), Reg::rax, 4);           // 0xfffffffe
+    b.load(Reg::rbx, b.symRef("buf"), 4, false);     // zero extend
+    b.load(Reg::rcx, b.symRef("buf"), 4, true);      // sign extend
+    b.load(Reg::rdx, b.symRef("buf"), 1, false);     // 0xfe
+    b.halt();
+    Program p = b.build();
+
+    Machine m(p, quietConfig());
+    m.addThread("main");
+    m.run();
+    EXPECT_EQ(m.thread(0).regs.get(Reg::rbx), 0xfffffffeull);
+    EXPECT_EQ(m.thread(0).regs.get(Reg::rcx), ~1ull);
+    EXPECT_EQ(m.thread(0).regs.get(Reg::rdx), 0xfeull);
+}
+
+TEST(Machine, CallRetUseStack)
+{
+    ProgramBuilder b;
+    b.globalU64("out", 0);
+    b.label("main");
+    b.movri(Reg::rdi, 20);
+    b.call("double_it");
+    b.store(b.symRef("out"), Reg::rax);
+    b.halt();
+    b.beginFunction("double_it");
+    b.movrr(Reg::rax, Reg::rdi);
+    b.alurr(AluOp::kAdd, Reg::rax, Reg::rdi);
+    b.ret();
+    Program p = b.build();
+
+    Machine m(p, quietConfig());
+    m.addThread("main");
+    EXPECT_EQ(m.run(), RunStatus::kFinished);
+    EXPECT_EQ(m.memory().read(p.symbol("out").addr, 8), 40u);
+    // rsp restored
+    EXPECT_EQ(m.thread(0).regs.get(Reg::rsp), asmkit::stackTopFor(0));
+}
+
+TEST(Machine, IndirectCallThroughFunctionPointer)
+{
+    // A one-entry vtable in global data holds the callee's entry index;
+    // main loads it and calls indirectly.
+    ProgramBuilder b;
+    b.globalU64("result", 0);
+    b.globalU64("vtable", 0); // patched before the run
+    b.label("main");
+    b.load(Reg::r11, b.symRef("vtable"));
+    b.callind(Reg::r11);
+    b.store(b.symRef("result"), Reg::rax);
+    b.halt();
+    b.beginFunction("callee");
+    b.movri(Reg::rax, 77);
+    b.ret();
+    Program p = b.build();
+
+    Machine m(p, quietConfig());
+    m.memory().write(p.symbol("vtable").addr, p.labelAddr("callee"), 8);
+    m.addThread("main");
+    EXPECT_EQ(m.run(), RunStatus::kFinished);
+    EXPECT_EQ(m.memory().read(p.symbol("result").addr, 8), 77u);
+}
+
+TEST(Machine, SpawnJoinPropagatesWork)
+{
+    ProgramBuilder b;
+    b.globalU64("total", 0);
+    b.global("m", 8);
+    b.label("main");
+    b.movri(Reg::r12, 1);
+    b.spawn(Reg::r8, "worker", Reg::r12);
+    b.movri(Reg::r12, 2);
+    b.spawn(Reg::r9, "worker", Reg::r12);
+    b.join(Reg::r8);
+    b.join(Reg::r9);
+    b.halt();
+    b.beginFunction("worker");
+    // total += arg (under lock), 10 times
+    b.movri(Reg::rcx, 0);
+    b.label("wl");
+    b.lock(b.symRef("m"));
+    b.load(Reg::rax, b.symRef("total"));
+    b.alurr(AluOp::kAdd, Reg::rax, Reg::rdi);
+    b.store(b.symRef("total"), Reg::rax);
+    b.unlock(b.symRef("m"));
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, 10);
+    b.jcc(CondCode::kLt, "wl");
+    b.halt();
+    Program p = b.build();
+
+    Machine m(p, quietConfig());
+    m.addThread("main");
+    EXPECT_EQ(m.run(), RunStatus::kFinished);
+    EXPECT_EQ(m.memory().read(p.symbol("total").addr, 8), 30u);
+    EXPECT_EQ(m.numThreads(), 3u);
+}
+
+TEST(Machine, MutexProvidesMutualExclusion)
+{
+    // Without the lock this increment loop loses updates with high
+    // probability; with it the total must be exact for every seed.
+    for (uint64_t seed : {1ull, 2ull, 3ull, 17ull}) {
+        ProgramBuilder b;
+        b.globalU64("counter", 0);
+        b.global("mtx", 8);
+        b.label("main");
+        b.movri(Reg::r12, 0);
+        b.spawn(Reg::r8, "incr", Reg::r12);
+        b.spawn(Reg::r9, "incr", Reg::r12);
+        b.spawn(Reg::r10, "incr", Reg::r12);
+        b.join(Reg::r8);
+        b.join(Reg::r9);
+        b.join(Reg::r10);
+        b.halt();
+        b.beginFunction("incr");
+        b.movri(Reg::rcx, 0);
+        b.label("il");
+        b.lock(b.symRef("mtx"));
+        b.load(Reg::rax, b.symRef("counter"));
+        b.addri(Reg::rax, 1);
+        b.store(b.symRef("counter"), Reg::rax);
+        b.unlock(b.symRef("mtx"));
+        b.addri(Reg::rcx, 1);
+        b.cmpri(Reg::rcx, 200);
+        b.jcc(CondCode::kLt, "il");
+        b.halt();
+        Program p = b.build();
+
+        MachineConfig cfg = quietConfig();
+        cfg.seed = seed;
+        Machine m(p, cfg);
+        m.addThread("main");
+        EXPECT_EQ(m.run(), RunStatus::kFinished);
+        EXPECT_EQ(m.memory().read(p.symbol("counter").addr, 8), 600u)
+            << "seed " << seed;
+    }
+}
+
+TEST(Machine, UnsynchronizedCountersLoseUpdatesForSomeSeed)
+{
+    // The dual of the previous test: the same loop without the lock must
+    // exhibit a lost update for at least one seed — the machine really
+    // interleaves.
+    bool lost = false;
+    for (uint64_t seed = 1; seed <= 20 && !lost; ++seed) {
+        ProgramBuilder b;
+        b.globalU64("counter", 0);
+        b.label("main");
+        b.movri(Reg::r12, 0);
+        b.spawn(Reg::r8, "incr", Reg::r12);
+        b.spawn(Reg::r9, "incr", Reg::r12);
+        b.join(Reg::r8);
+        b.join(Reg::r9);
+        b.halt();
+        b.beginFunction("incr");
+        b.movri(Reg::rcx, 0);
+        b.label("il");
+        b.load(Reg::rax, b.symRef("counter"));
+        b.addri(Reg::rax, 1);
+        b.store(b.symRef("counter"), Reg::rax);
+        b.addri(Reg::rcx, 1);
+        b.cmpri(Reg::rcx, 500);
+        b.jcc(CondCode::kLt, "il");
+        b.halt();
+        Program p = b.build();
+
+        MachineConfig cfg = quietConfig();
+        cfg.seed = seed;
+        Machine m(p, cfg);
+        m.addThread("main");
+        m.run();
+        if (m.memory().read(p.symbol("counter").addr, 8) < 1000u)
+            lost = true;
+    }
+    EXPECT_TRUE(lost);
+}
+
+TEST(Machine, CondVarProducerConsumer)
+{
+    ProgramBuilder b;
+    b.globalU64("item", 0);
+    b.globalU64("ready", 0);
+    b.globalU64("got", 0);
+    b.global("mtx", 8);
+    b.global("cv", 8);
+    b.label("main");
+    b.movri(Reg::r12, 0);
+    b.spawn(Reg::r8, "consumer", Reg::r12);
+    // producer: item = 99; ready = 1; signal
+    b.lock(b.symRef("mtx"));
+    b.movri(Reg::rax, 99);
+    b.store(b.symRef("item"), Reg::rax);
+    b.movri(Reg::rax, 1);
+    b.store(b.symRef("ready"), Reg::rax);
+    b.condSignal(b.symRef("cv"));
+    b.unlock(b.symRef("mtx"));
+    b.join(Reg::r8);
+    b.halt();
+    b.beginFunction("consumer");
+    b.lock(b.symRef("mtx"));
+    b.label("check");
+    b.load(Reg::rax, b.symRef("ready"));
+    b.cmpri(Reg::rax, 1);
+    b.jcc(CondCode::kEq, "consume");
+    b.lea(Reg::r13, b.symRef("mtx"));
+    b.condWait(b.symRef("cv"), Reg::r13);
+    b.jmp("check");
+    b.label("consume");
+    b.load(Reg::rax, b.symRef("item"));
+    b.store(b.symRef("got"), Reg::rax);
+    b.unlock(b.symRef("mtx"));
+    b.halt();
+    Program p = b.build();
+
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        MachineConfig cfg = quietConfig();
+        cfg.seed = seed;
+        Machine m(p, cfg);
+        m.addThread("main");
+        EXPECT_EQ(m.run(), RunStatus::kFinished) << "seed " << seed;
+        EXPECT_EQ(m.memory().read(p.symbol("got").addr, 8), 99u)
+            << "seed " << seed;
+    }
+}
+
+TEST(Machine, BarrierSynchronizesPhases)
+{
+    ProgramBuilder b;
+    b.global("bar", 8);
+    b.global("slots", 4 * 8);
+    b.globalU64("check", 0);
+    b.label("main");
+    b.movri(Reg::r12, 0);
+    b.spawn(Reg::r8, "phase_worker", Reg::r12);
+    b.movri(Reg::r12, 1);
+    b.spawn(Reg::r9, "phase_worker", Reg::r12);
+    b.movri(Reg::r12, 2);
+    b.spawn(Reg::r10, "phase_worker", Reg::r12);
+    b.join(Reg::r8);
+    b.join(Reg::r9);
+    b.join(Reg::r10);
+    b.halt();
+    b.beginFunction("phase_worker");
+    // phase 1: slots[arg] = arg + 1
+    b.movrr(Reg::rax, Reg::rdi);
+    b.addri(Reg::rax, 1);
+    b.lea(Reg::rbx, b.symRef("slots"));
+    b.store(MemOperand::baseIndex(Reg::rbx, Reg::rdi, 8), Reg::rax);
+    b.barrier(b.symRef("bar"), 3);
+    // phase 2: everyone checks the sum is 1+2+3 = 6
+    b.lea(Reg::rbx, b.symRef("slots"));
+    b.load(Reg::rax, MemOperand::baseDisp(Reg::rbx, 0));
+    b.load(Reg::rcx, MemOperand::baseDisp(Reg::rbx, 8));
+    b.alurr(AluOp::kAdd, Reg::rax, Reg::rcx);
+    b.load(Reg::rcx, MemOperand::baseDisp(Reg::rbx, 16));
+    b.alurr(AluOp::kAdd, Reg::rax, Reg::rcx);
+    b.cmpri(Reg::rax, 6);
+    b.jcc(CondCode::kEq, "ok");
+    // failure: mark check = 1
+    b.movri(Reg::rax, 1);
+    b.store(b.symRef("check"), Reg::rax);
+    b.label("ok");
+    b.halt();
+    Program p = b.build();
+
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        MachineConfig cfg = quietConfig();
+        cfg.seed = seed;
+        Machine m(p, cfg);
+        m.addThread("main");
+        EXPECT_EQ(m.run(), RunStatus::kFinished) << "seed " << seed;
+        EXPECT_EQ(m.memory().read(p.symbol("check").addr, 8), 0u)
+            << "seed " << seed;
+    }
+}
+
+TEST(Machine, MallocFreeReuseIsLifo)
+{
+    ProgramBuilder b;
+    b.globalU64("a1", 0);
+    b.globalU64("a2", 0);
+    b.label("main");
+    b.movri(Reg::rsi, 64);
+    b.mallocCall(Reg::rax, Reg::rsi);
+    b.store(b.symRef("a1"), Reg::rax);
+    b.freeCall(Reg::rax);
+    b.mallocCall(Reg::rbx, Reg::rsi);
+    b.store(b.symRef("a2"), Reg::rbx);
+    b.halt();
+    Program p = b.build();
+
+    Machine m(p, quietConfig());
+    m.addThread("main");
+    m.run();
+    const uint64_t a1 = m.memory().read(p.symbol("a1").addr, 8);
+    const uint64_t a2 = m.memory().read(p.symbol("a2").addr, 8);
+    EXPECT_EQ(a1, a2) << "freed block should be reused LIFO";
+    EXPECT_TRUE(asmkit::isHeapAddress(a1));
+}
+
+TEST(Machine, DeadlockIsDetected)
+{
+    ProgramBuilder b;
+    b.global("m1", 8);
+    b.label("main");
+    b.lock(b.symRef("m1"));
+    b.lock(b.symRef("m1")); // self-deadlock (non-recursive mutex)
+    b.halt();
+    Program p = b.build();
+
+    Machine m(p, quietConfig());
+    m.addThread("main");
+    EXPECT_EQ(m.run(), RunStatus::kDeadlock);
+}
+
+TEST(Machine, InstructionLimitStopsRunawayLoop)
+{
+    ProgramBuilder b;
+    b.label("main");
+    b.label("spin");
+    b.jmp("spin");
+    Program p = b.build();
+
+    MachineConfig cfg = quietConfig();
+    cfg.max_instructions = 10000;
+    Machine m(p, cfg);
+    m.addThread("main");
+    EXPECT_EQ(m.run(), RunStatus::kInsnLimit);
+}
+
+TEST(Machine, IoSyscallsAdvanceTimeWithoutBusyCost)
+{
+    ProgramBuilder b;
+    b.label("main");
+    b.syscall(SyscallNo::kNetRecv, 100000);
+    b.halt();
+    Program p = b.build();
+
+    Machine m(p, quietConfig());
+    m.addThread("main");
+    EXPECT_EQ(m.run(), RunStatus::kFinished);
+    EXPECT_GE(m.wallTime(), 100000u);
+    EXPECT_LT(m.totalInstructions(), 10u);
+}
+
+TEST(Machine, MemoryLogRecordsAllAccesses)
+{
+    ProgramBuilder b;
+    b.globalU64("x", 0);
+    b.label("main");
+    b.load(Reg::rax, b.symRef("x"));
+    b.addri(Reg::rax, 1);
+    b.store(b.symRef("x"), Reg::rax);
+    b.halt();
+    Program p = b.build();
+
+    MachineConfig cfg = quietConfig();
+    cfg.record_memory_log = true;
+    Machine m(p, cfg);
+    m.addThread("main");
+    m.run();
+    const auto &log = m.memoryLog();
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_FALSE(log[0].is_write);
+    EXPECT_TRUE(log[1].is_write);
+    EXPECT_EQ(log[0].addr, p.symbol("x").addr);
+    EXPECT_LT(log[0].tsc, log[1].tsc);
+}
+
+TEST(Machine, ObserverSeesPreExecutionRegisters)
+{
+    struct Probe : ExecutionObserver {
+        uint64_t seen_rax = 0;
+        uint64_t addr = 0;
+        uint64_t
+        onMemOp(const MemOpEvent &ev) override
+        {
+            if (!ev.is_write) {
+                seen_rax = ev.regs->get(Reg::rax);
+                addr = ev.addr;
+            }
+            return 0;
+        }
+    };
+
+    ProgramBuilder b;
+    b.globalU64("x", 1234);
+    b.label("main");
+    b.movri(Reg::rax, 55);
+    b.load(Reg::rax, b.symRef("x")); // overwrites rax with 1234
+    b.halt();
+    Program p = b.build();
+
+    Machine m(p, quietConfig());
+    Probe probe;
+    m.setObserver(&probe);
+    m.addThread("main");
+    m.run();
+    EXPECT_EQ(probe.seen_rax, 55u) << "observer must see pre-state";
+    EXPECT_EQ(probe.addr, p.symbol("x").addr);
+    EXPECT_EQ(m.thread(0).regs.get(Reg::rax), 1234u);
+}
+
+TEST(Machine, ObserverCostsExtendWallTime)
+{
+    auto run_with_cost = [](uint64_t cost) {
+        struct Taxer : ExecutionObserver {
+            uint64_t cost;
+            explicit Taxer(uint64_t c) : cost(c) {}
+            uint64_t onMemOp(const MemOpEvent &) override { return cost; }
+        };
+        ProgramBuilder b;
+        b.globalU64("x", 0);
+        b.label("main");
+        b.movri(Reg::rcx, 0);
+        b.label("l");
+        b.load(Reg::rax, b.symRef("x"));
+        b.addri(Reg::rcx, 1);
+        b.cmpri(Reg::rcx, 1000);
+        b.jcc(CondCode::kLt, "l");
+        b.halt();
+        Program p = b.build();
+        Machine m(p, quietConfig());
+        Taxer taxer(cost);
+        m.setObserver(&taxer);
+        m.addThread("main");
+        m.run();
+        return m.wallTime();
+    };
+    const uint64_t base = run_with_cost(0);
+    const uint64_t taxed = run_with_cost(10);
+    EXPECT_GT(taxed, base + 9000u);
+}
+
+TEST(Machine, AtomicRmwIsAtomicAcrossThreads)
+{
+    ProgramBuilder b;
+    b.globalU64("counter", 0);
+    b.label("main");
+    b.movri(Reg::r12, 0);
+    b.spawn(Reg::r8, "atomic_incr", Reg::r12);
+    b.spawn(Reg::r9, "atomic_incr", Reg::r12);
+    b.join(Reg::r8);
+    b.join(Reg::r9);
+    b.halt();
+    b.beginFunction("atomic_incr");
+    b.movri(Reg::rcx, 0);
+    b.movri(Reg::rdx, 1);
+    b.label("al");
+    b.atomicRmw(AluOp::kAdd, Reg::rax, b.symRef("counter"), Reg::rdx);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, 300);
+    b.jcc(CondCode::kLt, "al");
+    b.halt();
+    Program p = b.build();
+
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        MachineConfig cfg = quietConfig();
+        cfg.seed = seed;
+        Machine m(p, cfg);
+        m.addThread("main");
+        m.run();
+        EXPECT_EQ(m.memory().read(p.symbol("counter").addr, 8), 600u)
+            << "seed " << seed;
+    }
+}
+
+TEST(Machine, CasLoopImplementsSpinCounter)
+{
+    ProgramBuilder b;
+    b.globalU64("v", 10);
+    b.label("main");
+    b.load(Reg::rax, b.symRef("v"));      // expected
+    b.movrr(Reg::rbx, Reg::rax);
+    b.addri(Reg::rbx, 5);                 // desired
+    b.cas(b.symRef("v"), Reg::rax, Reg::rbx);
+    b.halt();
+    Program p = b.build();
+
+    Machine m(p, quietConfig());
+    m.addThread("main");
+    m.run();
+    EXPECT_EQ(m.memory().read(p.symbol("v").addr, 8), 15u);
+    EXPECT_TRUE(m.thread(0).flags.zf);
+}
+
+TEST(Machine, SchedulingIsDeterministicPerSeed)
+{
+    auto trace_of = [](uint64_t seed) {
+        ProgramBuilder b;
+        b.globalU64("x", 0);
+        b.label("main");
+        b.movri(Reg::r12, 0);
+        b.spawn(Reg::r8, "w", Reg::r12);
+        b.spawn(Reg::r9, "w", Reg::r12);
+        b.join(Reg::r8);
+        b.join(Reg::r9);
+        b.halt();
+        b.beginFunction("w");
+        b.movri(Reg::rcx, 0);
+        b.label("l");
+        b.load(Reg::rax, b.symRef("x"));
+        b.addri(Reg::rax, 1);
+        b.store(b.symRef("x"), Reg::rax);
+        b.addri(Reg::rcx, 1);
+        b.cmpri(Reg::rcx, 100);
+        b.jcc(CondCode::kLt, "l");
+        b.halt();
+        Program p = b.build();
+        MachineConfig cfg;
+        cfg.seed = seed;
+        cfg.record_memory_log = true;
+        Machine m(p, cfg);
+        m.addThread("main");
+        m.run();
+        std::vector<std::pair<uint32_t, uint64_t>> out;
+        for (const auto &e : m.memoryLog())
+            out.emplace_back(e.tid, e.tsc);
+        return out;
+    };
+    EXPECT_EQ(trace_of(5), trace_of(5));
+    EXPECT_NE(trace_of(5), trace_of(6));
+}
+
+TEST(Machine, ManyThreadsOnFewCores)
+{
+    ProgramBuilder b;
+    b.globalU64("done", 0);
+    b.global("mtx", 8);
+    b.label("main");
+    // spawn 12 workers, join all (tids stored on the stack)
+    b.movri(Reg::rcx, 0);
+    b.label("spawn_loop");
+    b.movri(Reg::r12, 0);
+    b.spawn(Reg::rax, "tick", Reg::r12);
+    b.push(Reg::rax);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, 12);
+    b.jcc(CondCode::kLt, "spawn_loop");
+    b.movri(Reg::rcx, 0);
+    b.label("join_loop");
+    b.pop(Reg::rax);
+    b.join(Reg::rax);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, 12);
+    b.jcc(CondCode::kLt, "join_loop");
+    b.halt();
+    b.beginFunction("tick");
+    b.lock(b.symRef("mtx"));
+    b.load(Reg::rax, b.symRef("done"));
+    b.addri(Reg::rax, 1);
+    b.store(b.symRef("done"), Reg::rax);
+    b.unlock(b.symRef("mtx"));
+    b.halt();
+    Program p = b.build();
+
+    Machine m(p, quietConfig());
+    m.addThread("main");
+    EXPECT_EQ(m.run(), RunStatus::kFinished);
+    EXPECT_EQ(m.memory().read(p.symbol("done").addr, 8), 12u);
+    EXPECT_EQ(m.numThreads(), 13u);
+}
+
+} // namespace
+} // namespace prorace::vm

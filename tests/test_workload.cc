@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the workload suites: every subject builds and runs to
+ * completion, PT filters exclude library code, racy bugs really race,
+ * and clean workloads really don't.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/racez.hh"
+#include "core/pipeline.hh"
+#include "workload/apps.hh"
+#include "workload/racybugs.hh"
+#include "workload/registry.hh"
+
+namespace prorace::workload {
+namespace {
+
+vm::RunStatus
+runOnce(const Workload &w, uint64_t seed = 1,
+        vm::Machine **out_machine = nullptr)
+{
+    static vm::Machine *last = nullptr;
+    delete last;
+    vm::MachineConfig cfg;
+    cfg.seed = seed;
+    last = new vm::Machine(*w.program, cfg);
+    w.setup(*last);
+    const vm::RunStatus status = last->run();
+    if (out_machine)
+        *out_machine = last;
+    return status;
+}
+
+TEST(Workloads, AllParsecModelsRunToCompletion)
+{
+    for (const Workload &w : parsecWorkloads(0.15)) {
+        EXPECT_EQ(runOnce(w), vm::RunStatus::kFinished) << w.name;
+    }
+}
+
+TEST(Workloads, AllRealAppModelsRunToCompletion)
+{
+    for (const Workload &w : realAppWorkloads(0.15)) {
+        EXPECT_EQ(runOnce(w), vm::RunStatus::kFinished) << w.name;
+    }
+}
+
+TEST(Workloads, AllRacyBugsRunToCompletion)
+{
+    for (const Workload &w : racyBugWorkloads(0.15)) {
+        EXPECT_EQ(runOnce(w), vm::RunStatus::kFinished) << w.name;
+        ASSERT_EQ(w.bugs.size(), 1u) << w.name;
+        EXPECT_FALSE(w.bugs[0].racy_insns.empty()) << w.name;
+    }
+}
+
+TEST(Workloads, DeterministicPerSeed)
+{
+    Workload w = makeRacyBug("pfscan", 0.2);
+    vm::Machine *a = nullptr;
+    runOnce(w, 5, &a);
+    const uint64_t insns_a = a->totalInstructions();
+    vm::Machine *b = nullptr;
+    runOnce(w, 5, &b);
+    EXPECT_EQ(insns_a, b->totalInstructions());
+}
+
+TEST(Workloads, TableOneThreadCounts)
+{
+    // Table 1: cherokee runs 38 threads, mysql 20, memcached 5.
+    std::map<std::string, unsigned> expect{
+        {"cherokee", 38}, {"mysql", 20}, {"memcached", 5}, {"apache", 4}};
+    for (const Workload &w : realAppWorkloads(0.05)) {
+        auto it = expect.find(w.name);
+        if (it == expect.end())
+            continue;
+        vm::Machine *m = nullptr;
+        runOnce(w, 1, &m);
+        EXPECT_EQ(m->numThreads(), it->second + 1) // workers + main
+            << w.name;
+    }
+}
+
+TEST(Workloads, PtFilterExcludesLibraryCode)
+{
+    Workload w = makeRacyBug("pfscan", 0.2);
+    bool found_lib = false;
+    for (const asmkit::Function &fn : w.program->functions()) {
+        if (fn.name.rfind("lib_", 0) == 0) {
+            found_lib = true;
+            for (uint32_t i = fn.begin; i < fn.end; ++i) {
+                EXPECT_FALSE(w.pt_filter.contains(i))
+                    << fn.name << " insn " << i;
+            }
+        } else {
+            for (uint32_t i = fn.begin; i < fn.end; ++i) {
+                EXPECT_TRUE(w.pt_filter.contains(i))
+                    << fn.name << " insn " << i;
+            }
+        }
+    }
+    EXPECT_TRUE(found_lib) << "workloads must exercise library gaps";
+}
+
+TEST(Workloads, RacyInsnsReallyTouchTheRacyVariable)
+{
+    for (const Workload &w : racyBugWorkloads(0.1)) {
+        const RacyBug &bug = w.bugs[0];
+        vm::MachineConfig cfg;
+        cfg.seed = 3;
+        cfg.record_memory_log = true;
+        vm::Machine m(*w.program, cfg);
+        w.setup(m);
+        m.run();
+        std::set<uint32_t> hit_insns;
+        std::set<uint32_t> hit_tids;
+        for (const auto &e : m.memoryLog()) {
+            if (e.addr >= bug.racy_addr &&
+                e.addr < bug.racy_addr + bug.racy_size) {
+                hit_insns.insert(e.insn_index);
+                hit_tids.insert(e.tid);
+            }
+        }
+        for (uint32_t insn : bug.racy_insns)
+            EXPECT_TRUE(hit_insns.count(insn)) << w.name << " #" << insn;
+        EXPECT_GE(hit_tids.size(), 2u)
+            << w.name << ": racy variable must be touched by >1 thread";
+    }
+}
+
+TEST(Workloads, AddressKindsMatchTableTwo)
+{
+    std::map<std::string, AddressKind> expect{
+        {"pbzip2-0.9.5", AddressKind::kPcRelative},
+        {"pfscan", AddressKind::kPcRelative},
+        {"aget-bug2", AddressKind::kPcRelative},
+        {"apache-25520", AddressKind::kRegisterIndirect},
+        {"cherokee-0.9.2", AddressKind::kRegisterIndirect},
+        {"mysql-3596", AddressKind::kMemoryIndirect},
+        {"apache-21287", AddressKind::kMemoryIndirect},
+    };
+    for (const auto &[id, kind] : expect) {
+        Workload w = makeRacyBug(id, 0.1);
+        EXPECT_EQ(w.bugs[0].kind, kind) << id;
+    }
+    EXPECT_STREQ(addressKindName(AddressKind::kPcRelative), "pc relative");
+}
+
+TEST(Workloads, RegistryFindsEverySuite)
+{
+    const auto names = allWorkloadNames();
+    EXPECT_EQ(names.size(), 13u + 8u + 12u);
+    for (const std::string &name : names)
+        EXPECT_TRUE(findWorkload(name, 0.05).has_value()) << name;
+    EXPECT_FALSE(findWorkload("no-such-app").has_value());
+}
+
+TEST(Pipeline, ProRaceDetectsAPcRelativeBugReliably)
+{
+    Workload w = makeRacyBug("pfscan", 0.5);
+    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+        auto cfg = core::proRaceConfig(1000, seed, w.pt_filter);
+        auto result = core::runPipeline(*w.program, w.setup, cfg);
+        EXPECT_TRUE(bugDetected(w.bugs[0], result.offline.report))
+            << "seed " << seed;
+    }
+}
+
+TEST(Pipeline, RaceZMissesThePcRelativeBugAtSparsePeriods)
+{
+    // RaceZ needs a sample inside the racy basic block; ProRace only
+    // needs the PT path (paper §7.4).
+    Workload w = makeRacyBug("pfscan", 0.5);
+    int racez_hits = 0;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        auto cfg = baseline::raceZConfig(10000, seed);
+        auto result = core::runPipeline(*w.program, w.setup, cfg);
+        racez_hits += bugDetected(w.bugs[0], result.offline.report);
+    }
+    EXPECT_LT(racez_hits, 3) << "RaceZ should miss most sparse traces";
+}
+
+TEST(Pipeline, CleanWorkloadsProduceNoRaces)
+{
+    for (const char *name : {"blackscholes", "streamcluster", "apache"}) {
+        auto w = findWorkload(name, 0.1);
+        ASSERT_TRUE(w.has_value());
+        auto cfg = core::proRaceConfig(200, 11, w->pt_filter);
+        auto result = core::runPipeline(*w->program, w->setup, cfg);
+        EXPECT_TRUE(result.offline.report.empty())
+            << name << ":\n"
+            << result.offline.report.format(w->program.get());
+    }
+}
+
+TEST(Pipeline, DetectionImprovesWithDenserSampling)
+{
+    Workload w = makeRacyBug("mysql-644", 1.0);
+    int dense = 0, sparse = 0;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        auto d = core::runPipeline(
+            *w.program, w.setup,
+            core::proRaceConfig(100, seed, w.pt_filter));
+        dense += bugDetected(w.bugs[0], d.offline.report);
+        auto s = core::runPipeline(
+            *w.program, w.setup,
+            core::proRaceConfig(10000, seed, w.pt_filter));
+        sparse += bugDetected(w.bugs[0], s.offline.report);
+    }
+    EXPECT_GT(dense, sparse);
+    EXPECT_EQ(dense, 5);
+}
+
+} // namespace
+} // namespace prorace::workload

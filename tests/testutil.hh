@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared helpers for ProRace tests: representative programs with loops,
+ * calls, indirect transfers, and synchronization.
+ */
+
+#ifndef PRORACE_TESTS_TESTUTIL_HH
+#define PRORACE_TESTS_TESTUTIL_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "asmkit/builder.hh"
+#include "vm/machine.hh"
+
+namespace prorace::testutil {
+
+using asmkit::Program;
+using asmkit::ProgramBuilder;
+using isa::AluOp;
+using isa::CondCode;
+using isa::MemOperand;
+using isa::Reg;
+
+/**
+ * A control-flow-rich two-worker program:
+ * main spawns two workers; each worker runs a loop that conditionally
+ * calls a helper, makes an indirect call through a two-entry dispatch
+ * table, and updates a per-thread accumulator under a lock.
+ */
+inline Program
+makeBranchyProgram(int iterations = 50)
+{
+    ProgramBuilder b;
+    b.global("mtx", 8);
+    b.global("acc", 2 * 8);
+    b.global("table", 2 * 8); // code pointers, patched at startup
+
+    b.label("main");
+    // Initialize the dispatch table with code pointers.
+    b.movLabel(Reg::rax, "op_add3");
+    b.store(b.symRef("table", 0), Reg::rax);
+    b.movLabel(Reg::rax, "op_add7");
+    b.store(b.symRef("table", 8), Reg::rax);
+    b.movri(Reg::r12, 0);
+    b.spawn(Reg::r8, "worker", Reg::r12);
+    b.movri(Reg::r12, 1);
+    b.spawn(Reg::r9, "worker", Reg::r12);
+    b.join(Reg::r8);
+    b.join(Reg::r9);
+    b.halt();
+
+    b.beginFunction("worker");
+    b.movri(Reg::rcx, 0);              // loop counter
+    b.movri(Reg::rbx, 0);              // accumulator
+    b.label("w_loop");
+    // Conditionally call the helper on even iterations.
+    b.movrr(Reg::rax, Reg::rcx);
+    b.aluri(AluOp::kAnd, Reg::rax, 1);
+    b.cmpri(Reg::rax, 0);
+    b.jcc(CondCode::kNe, "w_odd");
+    b.call("helper");
+    b.alurr(AluOp::kAdd, Reg::rbx, Reg::rax);
+    b.label("w_odd");
+    // Indirect call: table[rcx & 1].
+    b.movrr(Reg::rax, Reg::rcx);
+    b.aluri(AluOp::kAnd, Reg::rax, 1);
+    b.lea(Reg::rdx, b.symRef("table"));
+    b.load(Reg::rdx, MemOperand::baseIndex(Reg::rdx, Reg::rax, 8));
+    b.callind(Reg::rdx);
+    b.alurr(AluOp::kAdd, Reg::rbx, Reg::rax);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, iterations);
+    b.jcc(CondCode::kLt, "w_loop");
+    // acc[tid] = rbx under the lock.
+    b.lock(b.symRef("mtx"));
+    b.lea(Reg::rdx, b.symRef("acc"));
+    b.store(MemOperand::baseIndex(Reg::rdx, Reg::rdi, 8), Reg::rbx);
+    b.unlock(b.symRef("mtx"));
+    b.halt();
+    b.endFunction();
+
+    b.beginFunction("helper");
+    b.movri(Reg::rax, 10);
+    b.ret();
+    b.endFunction();
+
+    b.beginFunction("op_add3");
+    b.movri(Reg::rax, 3);
+    b.ret();
+    b.endFunction();
+
+    b.beginFunction("op_add7");
+    b.movri(Reg::rax, 7);
+    b.ret();
+    b.endFunction();
+
+    return b.build();
+}
+
+/** Per-thread oracle paths extracted from a machine's path log. */
+inline std::map<uint32_t, std::vector<uint32_t>>
+oraclePaths(const vm::Machine &machine)
+{
+    std::map<uint32_t, std::vector<uint32_t>> paths;
+    for (const auto &[tid, index] : machine.pathLog())
+        paths[tid].push_back(index);
+    return paths;
+}
+
+} // namespace prorace::testutil
+
+#endif // PRORACE_TESTS_TESTUTIL_HH
