@@ -26,8 +26,9 @@
 using namespace prorace;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReporter json(argc, argv);
     bench::banner("Ablation (not in the paper)",
                   "Design-choice ablations: PT timing density, backward "
                   "rounds, randomized first window.");
@@ -55,6 +56,14 @@ main()
                         stats.samples_matched),
                     static_cast<unsigned long long>(
                         stats.samples_unmatched));
+        json.record("ablation_tsc_density",
+                    {{"tsc_period", std::to_string(tsc_period)}},
+                    {{"pt_bytes", static_cast<double>(
+                          online.trace.meta.pt_bytes)},
+                     {"matched", static_cast<double>(
+                          stats.samples_matched)},
+                     {"unmatched", static_cast<double>(
+                          stats.samples_unmatched)}});
     }
 
     // --- 2. Backward-replay rounds ---
@@ -82,6 +91,11 @@ main()
                         static_cast<unsigned long long>(
                             rep.stats().totalAccesses()),
                         rep.stats().recoveryRatio());
+            json.record("ablation_backward_rounds",
+                        {{"rounds", std::to_string(rounds)}},
+                        {{"recovered", static_cast<double>(
+                              rep.stats().totalAccesses())},
+                         {"ratio", rep.stats().recoveryRatio()}});
         }
     }
 
@@ -109,6 +123,10 @@ main()
                     randomize ? "randomized (ProRace driver)"
                               : "fixed (vanilla driver)",
                     first_insns.size());
+        json.record("ablation_first_window",
+                    {{"randomized", randomize ? "yes" : "no"}},
+                    {{"distinct_sites",
+                      static_cast<double>(first_insns.size())}});
     }
     std::printf("\nThe randomized window is the paper's §4.1.2 third "
                 "driver change; diversity across traces is what makes "

@@ -16,7 +16,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace prorace::bench {
@@ -56,6 +58,96 @@ paperPeriods()
                                               100000};
     return periods;
 }
+
+/**
+ * Machine-readable benchmark output, enabled with `--json <path>`.
+ *
+ * Each record is one JSON object per line (JSONL):
+ *   {"bench": "...", "config": {...}, "metrics": {...}}
+ * so per-PR perf trajectories (BENCH_*.json) can be collected by
+ * appending records across runs without parsing state.
+ *
+ * Usage in a harness main:
+ *   bench::JsonReporter json(argc, argv);        // consumes --json
+ *   ...
+ *   json.record("fig12", {{"app", name}}, {{"total_s", total}});
+ */
+class JsonReporter
+{
+  public:
+    /** Scan argv for `--json <path>`; no file is written without it. */
+    JsonReporter(int argc, char **argv)
+    {
+        for (int i = 1; i + 1 < argc; ++i) {
+            if (std::strcmp(argv[i], "--json") == 0)
+                path_ = argv[i + 1];
+        }
+    }
+
+    ~JsonReporter()
+    {
+        if (path_.empty())
+            return;
+        std::FILE *f = std::fopen(path_.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+            return;
+        }
+        for (const std::string &line : lines_)
+            std::fprintf(f, "%s\n", line.c_str());
+        std::fclose(f);
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Queue one {bench, config, metrics} record. */
+    void
+    record(const std::string &bench,
+           const std::vector<std::pair<std::string, std::string>> &config,
+           const std::vector<std::pair<std::string, double>> &metrics)
+    {
+        if (path_.empty())
+            return;
+        std::string line = "{\"bench\": \"" + escape(bench) +
+            "\", \"config\": {";
+        for (size_t i = 0; i < config.size(); ++i) {
+            line += (i ? ", " : "") + quoted(config[i].first) + ": " +
+                quoted(config[i].second);
+        }
+        line += "}, \"metrics\": {";
+        for (size_t i = 0; i < metrics.size(); ++i) {
+            char value[64];
+            std::snprintf(value, sizeof(value), "%.9g",
+                          metrics[i].second);
+            line += (i ? ", " : "") + quoted(metrics[i].first) + ": " +
+                value;
+        }
+        line += "}}";
+        lines_.push_back(std::move(line));
+    }
+
+  private:
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    static std::string
+    quoted(const std::string &s)
+    {
+        return "\"" + escape(s) + "\"";
+    }
+
+    std::string path_;
+    std::vector<std::string> lines_;
+};
 
 } // namespace prorace::bench
 

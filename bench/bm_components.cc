@@ -5,10 +5,15 @@
  * replay throughput, and FastTrack event throughput.
  */
 
+#include <atomic>
+
 #include <benchmark/benchmark.h>
 
+#include "core/parallel_offline.hh"
 #include "core/session.hh"
 #include "detect/fasttrack.hh"
+#include "exec/executor.hh"
+#include "exec/reorder_buffer.hh"
 #include "pmu/pt_decode.hh"
 #include "replay/align.hh"
 #include "replay/replayer.hh"
@@ -174,6 +179,90 @@ BM_FastTrack(benchmark::State &state)
         static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FastTrack)->Unit(benchmark::kMillisecond);
+
+void
+BM_ExecutorSubmit(benchmark::State &state)
+{
+    // Raw task dispatch rate: trivial tasks, measuring submit + wakeup +
+    // future-resolution overhead per task on N workers.
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    uint64_t tasks = 0;
+    for (auto _ : state) {
+        exec::Executor ex(threads);
+        std::atomic<uint64_t> sum{0};
+        std::vector<exec::Future<void>> futures;
+        constexpr int kTasks = 4096;
+        futures.reserve(kTasks);
+        for (int i = 0; i < kTasks; ++i) {
+            futures.push_back(ex.submit(
+                [&sum, i] { sum.fetch_add(static_cast<uint64_t>(i),
+                                          std::memory_order_relaxed); }));
+        }
+        for (auto &f : futures)
+            f.get();
+        benchmark::DoNotOptimize(sum.load());
+        tasks += kTasks;
+    }
+    state.counters["tasks/s"] = benchmark::Counter(
+        static_cast<double>(tasks), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExecutorSubmit)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ReorderBufferCommit(benchmark::State &state)
+{
+    // Ordered-commit throughput: workers commit out of order, one
+    // consumer drains in sequence order.
+    uint64_t items = 0;
+    for (auto _ : state) {
+        constexpr uint64_t kItems = 4096;
+        exec::Executor ex(2);
+        exec::ReorderBuffer<uint64_t> rob(64);
+        uint64_t submitted = 0;
+        auto submit_one = [&] {
+            const uint64_t seq = submitted++;
+            ex.submit([&rob, seq] { rob.commit(seq, seq * 3); });
+        };
+        while (submitted < 64)
+            submit_one();
+        uint64_t total = 0;
+        for (uint64_t seq = 0; seq < kItems; ++seq) {
+            total += rob.pop();
+            if (submitted < kItems)
+                submit_one();
+        }
+        benchmark::DoNotOptimize(total);
+        items += kItems;
+    }
+    state.counters["commits/s"] = benchmark::Counter(
+        static_cast<double>(items), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReorderBufferCommit)->Unit(benchmark::kMillisecond);
+
+void
+BM_ParallelOffline(benchmark::State &state)
+{
+    // Whole offline pipeline through the parallel analyzer (arg = jobs;
+    // 0 exercises the serial delegation path for comparison).
+    auto &run = benchRun();
+    auto &w = benchApp();
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    uint64_t events = 0;
+    for (auto _ : state) {
+        core::OfflineOptions opt;
+        opt.pt_filter = w.pt_filter;
+        opt.num_threads = jobs;
+        core::ParallelOfflineAnalyzer analyzer(*w.program, opt);
+        core::OfflineResult result = analyzer.analyze(run.trace);
+        events += result.extended_trace_events;
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelOffline)->Arg(0)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_TraceSerialize(benchmark::State &state)

@@ -13,15 +13,17 @@
 #include "workload/apps.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prorace;
+    bench::JsonReporter json(argc, argv);
     bench::banner("Figure 6 (+ §7.2 breakdown)",
                   "Runtime overhead, PARSEC-model suite, ProRace driver, "
                   "4 worker threads.");
     auto suite = workload::parsecWorkloads(bench::envScale());
     bench::overheadSweep(suite, driver::DriverKind::kProRace,
-                         /*print_breakdown=*/true);
+                         /*print_breakdown=*/true, &json,
+                         "fig06_parsec_overhead");
     std::printf("\npaper geomeans:       7.52x       2.85x       31%%"
                 "          7%%          4%%\n");
     return 0;

@@ -15,15 +15,17 @@
 #include "workload/apps.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prorace;
+    bench::JsonReporter json(argc, argv);
     bench::banner("Figure 7",
                   "Runtime overhead, real-application models, ProRace "
                   "driver (thread counts per Table 1).");
     auto suite = workload::realAppWorkloads(bench::envScale());
     bench::overheadSweep(suite, driver::DriverKind::kProRace,
-                         /*print_breakdown=*/false);
+                         /*print_breakdown=*/false, &json,
+                         "fig07_realapps_overhead");
     std::printf("\npaper geomeans:        80%%         34%%          8%%"
                 "        2.6%%        0.8%%\n");
     return 0;

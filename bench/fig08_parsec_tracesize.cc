@@ -11,14 +11,15 @@
 #include "workload/apps.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prorace;
+    bench::JsonReporter json(argc, argv);
     bench::banner("Figure 8",
                   "Trace size (MB/s), PARSEC-model suite, ProRace "
                   "driver. PEBS records dominate (~99%).");
     auto suite = workload::parsecWorkloads(bench::envScale());
-    bench::traceSizeSweep(suite);
+    bench::traceSizeSweep(suite, &json, "fig08_parsec_tracesize");
     std::printf("\npaper geomeans (MB/s): 463 @10, 597 @100, 132 @1K, "
                 "16.9 @10K, 2.6 @100K (note the 10-vs-100 inversion)\n");
     return 0;

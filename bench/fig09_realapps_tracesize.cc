@@ -13,14 +13,15 @@
 #include "workload/apps.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prorace;
+    bench::JsonReporter json(argc, argv);
     bench::banner("Figure 9",
                   "Trace size (MB/s), real-application models, ProRace "
                   "driver.");
     auto suite = workload::realAppWorkloads(bench::envScale());
-    bench::traceSizeSweep(suite);
+    bench::traceSizeSweep(suite, &json, "fig09_realapps_tracesize");
     std::printf("\npaper geomeans (MB/s): 99.5 @10, 40.8 @100, 7.9 @1K, "
                 "1.2 @10K, 0.2 @100K\n");
     return 0;

@@ -19,7 +19,8 @@ using namespace prorace;
 
 void
 compareSuite(const char *label,
-             const std::vector<workload::Workload> &suite)
+             const std::vector<workload::Workload> &suite,
+             bench::JsonReporter &json)
 {
     const auto &periods = bench::paperPeriods();
     std::printf("\n-- %s --\n%-10s", label, "driver");
@@ -38,6 +39,11 @@ compareSuite(const char *label,
             }
             std::printf("%12s",
                         formatOverhead(geomean(ratios) - 1).c_str());
+            json.record("fig10_driver_comparison",
+                        {{"suite", label},
+                         {"driver", driverName(driver)},
+                         {"period", std::to_string(period)}},
+                        {{"geomean_overhead", geomean(ratios) - 1}});
             std::fflush(stdout);
         }
         std::printf("\n");
@@ -47,16 +53,17 @@ compareSuite(const char *label,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prorace;
+    bench::JsonReporter json(argc, argv);
     bench::banner("Figure 10",
                   "Vanilla Linux PEBS driver vs the ProRace driver "
                   "(geomean overheads per suite).");
     compareSuite("PARSEC models",
-                 workload::parsecWorkloads(bench::envScale()));
+                 workload::parsecWorkloads(bench::envScale()), json);
     compareSuite("real applications",
-                 workload::realAppWorkloads(bench::envScale()));
+                 workload::realAppWorkloads(bench::envScale()), json);
     std::printf("\npaper (PARSEC): vanilla 50x @10 and ~20%% @100K; "
                 "ProRace 7.52x @10 and 4%% @100K\n");
     return 0;

@@ -23,9 +23,10 @@
 #include "workload/racybugs.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prorace;
+    bench::JsonReporter json(argc, argv);
     bench::banner("Figure 11",
                   "Memory recovery ratio at period 10000 (recovered + "
                   "sampled per sampled).");
@@ -65,6 +66,10 @@ main()
         fb_r.push_back(ratios[2]);
         std::printf("%-16s %13.1fx %13.1fx %17.1fx\n", name, ratios[0],
                     ratios[1], ratios[2]);
+        json.record("fig11_memory_recovery", {{"app", name}},
+                    {{"basic_block", ratios[0]},
+                     {"forward", ratios[1]},
+                     {"forward_backward", ratios[2]}});
         std::fflush(stdout);
     }
     std::printf("%-16s %13.1fx %13.1fx %17.1fx\n", "(average)",

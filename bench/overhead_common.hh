@@ -61,7 +61,9 @@ runPoint(const workload::Workload &w, uint64_t period,
 /** Print a full overhead sweep (one row per app, one column per period). */
 inline void
 overheadSweep(const std::vector<workload::Workload> &suite,
-              driver::DriverKind driver, bool print_breakdown)
+              driver::DriverKind driver, bool print_breakdown,
+              JsonReporter *json = nullptr,
+              const char *bench_name = "overhead")
 {
     const auto &periods = paperPeriods();
     std::printf("%-14s", "app");
@@ -79,6 +81,17 @@ overheadSweep(const std::vector<workload::Workload> &suite,
             std::printf("%12s", formatOverhead(p.overhead).c_str());
             if (print_breakdown && periods[i] == 10000)
                 breakdown_points.push_back(p);
+            if (json) {
+                json->record(
+                    bench_name,
+                    {{"app", w.name},
+                     {"period", std::to_string(periods[i])},
+                     {"driver", driverName(driver)}},
+                    {{"overhead", p.overhead},
+                     {"mb_per_s", p.mb_per_s},
+                     {"samples", static_cast<double>(p.samples)},
+                     {"dropped", static_cast<double>(p.dropped)}});
+            }
             std::fflush(stdout);
         }
         std::printf("\n");
@@ -105,7 +118,9 @@ overheadSweep(const std::vector<workload::Workload> &suite,
 
 /** Print a trace-size sweep in MB/s (one row per app). */
 inline void
-traceSizeSweep(const std::vector<workload::Workload> &suite)
+traceSizeSweep(const std::vector<workload::Workload> &suite,
+               JsonReporter *json = nullptr,
+               const char *bench_name = "tracesize")
 {
     const auto &periods = paperPeriods();
     std::printf("%-14s", "app");
@@ -124,6 +139,14 @@ traceSizeSweep(const std::vector<workload::Workload> &suite)
             std::printf("%12s", formatDouble(p.mb_per_s, 1).c_str());
             if (periods[i] == 10)
                 drops_at_10 = p.dropped;
+            if (json) {
+                json->record(bench_name,
+                             {{"app", w.name},
+                              {"period", std::to_string(periods[i])}},
+                             {{"mb_per_s", p.mb_per_s},
+                              {"dropped",
+                               static_cast<double>(p.dropped)}});
+            }
             std::fflush(stdout);
         }
         std::printf("%12llu\n",

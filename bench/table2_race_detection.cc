@@ -21,9 +21,10 @@
 #include "workload/racybugs.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prorace;
+    bench::JsonReporter json(argc, argv);
     const int trials = bench::envTrials(15);
     bench::banner("Table 2",
                   "Race-bug detection probability (percent of traces "
@@ -56,6 +57,11 @@ main()
             }
             z_avg[pi] += 100.0 * z[pi] / trials;
             p_avg[pi] += 100.0 * p[pi] / trials;
+            json.record("table2_race_detection",
+                        {{"bug", bug.name},
+                         {"period", std::to_string(periods[pi])}},
+                        {{"racez_pct", 100.0 * z[pi] / trials},
+                         {"prorace_pct", 100.0 * p[pi] / trials}});
         }
         std::printf("%-16s %-18s %-18s |  %4.0f %4.0f %4.0f    |  %4.0f "
                     "%4.0f %4.0f\n",

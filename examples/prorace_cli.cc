@@ -26,6 +26,7 @@
 #include <string>
 
 #include "baseline/racez.hh"
+#include "core/parallel_offline.hh"
 #include "core/pipeline.hh"
 #include "trace/trace_file.hh"
 #include "workload/registry.hh"
@@ -41,6 +42,7 @@ struct Args {
     uint64_t period = 10000;
     uint64_t seed = 1;
     double scale = 1.0;
+    unsigned jobs = 0; ///< offline analysis threads (0 = serial)
     bool racez = false;
     bool vanilla = false;
 };
@@ -53,9 +55,12 @@ usage()
                  "       prorace_cli trace <workload> <file> [--period N]"
                  " [--seed N] [--driver prorace|vanilla] [--scale X]\n"
                  "       prorace_cli analyze <workload> <file> [--racez]"
-                 " [--scale X]\n"
+                 " [--scale X] [--jobs N]\n"
                  "       prorace_cli run <workload> [--period N]"
-                 " [--seed N] [--scale X]\n");
+                 " [--seed N] [--scale X] [--jobs N]\n"
+                 "\n"
+                 "--jobs N runs the offline analysis on N worker threads"
+                 " (0 = serial; results are identical either way)\n");
     return 2;
 }
 
@@ -82,6 +87,12 @@ parseFlags(int argc, char **argv, int first, Args &args)
             if (!v)
                 return false;
             args.scale = std::atof(v);
+        } else if (flag == "--jobs") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.jobs = static_cast<unsigned>(std::strtoul(v, nullptr,
+                                                           10));
         } else if (flag == "--racez") {
             args.racez = true;
         } else if (flag == "--driver") {
@@ -150,9 +161,10 @@ cmdAnalyze(const Args &args)
     trace::RunTrace trace = trace::loadTrace(args.trace_file);
     core::OfflineOptions opt;
     opt.pt_filter = w->pt_filter;
+    opt.num_threads = args.jobs;
     if (args.racez)
         opt.replay.mode = replay::ReplayMode::kBasicBlock;
-    core::OfflineAnalyzer analyzer(*w->program, opt);
+    core::ParallelOfflineAnalyzer analyzer(*w->program, opt);
     core::OfflineResult result = analyzer.analyze(trace);
 
     std::printf("decode %.3fs  reconstruct %.3fs  detect %.3fs  "
@@ -164,6 +176,15 @@ cmdAnalyze(const Args &args)
                     result.extended_trace_events),
                 result.replay_stats.recoveryRatio(),
                 result.regeneration_rounds);
+    if (args.jobs > 0) {
+        const exec::ExecutorStats &es = analyzer.executorStats();
+        std::printf("executor: %llu tasks (%llu stolen), max queue %llu, "
+                    "mean task %.1fus\n",
+                    static_cast<unsigned long long>(es.executed),
+                    static_cast<unsigned long long>(es.stolen),
+                    static_cast<unsigned long long>(es.max_queue_depth),
+                    es.task_seconds.mean() * 1e6);
+    }
     std::printf("%s", result.report.format(w->program.get()).c_str());
     for (const workload::RacyBug &bug : w->bugs) {
         std::printf("ground truth %s: %s\n", bug.id.c_str(),
@@ -186,6 +207,7 @@ cmdRun(const Args &args)
     core::PipelineConfig cfg = args.racez
         ? baseline::raceZConfig(args.period, args.seed)
         : core::proRaceConfig(args.period, args.seed, w->pt_filter);
+    cfg.offline.num_threads = args.jobs;
     core::PipelineResult result =
         core::runPipeline(*w->program, w->setup, cfg);
     std::printf("%s", result.offline.report.format(w->program.get())

@@ -1,9 +1,9 @@
 #include "core/offline.hh"
 
 #include <algorithm>
-#include <chrono>
 
 #include "support/log.hh"
+#include "support/timer.hh"
 
 namespace prorace::core {
 
@@ -11,13 +11,6 @@ using detect::AccessOrigin;
 using vm::SyncKind;
 
 namespace {
-
-double
-secondsSince(std::chrono::steady_clock::time_point t0)
-{
-    const auto now = std::chrono::steady_clock::now();
-    return std::chrono::duration<double>(now - t0).count();
-}
 
 /** One entry of the merged detector feed. */
 struct FeedEvent {
@@ -59,33 +52,14 @@ syncSubrank(SyncKind kind)
 
 } // namespace
 
-OfflineAnalyzer::OfflineAnalyzer(const asmkit::Program &program,
-                                 const OfflineOptions &options)
-    : program_(program), options_(options)
-{
-}
+namespace detail {
 
 void
-OfflineAnalyzer::analyzeOnce(
-    const trace::RunTrace &run,
-    const std::map<uint32_t, pmu::ThreadPath> &paths,
-    const std::map<uint32_t, replay::ThreadAlignment> &alignments,
-    const replay::ReplayConfig &replay_config, OfflineResult &result,
-    std::unordered_set<uint64_t> &consumed)
+detectRaces(const trace::RunTrace &run,
+            const std::map<uint32_t, replay::ThreadAlignment> &alignments,
+            const std::vector<replay::ReconstructedAccess> &accesses,
+            detect::RaceReport &report, detect::FastTrackStats &stats)
 {
-    // --- reconstruction ---
-    auto t0 = std::chrono::steady_clock::now();
-    replay::Replayer replayer(program_, replay_config);
-    std::vector<replay::ReconstructedAccess> accesses =
-        replayer.replayAll(paths, alignments, run);
-    result.replay_stats = replayer.stats();
-    result.extended_trace_events = accesses.size();
-    consumed = replayer.consumedAddresses();
-    result.reconstruct_seconds += secondsSince(t0);
-
-    // --- detection ---
-    t0 = std::chrono::steady_clock::now();
-
     // Per-thread positions of sync records (exact program order) let the
     // merge tie-break same-TSC events correctly.
     std::unordered_map<size_t, uint64_t> sync_positions;
@@ -181,9 +155,68 @@ OfflineAnalyzer::analyzeOnce(
         }
     }
 
-    result.report = ft.report();
-    result.detect_stats = ft.stats();
-    result.detect_seconds += secondsSince(t0);
+    report = ft.report();
+    stats = ft.stats();
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+regenerationBlacklist(
+    const detect::RaceReport &report,
+    const std::unordered_set<uint64_t> &consumed,
+    const std::vector<std::pair<uint64_t, uint64_t>> &existing)
+{
+    std::vector<std::pair<uint64_t, uint64_t>> additions;
+    for (const detect::DataRace &race : report.races()) {
+        bool used = false;
+        for (uint64_t b = race.addr; b < race.addr + 8; ++b) {
+            if (consumed.count(b)) {
+                used = true;
+                break;
+            }
+        }
+        if (!used)
+            continue;
+        bool already = false;
+        for (const auto &[addr, size] : existing) {
+            if (race.addr >= addr && race.addr < addr + size)
+                already = true;
+        }
+        if (!already)
+            additions.emplace_back(race.addr, 8);
+    }
+    return additions;
+}
+
+} // namespace detail
+
+OfflineAnalyzer::OfflineAnalyzer(const asmkit::Program &program,
+                                 const OfflineOptions &options)
+    : program_(program), options_(options)
+{
+}
+
+void
+OfflineAnalyzer::analyzeOnce(
+    const trace::RunTrace &run,
+    const std::map<uint32_t, pmu::ThreadPath> &paths,
+    const std::map<uint32_t, replay::ThreadAlignment> &alignments,
+    const replay::ReplayConfig &replay_config, OfflineResult &result,
+    std::unordered_set<uint64_t> &consumed)
+{
+    // --- reconstruction ---
+    Stopwatch timer;
+    replay::Replayer replayer(program_, replay_config);
+    std::vector<replay::ReconstructedAccess> accesses =
+        replayer.replayAll(paths, alignments, run);
+    result.replay_stats = replayer.stats();
+    result.extended_trace_events = accesses.size();
+    consumed = replayer.consumedAddresses();
+    result.reconstruct_seconds += timer.lap();
+
+    // --- detection ---
+    detail::detectRaces(run, alignments, accesses, result.report,
+                        result.detect_stats);
+    result.detect_seconds += timer.lap();
 }
 
 OfflineResult
@@ -194,15 +227,14 @@ OfflineAnalyzer::analyze(const trace::RunTrace &run)
     std::map<uint32_t, pmu::ThreadPath> paths;
     std::map<uint32_t, replay::ThreadAlignment> alignments;
     if (options_.replay.mode != replay::ReplayMode::kBasicBlock) {
-        auto t0 = std::chrono::steady_clock::now();
+        Stopwatch timer;
         paths = pmu::decodePt(program_, options_.pt_filter, run,
                               &result.decode_stats);
-        result.decode_seconds = secondsSince(t0);
+        result.decode_seconds = timer.lap();
 
-        t0 = std::chrono::steady_clock::now();
         alignments = replay::alignTrace(program_, paths, run,
                                         &result.align_stats);
-        result.reconstruct_seconds += secondsSince(t0);
+        result.reconstruct_seconds += timer.lap();
     }
 
     replay::ReplayConfig replay_config = options_.replay;
@@ -217,28 +249,9 @@ OfflineAnalyzer::analyze(const trace::RunTrace &run)
         if (round >= options_.max_regeneration_rounds)
             break;
 
-        // Paper §5.1: if a race was detected on a location whose
-        // emulated value the replay consumed, that reconstruction is
-        // suspect — blacklist the location and regenerate the trace.
-        std::vector<std::pair<uint64_t, uint64_t>> new_blacklist;
-        for (const detect::DataRace &race : result.report.races()) {
-            bool used = false;
-            for (uint64_t b = race.addr; b < race.addr + 8; ++b) {
-                if (consumed.count(b)) {
-                    used = true;
-                    break;
-                }
-            }
-            if (!used)
-                continue;
-            bool already = false;
-            for (const auto &[addr, size] : replay_config.mem_blacklist) {
-                if (race.addr >= addr && race.addr < addr + size)
-                    already = true;
-            }
-            if (!already)
-                new_blacklist.emplace_back(race.addr, 8);
-        }
+        std::vector<std::pair<uint64_t, uint64_t>> new_blacklist =
+            detail::regenerationBlacklist(result.report, consumed,
+                                          replay_config.mem_blacklist);
         if (new_blacklist.empty())
             break;
         replay_config.mem_blacklist.insert(

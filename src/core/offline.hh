@@ -28,6 +28,13 @@ struct OfflineOptions {
     pmu::PtFilter pt_filter = pmu::PtFilter::all();
     /** Regeneration rounds when races land on emulated locations. */
     int max_regeneration_rounds = 2;
+    /**
+     * Analysis worker threads for the ParallelOfflineAnalyzer:
+     * 0 = serial (the classic single-threaded pipeline), N > 0 = shard
+     * PT decode and window replay across N executor workers. The
+     * result is bit-identical either way.
+     */
+    unsigned num_threads = 0;
 };
 
 /** Everything the offline phase produces. */
@@ -78,6 +85,34 @@ class OfflineAnalyzer
     const asmkit::Program &program_;
     OfflineOptions options_;
 };
+
+namespace detail {
+
+/**
+ * The detection stage shared by the serial and parallel analyzers:
+ * merge the reconstructed accesses and the sync trace into one
+ * TSC-ordered feed (with the release < access < acquire tie-break at
+ * equal timestamps) and run FastTrack over it.
+ */
+void detectRaces(const trace::RunTrace &run,
+                 const std::map<uint32_t,
+                                replay::ThreadAlignment> &alignments,
+                 const std::vector<replay::ReconstructedAccess> &accesses,
+                 detect::RaceReport &report,
+                 detect::FastTrackStats &stats);
+
+/**
+ * Paper §5.1: races on locations whose emulated values the replay
+ * consumed are suspect; returns the blacklist additions for the next
+ * regeneration round (empty = converged).
+ */
+std::vector<std::pair<uint64_t, uint64_t>>
+regenerationBlacklist(
+    const detect::RaceReport &report,
+    const std::unordered_set<uint64_t> &consumed,
+    const std::vector<std::pair<uint64_t, uint64_t>> &existing);
+
+} // namespace detail
 
 } // namespace prorace::core
 

@@ -1,0 +1,259 @@
+#include "core/parallel_offline.hh"
+
+#include <algorithm>
+#include <exception>
+
+#include "exec/reorder_buffer.hh"
+#include "support/log.hh"
+#include "support/timer.hh"
+
+namespace prorace::core {
+
+using replay::Replayer;
+
+/** One fanned-out replay window (sequence = index into the task list). */
+struct ParallelOfflineAnalyzer::WindowTask {
+    uint32_t tid = 0;
+    bool last_of_thread = false; ///< thread finalizes after this commit
+    Replayer::Window window;
+    const pmu::ThreadPath *path = nullptr;
+    const replay::ThreadAlignment *alignment = nullptr;
+};
+
+/** What a window task hands to the ordered-commit stage. */
+struct ParallelOfflineAnalyzer::WindowResult {
+    Replayer::EmitMap emit;
+    replay::ReplayStats stats;
+    std::unordered_set<uint64_t> consumed;
+    std::exception_ptr error;
+};
+
+ParallelOfflineAnalyzer::ParallelOfflineAnalyzer(
+    const asmkit::Program &program, const OfflineOptions &options)
+    : program_(program), options_(options)
+{
+}
+
+std::map<uint32_t, pmu::ThreadPath>
+ParallelOfflineAnalyzer::decodeSharded(const trace::RunTrace &run,
+                                       exec::Executor &ex,
+                                       pmu::PtDecodeStats *stats)
+{
+    std::vector<exec::Future<std::map<uint32_t, pmu::ThreadPath>>>
+        shard_futures;
+    std::vector<pmu::PtDecodeStats> shard_stats(run.pt.size());
+    shard_futures.reserve(run.pt.size());
+    for (size_t core = 0; core < run.pt.size(); ++core) {
+        shard_futures.push_back(ex.submit([this, &run, &shard_stats,
+                                           core] {
+            return pmu::decodePtStream(program_, options_.pt_filter, run,
+                                       core, &shard_stats[core]);
+        }));
+    }
+
+    std::map<uint32_t, pmu::ThreadPath> paths;
+    bool migrated = false;
+    for (auto &f : shard_futures) {
+        for (auto &[tid, path] : f.get()) {
+            if (!paths.emplace(tid, std::move(path)).second)
+                migrated = true;
+        }
+    }
+    if (migrated) {
+        // A tid with packets in two streams means the serial decoder
+        // would have threaded one walker across both; redo serially so
+        // the result stays bit-identical.
+        if (stats)
+            *stats = pmu::PtDecodeStats();
+        return pmu::decodePt(program_, options_.pt_filter, run, stats);
+    }
+    if (stats) {
+        for (const pmu::PtDecodeStats &s : shard_stats) {
+            stats->packets += s.packets;
+            stats->path_entries += s.path_entries;
+        }
+    }
+    return paths;
+}
+
+void
+ParallelOfflineAnalyzer::analyzeOnceParallel(
+    const trace::RunTrace &run,
+    const std::map<uint32_t, pmu::ThreadPath> &paths,
+    const std::map<uint32_t, replay::ThreadAlignment> &alignments,
+    const replay::ReplayConfig &replay_config, exec::Executor &ex,
+    OfflineResult &result, std::unordered_set<uint64_t> &consumed)
+{
+    Stopwatch timer;
+
+    // --- plan: per-thread window lists, in ascending-tid order ---
+    // sync_at maps live here so Window::sync_at pointers stay valid for
+    // the whole fan-out.
+    std::map<uint32_t, std::map<uint64_t, const trace::SyncRecord *>>
+        sync_maps;
+    std::vector<WindowTask> tasks;
+    for (const auto &[tid, path] : paths) {
+        auto it = alignments.find(tid);
+        if (it == alignments.end())
+            continue;
+        const replay::ThreadAlignment &alignment = it->second;
+        auto &sync_at = sync_maps[tid];
+        sync_at = Replayer::syncAtMap(alignment, run);
+        std::vector<Replayer::Window> windows =
+            Replayer::buildWindows(path, alignment, run, sync_at);
+        for (size_t i = 0; i < windows.size(); ++i) {
+            WindowTask t;
+            t.tid = tid;
+            t.last_of_thread = i + 1 == windows.size();
+            t.window = windows[i];
+            t.path = &path;
+            t.alignment = &alignment;
+            tasks.push_back(t);
+        }
+    }
+
+    // --- fan out: bounded in-flight window tasks, ordered commit ---
+    // Submission is throttled to the reorder-buffer capacity, so a
+    // commit can never block with every worker stuck on a
+    // later-sequence window (see reorder_buffer.hh).
+    const uint64_t capacity =
+        std::max<uint64_t>(2 * ex.numThreads(), 16);
+    exec::ReorderBuffer<WindowResult> rob(capacity);
+    uint64_t next_submit = 0;
+    auto submit_one = [&] {
+        const uint64_t seq = next_submit++;
+        const WindowTask *t = &tasks[seq];
+        ex.submit([this, &run, &rob, &replay_config, t, seq] {
+            WindowResult res;
+            try {
+                Replayer replayer(program_, replay_config);
+                replayer.replayWindow(t->window, *t->path, *t->alignment,
+                                      run, res.emit);
+                res.stats = replayer.stats();
+                res.consumed = replayer.consumedAddresses();
+            } catch (...) {
+                res.error = std::current_exception();
+            }
+            rob.commit(seq, std::move(res));
+        });
+    };
+    while (next_submit < tasks.size() && next_submit < capacity)
+        submit_one();
+
+    // The commit thread re-assembles exactly the serial pre-sort access
+    // sequence: threads in ascending tid order, windows in path order,
+    // then each thread's unlocatable samples in record order.
+    std::vector<replay::ReconstructedAccess> accesses;
+    replay::ReplayStats replay_stats;
+    Replayer finalizer(program_, replay_config);
+    Replayer::EmitMap thread_emit;
+    // On a task error, keep popping so every in-flight worker can
+    // commit before the buffer goes out of scope, then rethrow.
+    std::exception_ptr first_error;
+    for (uint64_t seq = 0; seq < tasks.size(); ++seq) {
+        WindowResult res = rob.pop();
+        if (next_submit < tasks.size())
+            submit_one();
+        if (res.error && !first_error)
+            first_error = res.error;
+        if (first_error)
+            continue;
+        replay_stats.merge(res.stats);
+        consumed.insert(res.consumed.begin(), res.consumed.end());
+        // Window [start, end) ranges are disjoint, so inserting the
+        // window maps in commit order equals the serial shared-map
+        // accumulation.
+        thread_emit.entries.insert(res.emit.entries.begin(),
+                                   res.emit.entries.end());
+        const WindowTask &t = tasks[seq];
+        if (t.last_of_thread) {
+            finalizer.finalizeThread(*t.path, *t.alignment, run,
+                                     thread_emit, accesses);
+            thread_emit.entries.clear();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+    // Samples of threads without decoded paths still contribute their
+    // own access (same trailing block as the serial replayAll).
+    for (const trace::PebsRecord &rec : run.pebs) {
+        if (paths.count(rec.tid))
+            continue;
+        replay::ReconstructedAccess acc;
+        acc.tid = rec.tid;
+        acc.insn_index = rec.insn_index;
+        acc.addr = rec.addr;
+        acc.width = rec.width;
+        acc.is_write = rec.is_write;
+        acc.is_atomic = rec.is_atomic;
+        acc.tsc = rec.tsc;
+        acc.origin = detect::AccessOrigin::kSampled;
+        replay_stats.sampled += 1;
+        accesses.push_back(acc);
+    }
+    Replayer::sortByTsc(accesses);
+
+    replay_stats.merge(finalizer.stats()); // unlocatable-sample counts
+    result.replay_stats = replay_stats;
+    result.extended_trace_events = accesses.size();
+    result.reconstruct_seconds += timer.lap();
+
+    // --- detection (serial: vector clocks are order-dependent) ---
+    detail::detectRaces(run, alignments, accesses, result.report,
+                        result.detect_stats);
+    result.detect_seconds += timer.lap();
+}
+
+OfflineResult
+ParallelOfflineAnalyzer::analyze(const trace::RunTrace &run)
+{
+    exec_stats_ = exec::ExecutorStats();
+    // num_threads == 0 preserves the classic serial pipeline;
+    // basic-block mode (RaceZ) has no PT streams or inter-sample
+    // windows to shard, so it stays on the serial path too.
+    if (options_.num_threads == 0 ||
+        options_.replay.mode == replay::ReplayMode::kBasicBlock) {
+        OfflineAnalyzer serial(program_, options_);
+        return serial.analyze(run);
+    }
+
+    exec::Executor ex(options_.num_threads);
+    OfflineResult result;
+
+    Stopwatch timer;
+    std::map<uint32_t, pmu::ThreadPath> paths =
+        decodeSharded(run, ex, &result.decode_stats);
+    result.decode_seconds = timer.lap();
+
+    std::map<uint32_t, replay::ThreadAlignment> alignments =
+        replay::alignTrace(program_, paths, run, &result.align_stats);
+    result.reconstruct_seconds += timer.lap();
+
+    replay::ReplayConfig replay_config = options_.replay;
+    for (int round = 0;; ++round) {
+        result.regeneration_rounds = round;
+        std::unordered_set<uint64_t> consumed;
+        OfflineResult pass = result; // keep timing accumulators
+        pass.report = detect::RaceReport();
+        analyzeOnceParallel(run, paths, alignments, replay_config, ex,
+                            pass, consumed);
+        result = pass;
+
+        if (round >= options_.max_regeneration_rounds)
+            break;
+
+        std::vector<std::pair<uint64_t, uint64_t>> new_blacklist =
+            detail::regenerationBlacklist(result.report, consumed,
+                                          replay_config.mem_blacklist);
+        if (new_blacklist.empty())
+            break;
+        replay_config.mem_blacklist.insert(
+            replay_config.mem_blacklist.end(), new_blacklist.begin(),
+            new_blacklist.end());
+    }
+
+    exec_stats_ = ex.stats();
+    return result;
+}
+
+} // namespace prorace::core

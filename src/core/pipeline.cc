@@ -1,5 +1,7 @@
 #include "core/pipeline.hh"
 
+#include "core/parallel_offline.hh"
+
 namespace prorace::core {
 
 PipelineConfig
@@ -23,7 +25,9 @@ runPipeline(const asmkit::Program &program, const Session::Setup &setup,
 {
     PipelineResult result;
     result.online = Session::run(program, setup, config.session);
-    OfflineAnalyzer analyzer(program, config.offline);
+    // ParallelOfflineAnalyzer delegates to the serial path when
+    // num_threads == 0, so this is the single dispatch point.
+    ParallelOfflineAnalyzer analyzer(program, config.offline);
     result.offline = analyzer.analyze(result.online.trace);
     return result;
 }

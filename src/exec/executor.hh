@@ -1,0 +1,141 @@
+/**
+ * @file
+ * A work-stealing thread-pool executor for the offline-analysis engine.
+ *
+ * Each worker owns a deque (task_queue.hh); submissions are distributed
+ * round-robin across the workers, the owner services its deque LIFO,
+ * and an idle worker steals the oldest task of the busiest victim.
+ * Results travel through exec::Future, which also carries exceptions:
+ * a task that throws never kills a worker thread — the error is
+ * rethrown on whichever thread calls get() (panic-safe shutdown).
+ *
+ * The destructor drains nothing: it wakes every worker, waits for
+ * in-flight tasks to finish, and joins. Callers that care about
+ * results hold the futures.
+ *
+ * Per-stage observability: ExecutorStats counts submissions,
+ * executions, steals, and queue-depth high-water, and aggregates task
+ * latency into a support::RunningStat (steady-clock based, like every
+ * timer in the offline pipeline).
+ */
+
+#ifndef PRORACE_EXEC_EXECUTOR_HH
+#define PRORACE_EXEC_EXECUTOR_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "exec/future.hh"
+#include "exec/task_queue.hh"
+#include "support/stats.hh"
+
+namespace prorace::exec {
+
+/** Executor counters (merged across workers on demand). */
+struct ExecutorStats {
+    uint64_t submitted = 0;
+    uint64_t executed = 0;
+    uint64_t stolen = 0;          ///< executions that came from a steal
+    uint64_t max_queue_depth = 0; ///< high-water mark of any worker deque
+    RunningStat task_seconds;     ///< per-task execution latency
+};
+
+class Executor
+{
+  public:
+    /**
+     * Start @p num_threads workers. 0 asks for
+     * std::thread::hardware_concurrency() (at least 1).
+     */
+    explicit Executor(unsigned num_threads);
+
+    /** Waits for in-flight tasks, then joins every worker. */
+    ~Executor();
+
+    Executor(const Executor &) = delete;
+    Executor &operator=(const Executor &) = delete;
+
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Submit a callable; returns a Future of its result. The callable
+     * runs exactly once on some worker thread.
+     */
+    template <typename Fn, typename R = std::invoke_result_t<Fn>>
+    Future<R>
+    submit(Fn fn)
+    {
+        Promise<R> promise;
+        Future<R> future = promise.future();
+        // The latency is recorded before the promise resolves, so a
+        // stats() call after Future::get() always sees this task.
+        enqueue([this, promise = std::move(promise),
+                 fn = std::move(fn)]() mutable {
+            const auto t0 = std::chrono::steady_clock::now();
+            try {
+                if constexpr (std::is_void_v<R>) {
+                    fn();
+                    recordTaskSeconds(t0);
+                    promise.setValue();
+                } else {
+                    R result = fn();
+                    recordTaskSeconds(t0);
+                    promise.setValue(std::move(result));
+                }
+            } catch (...) {
+                recordTaskSeconds(t0);
+                promise.setError(std::current_exception());
+            }
+        });
+        return future;
+    }
+
+    /**
+     * Run fn(i) for i in [0, count) across the pool and wait for all;
+     * the first captured exception is rethrown.
+     */
+    void parallelFor(uint64_t count,
+                     const std::function<void(uint64_t)> &fn);
+
+    /** Snapshot of the counters (merges per-worker state). */
+    ExecutorStats stats() const;
+
+  private:
+    struct Worker {
+        TaskQueue<std::function<void()>> queue;
+        std::thread thread;
+        // Worker-local counters, merged under stats_mu_ by stats().
+        uint64_t executed = 0;
+        uint64_t stolen = 0;
+        uint64_t max_queue_depth = 0;
+    };
+
+    void enqueue(std::function<void()> task);
+    void workerLoop(unsigned index);
+    bool runOneTask(unsigned index);
+    void recordTaskSeconds(std::chrono::steady_clock::time_point t0);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::mutex wake_mu_;
+    std::condition_variable wake_cv_;
+    std::atomic<bool> shutdown_{false};
+    std::atomic<uint64_t> pending_{0};   ///< queued but not yet started
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> next_worker_{0};
+    mutable std::mutex stats_mu_; ///< guards worker counters cross-thread
+    RunningStat task_seconds_;    ///< pool-wide, under stats_mu_
+};
+
+} // namespace prorace::exec
+
+#endif // PRORACE_EXEC_EXECUTOR_HH

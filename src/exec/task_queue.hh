@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-worker work-stealing deque.
+ *
+ * The owner pushes and pops at the back; thieves steal from the front,
+ * so a steal always takes the oldest task (FIFO across the pool while
+ * the owner runs its most recent work cache-hot). A mutex per deque is
+ * plenty here: tasks in the offline pipeline are window- or
+ * stream-sized (micro- to milliseconds), so queue operations are not
+ * the contended path, and the lock keeps the structure trivially
+ * correct under ThreadSanitizer.
+ */
+
+#ifndef PRORACE_EXEC_TASK_QUEUE_HH
+#define PRORACE_EXEC_TASK_QUEUE_HH
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace prorace::exec {
+
+template <typename T> class TaskQueue
+{
+  public:
+    /** Owner side: enqueue at the back. Returns the new depth. */
+    size_t
+    push(T task)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        tasks_.push_back(std::move(task));
+        return tasks_.size();
+    }
+
+    /** Owner side: take the most recently pushed task. */
+    std::optional<T>
+    pop()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (tasks_.empty())
+            return std::nullopt;
+        T task = std::move(tasks_.back());
+        tasks_.pop_back();
+        return task;
+    }
+
+    /** Thief side: take the oldest task. */
+    std::optional<T>
+    steal()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (tasks_.empty())
+            return std::nullopt;
+        T task = std::move(tasks_.front());
+        tasks_.pop_front();
+        return task;
+    }
+
+    bool
+    empty() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return tasks_.empty();
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return tasks_.size();
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::deque<T> tasks_;
+};
+
+} // namespace prorace::exec
+
+#endif // PRORACE_EXEC_TASK_QUEUE_HH

@@ -83,100 +83,142 @@ advance(Walker &w, const asmkit::Program &program, const PtFilter &filter,
     }
 }
 
+/** Apply one stream's packets to a (possibly shared) walker set. */
+void
+decodeStreamInto(const asmkit::Program &program, const PtFilter &filter,
+                 const trace::PtCoreStream &stream,
+                 const std::map<uint32_t, uint32_t> &entries,
+                 std::map<uint32_t, Walker> &walkers,
+                 uint64_t &total_entries, uint64_t &total_packets)
+{
+    if (stream.bit_count == 0)
+        return;
+    BitReader reader(stream.bytes, stream.bit_count);
+    Walker *current = nullptr;
+    uint64_t stream_tsc = 0;
+
+    for (;;) {
+        const PtPacket p = readPtPacket(reader);
+        ++total_packets;
+        if (p.kind == PtPacketKind::kEnd)
+            break;
+
+        switch (p.kind) {
+          case PtPacketKind::kContext: {
+            auto [it, inserted] = walkers.try_emplace(p.tid);
+            Walker &w = it->second;
+            if (inserted) {
+                auto entry = entries.find(p.tid);
+                if (entry == entries.end()) {
+                    PRORACE_FATAL("PT context packet for unknown tid ",
+                                  p.tid);
+                }
+                w.ip = entry->second;
+                w.path.tid = p.tid;
+                advance(w, program, filter, total_entries);
+            }
+            w.path.anchors.push_back({w.proven, p.tsc});
+            stream_tsc = p.tsc;
+            current = &w;
+            break;
+          }
+          case PtPacketKind::kTsc: {
+            stream_tsc = p.tsc_is_delta ? stream_tsc + p.tsc : p.tsc;
+            if (current) {
+                current->path.anchors.push_back(
+                    {current->proven, stream_tsc});
+            }
+            break;
+          }
+          case PtPacketKind::kTnt: {
+            PRORACE_ASSERT(current, "TNT packet before any context");
+            Walker &w = *current;
+            PRORACE_ASSERT(w.need == Walker::Need::kTnt,
+                           "unexpected TNT packet (walker state ",
+                           int(w.need), ")");
+            const Insn &insn = program.insnAt(w.ip);
+            w.ip = p.taken ? insn.target : w.ip + 1;
+            w.need = Walker::Need::kAdvance;
+            w.proven = w.path.insns.size(); // the branch retired
+            advance(w, program, filter, total_entries);
+            break;
+          }
+          case PtPacketKind::kTip: {
+            PRORACE_ASSERT(current, "TIP packet before any context");
+            Walker &w = *current;
+            PRORACE_ASSERT(w.need == Walker::Need::kTip,
+                           "unexpected TIP packet");
+            w.ip = p.target;
+            w.need = Walker::Need::kAdvance;
+            w.proven = w.path.insns.size();
+            advance(w, program, filter, total_entries);
+            break;
+          }
+          case PtPacketKind::kPge: {
+            PRORACE_ASSERT(current, "PGE packet before any context");
+            Walker &w = *current;
+            PRORACE_ASSERT(w.need == Walker::Need::kPge,
+                           "unexpected PGE packet");
+            w.ip = p.target;
+            w.need = Walker::Need::kAdvance;
+            w.proven = w.path.insns.size();
+            advance(w, program, filter, total_entries);
+            break;
+          }
+          case PtPacketKind::kEnd:
+            break;
+        }
+    }
+}
+
+std::map<uint32_t, uint32_t>
+entryMap(const trace::RunTrace &run)
+{
+    std::map<uint32_t, uint32_t> entries;
+    for (const trace::ThreadMeta &t : run.meta.threads)
+        entries[t.tid] = t.entry_index;
+    return entries;
+}
+
 } // namespace
 
 std::map<uint32_t, ThreadPath>
 decodePt(const asmkit::Program &program, const PtFilter &filter,
          const trace::RunTrace &run, PtDecodeStats *stats)
 {
-    std::map<uint32_t, uint32_t> entries;
-    for (const trace::ThreadMeta &t : run.meta.threads)
-        entries[t.tid] = t.entry_index;
-
+    const std::map<uint32_t, uint32_t> entries = entryMap(run);
     std::map<uint32_t, Walker> walkers;
     uint64_t total_entries = 0;
     uint64_t total_packets = 0;
 
     for (const trace::PtCoreStream &stream : run.pt) {
-        if (stream.bit_count == 0)
-            continue;
-        BitReader reader(stream.bytes, stream.bit_count);
-        Walker *current = nullptr;
-        uint64_t stream_tsc = 0;
-
-        for (;;) {
-            const PtPacket p = readPtPacket(reader);
-            ++total_packets;
-            if (p.kind == PtPacketKind::kEnd)
-                break;
-
-            switch (p.kind) {
-              case PtPacketKind::kContext: {
-                auto [it, inserted] = walkers.try_emplace(p.tid);
-                Walker &w = it->second;
-                if (inserted) {
-                    auto entry = entries.find(p.tid);
-                    if (entry == entries.end()) {
-                        PRORACE_FATAL("PT context packet for unknown tid ",
-                                      p.tid);
-                    }
-                    w.ip = entry->second;
-                    w.path.tid = p.tid;
-                    advance(w, program, filter, total_entries);
-                }
-                w.path.anchors.push_back({w.proven, p.tsc});
-                stream_tsc = p.tsc;
-                current = &w;
-                break;
-              }
-              case PtPacketKind::kTsc: {
-                stream_tsc = p.tsc_is_delta ? stream_tsc + p.tsc : p.tsc;
-                if (current) {
-                    current->path.anchors.push_back(
-                        {current->proven, stream_tsc});
-                }
-                break;
-              }
-              case PtPacketKind::kTnt: {
-                PRORACE_ASSERT(current, "TNT packet before any context");
-                Walker &w = *current;
-                PRORACE_ASSERT(w.need == Walker::Need::kTnt,
-                               "unexpected TNT packet (walker state ",
-                               int(w.need), ")");
-                const Insn &insn = program.insnAt(w.ip);
-                w.ip = p.taken ? insn.target : w.ip + 1;
-                w.need = Walker::Need::kAdvance;
-                w.proven = w.path.insns.size(); // the branch retired
-                advance(w, program, filter, total_entries);
-                break;
-              }
-              case PtPacketKind::kTip: {
-                PRORACE_ASSERT(current, "TIP packet before any context");
-                Walker &w = *current;
-                PRORACE_ASSERT(w.need == Walker::Need::kTip,
-                               "unexpected TIP packet");
-                w.ip = p.target;
-                w.need = Walker::Need::kAdvance;
-                w.proven = w.path.insns.size();
-                advance(w, program, filter, total_entries);
-                break;
-              }
-              case PtPacketKind::kPge: {
-                PRORACE_ASSERT(current, "PGE packet before any context");
-                Walker &w = *current;
-                PRORACE_ASSERT(w.need == Walker::Need::kPge,
-                               "unexpected PGE packet");
-                w.ip = p.target;
-                w.need = Walker::Need::kAdvance;
-                w.proven = w.path.insns.size();
-                advance(w, program, filter, total_entries);
-                break;
-              }
-              case PtPacketKind::kEnd:
-                break;
-            }
-        }
+        decodeStreamInto(program, filter, stream, entries, walkers,
+                         total_entries, total_packets);
     }
+
+    std::map<uint32_t, ThreadPath> paths;
+    for (auto &[tid, w] : walkers)
+        paths.emplace(tid, std::move(w.path));
+
+    if (stats) {
+        stats->packets = total_packets;
+        stats->path_entries = total_entries;
+    }
+    return paths;
+}
+
+std::map<uint32_t, ThreadPath>
+decodePtStream(const asmkit::Program &program, const PtFilter &filter,
+               const trace::RunTrace &run, size_t core,
+               PtDecodeStats *stats)
+{
+    PRORACE_ASSERT(core < run.pt.size(), "PT stream index out of range");
+    const std::map<uint32_t, uint32_t> entries = entryMap(run);
+    std::map<uint32_t, Walker> walkers;
+    uint64_t total_entries = 0;
+    uint64_t total_packets = 0;
+    decodeStreamInto(program, filter, run.pt[core], entries, walkers,
+                     total_entries, total_packets);
 
     std::map<uint32_t, ThreadPath> paths;
     for (auto &[tid, w] : walkers)

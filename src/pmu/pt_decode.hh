@@ -61,6 +61,24 @@ std::map<uint32_t, ThreadPath>
 decodePt(const asmkit::Program &program, const PtFilter &filter,
          const trace::RunTrace &run, PtDecodeStats *stats = nullptr);
 
+/**
+ * Decode a single core's packet stream in isolation (sharded decode).
+ *
+ * The machine pins each thread to one core, so every thread's packets
+ * live in exactly one stream and the per-core decodes are independent:
+ * decoding all streams and merging the per-tid maps yields the same
+ * paths as the serial decodePt(). The parallel analyzer runs one such
+ * task per stream. Callers must verify on merge that no tid appears in
+ * two shards (a migrating-thread trace) and fall back to the serial
+ * decoder when one does.
+ *
+ * @param core index into run.pt
+ */
+std::map<uint32_t, ThreadPath>
+decodePtStream(const asmkit::Program &program, const PtFilter &filter,
+               const trace::RunTrace &run, size_t core,
+               PtDecodeStats *stats = nullptr);
+
 } // namespace prorace::pmu
 
 #endif // PRORACE_PMU_PT_DECODE_HH

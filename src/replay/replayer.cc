@@ -41,27 +41,6 @@ invertibleAlu(AluOp op)
 
 } // namespace
 
-/** Deduplicating per-window emission buffer keyed by (position, slot). */
-struct Replayer::EmitMap {
-    std::map<uint64_t, ReconstructedAccess> entries;
-
-    bool
-    add(uint64_t position, unsigned slot, const ReconstructedAccess &acc)
-    {
-        return entries.try_emplace(position * 4 + slot, acc).second;
-    }
-};
-
-/** A replay window between two adjacent samples of one thread. */
-struct Replayer::Window {
-    uint32_t tid = 0;
-    uint64_t start = 0; ///< path position (inclusive)
-    uint64_t end = 0;   ///< path position (exclusive)
-    const trace::PebsRecord *s1 = nullptr; ///< sample at start, if any
-    const trace::PebsRecord *s2 = nullptr; ///< sample at end, if any
-    const std::map<uint64_t, const trace::SyncRecord *> *sync_at = nullptr;
-};
-
 Replayer::Replayer(const asmkit::Program &program,
                    const ReplayConfig &config)
     : program_(program), config_(config)
@@ -885,11 +864,9 @@ Replayer::replayBasicBlock(const trace::PebsRecord &rec, EmitMap &emit)
     }
 }
 
-void
-Replayer::replayThread(const pmu::ThreadPath &path,
-                       const ThreadAlignment &alignment,
-                       const trace::RunTrace &run,
-                       std::vector<ReconstructedAccess> &out)
+std::map<uint64_t, const trace::SyncRecord *>
+Replayer::syncAtMap(const ThreadAlignment &alignment,
+                    const trace::RunTrace &run)
 {
     // malloc/pthread_create results are visible to the offline phase via
     // the sync trace; map them to path positions for register recovery.
@@ -901,8 +878,15 @@ Replayer::replayThread(const pmu::ThreadPath &path,
             sync_at[s.position] = &rec;
         }
     }
+    return sync_at;
+}
 
-    EmitMap emit;
+std::vector<Replayer::Window>
+Replayer::buildWindows(
+    const pmu::ThreadPath &path, const ThreadAlignment &alignment,
+    const trace::RunTrace &run,
+    const std::map<uint64_t, const trace::SyncRecord *> &sync_at)
+{
     std::vector<Window> windows;
     const auto &samples = alignment.samples;
     if (samples.empty()) {
@@ -936,10 +920,29 @@ Replayer::replayThread(const pmu::ThreadPath &path,
             windows.push_back(w);
         }
     }
+    return windows;
+}
 
-    for (const Window &w : windows)
+void
+Replayer::replayThread(const pmu::ThreadPath &path,
+                       const ThreadAlignment &alignment,
+                       const trace::RunTrace &run,
+                       std::vector<ReconstructedAccess> &out)
+{
+    const std::map<uint64_t, const trace::SyncRecord *> sync_at =
+        syncAtMap(alignment, run);
+    EmitMap emit;
+    for (const Window &w : buildWindows(path, alignment, run, sync_at))
         replayWindow(w, path, alignment, run, emit);
+    finalizeThread(path, alignment, run, emit, out);
+}
 
+void
+Replayer::finalizeThread(const pmu::ThreadPath &path,
+                         const ThreadAlignment &alignment,
+                         const trace::RunTrace &run, EmitMap &emit,
+                         std::vector<ReconstructedAccess> &out)
+{
     for (auto &[key, acc] : emit.entries) {
         acc.tsc = alignment.tscAt(acc.position);
         out.push_back(acc);
@@ -1023,16 +1026,26 @@ Replayer::replayAll(const std::map<uint32_t, pmu::ThreadPath> &paths,
         }
     }
 
-    std::sort(out.begin(), out.end(),
-              [](const ReconstructedAccess &a,
-                 const ReconstructedAccess &b) {
-                  if (a.tsc != b.tsc)
-                      return a.tsc < b.tsc;
-                  if (a.tid != b.tid)
-                      return a.tid < b.tid;
-                  return a.position < b.position;
-              });
+    sortByTsc(out);
     return out;
+}
+
+void
+Replayer::sortByTsc(std::vector<ReconstructedAccess> &out)
+{
+    // stable_sort: ties — e.g. an atomic RMW's read and write halves at
+    // the same (tsc, tid, position) — keep their construction order, so
+    // any path that assembles the same pre-sort sequence gets the same
+    // post-sort sequence regardless of sort internals.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const ReconstructedAccess &a,
+                        const ReconstructedAccess &b) {
+                         if (a.tsc != b.tsc)
+                             return a.tsc < b.tsc;
+                         if (a.tid != b.tid)
+                             return a.tid < b.tid;
+                         return a.position < b.position;
+                     });
 }
 
 } // namespace prorace::replay

@@ -82,6 +82,28 @@ struct ReplayStats {
         return sampled + recovered_forward + recovered_backward;
     }
 
+    /**
+     * Fold another accumulator in. Window replays are independent, so
+     * summing per-task stats reproduces the serial accumulation
+     * exactly (every counter is a plain sum of window-local deltas).
+     */
+    void
+    merge(const ReplayStats &o)
+    {
+        sampled += o.sampled;
+        recovered_forward += o.recovered_forward;
+        recovered_backward += o.recovered_backward;
+        recovered_pcrel += o.recovered_pcrel;
+        windows += o.windows;
+        inconsistent_windows += o.inconsistent_windows;
+        backward_rounds += o.backward_rounds;
+        violations_branch += o.violations_branch;
+        violations_fact += o.violations_fact;
+        violations_sample += o.violations_sample;
+        violations_end += o.violations_end;
+        violations_backward += o.violations_backward;
+    }
+
     /** Recovered+sampled accesses per sampled access (paper Fig 11). */
     double
     recoveryRatio() const
@@ -117,6 +139,39 @@ struct ReplayConfig {
 class Replayer
 {
   public:
+    /** Deduplicating per-window emission buffer keyed by (position, slot). */
+    struct EmitMap {
+        std::map<uint64_t, ReconstructedAccess> entries;
+
+        bool
+        add(uint64_t position, unsigned slot,
+            const ReconstructedAccess &acc)
+        {
+            return entries.try_emplace(position * 4 + slot, acc).second;
+        }
+    };
+
+    /**
+     * A replay window between two adjacent samples of one thread.
+     *
+     * The boundary samples are the only state adjacent windows share:
+     * window i's closing sample (s2, the source of backward
+     * propagation) is window i+1's opening sample (s1, the restored
+     * register file). Both are immutable PEBS records in the run
+     * trace, which is what makes windows replayable in parallel — the
+     * handoff between adjacent window tasks is these two pointers, not
+     * mutable replay state.
+     */
+    struct Window {
+        uint32_t tid = 0;
+        uint64_t start = 0; ///< path position (inclusive)
+        uint64_t end = 0;   ///< path position (exclusive)
+        const trace::PebsRecord *s1 = nullptr; ///< sample at start, if any
+        const trace::PebsRecord *s2 = nullptr; ///< sample at end, if any
+        const std::map<uint64_t, const trace::SyncRecord *> *sync_at =
+            nullptr;
+    };
+
     Replayer(const asmkit::Program &program, const ReplayConfig &config);
 
     /**
@@ -140,8 +195,43 @@ class Replayer
     /** Accumulated statistics. */
     const ReplayStats &stats() const { return stats_; }
 
-    struct Window;
-    struct EmitMap;
+    // --- window planning (shared by the serial and parallel paths) ---
+
+    /** malloc/spawn sync records mapped to their path positions. */
+    static std::map<uint64_t, const trace::SyncRecord *>
+    syncAtMap(const ThreadAlignment &alignment,
+              const trace::RunTrace &run);
+
+    /**
+     * Build one thread's inter-sample window list. Windows cover
+     * disjoint [start, end) path ranges; @p sync_at must outlive the
+     * returned windows.
+     */
+    static std::vector<Window>
+    buildWindows(const pmu::ThreadPath &path,
+                 const ThreadAlignment &alignment,
+                 const trace::RunTrace &run,
+                 const std::map<uint64_t,
+                                const trace::SyncRecord *> &sync_at);
+
+    /**
+     * Post-window per-thread work: timestamp the emitted accesses and
+     * append them in position order, then append this thread's
+     * path-unlocatable samples in record order. Appending per-thread
+     * results in ascending-tid order reproduces the serial replayAll
+     * sequence exactly.
+     */
+    void finalizeThread(const pmu::ThreadPath &path,
+                        const ThreadAlignment &alignment,
+                        const trace::RunTrace &run, EmitMap &emit,
+                        std::vector<ReconstructedAccess> &out);
+
+    /**
+     * The final deterministic ordering of the extended trace. Both
+     * analyzer paths build the pre-sort sequence identically, so this
+     * shared sort yields bit-identical extended traces.
+     */
+    static void sortByTsc(std::vector<ReconstructedAccess> &out);
 
     void replayWindow(const Window &win, const pmu::ThreadPath &path,
                       const ThreadAlignment &alignment,

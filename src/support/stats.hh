@@ -42,6 +42,9 @@ class RunningStat
     /** Fold one observation into the accumulator. */
     void add(double x);
 
+    /** Fold another accumulator in (per-worker counter merging). */
+    void merge(const RunningStat &other);
+
     /** Number of observations so far. */
     size_t count() const { return count_; }
 

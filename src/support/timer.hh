@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Steady-clock stopwatch for pipeline cost accounting.
+ *
+ * Every offline-phase timer (the Fig 12 decode/reconstruct/detect
+ * breakdown, executor task latencies) goes through this type so the
+ * measurements are monotonic by construction — std::chrono::steady_clock
+ * never jumps under NTP slew or manual clock adjustments, which
+ * wall-clock timers (system_clock, gettimeofday) do.
+ */
+
+#ifndef PRORACE_SUPPORT_TIMER_HH
+#define PRORACE_SUPPORT_TIMER_HH
+
+#include <chrono>
+
+namespace prorace {
+
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds elapsed since construction or the last restart(). */
+    double
+    seconds() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+    /** Reset the origin to now. */
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+    /** seconds() then restart() — for phase-to-phase accounting. */
+    double
+    lap()
+    {
+        const double s = seconds();
+        restart();
+        return s;
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace prorace
+
+#endif // PRORACE_SUPPORT_TIMER_HH
