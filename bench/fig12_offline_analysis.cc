@@ -65,12 +65,28 @@ runBreakdown(prorace::bench::JsonReporter &json)
                     100 * result.offline.reconstruct_seconds / total,
                     100 * result.offline.detect_seconds / total);
         std::fflush(stdout);
-        json.record("fig12_offline_analysis", {{"app", name}},
-                    {{"per_second", per_second},
-                     {"decode_s", result.offline.decode_seconds},
-                     {"reconstruct_s",
-                      result.offline.reconstruct_seconds},
-                     {"detect_s", result.offline.detect_seconds}});
+        const auto &pm = result.offline.replay_stats.program_map;
+        json.record(
+            "fig12_offline_analysis", {{"app", name}},
+            {{"per_second", per_second},
+             {"total_s", total},
+             {"decode_s", result.offline.decode_seconds},
+             {"reconstruct_s", result.offline.reconstruct_seconds},
+             {"detect_s", result.offline.detect_seconds},
+             // Shadow-structure behavior behind the wall time: paged
+             // ProgramMap page/probe traffic and FastTrack's fast-path
+             // and read-share mix.
+             {"events",
+              static_cast<double>(result.offline.extended_trace_events)},
+             {"pm_pages", static_cast<double>(pm.pages_allocated)},
+             {"pm_lookups", static_cast<double>(pm.page_lookups)},
+             {"pm_cache_hits", static_cast<double>(pm.cache_hits)},
+             {"ft_fast_path",
+              static_cast<double>(
+                  result.offline.detect_stats.epoch_fast_path)},
+             {"ft_read_shares",
+              static_cast<double>(
+                  result.offline.detect_stats.read_shares)}});
     }
     const double total = decode_sum + rec_sum + det_sum;
     std::printf("%-16s %12s %11.1f%% %13.1f%% %11.2f%%\n", "(overall)",

@@ -28,6 +28,8 @@
 #include "baseline/racez.hh"
 #include "core/parallel_offline.hh"
 #include "core/pipeline.hh"
+#include "detect/fasttrack.hh"
+#include "replay/program_map.hh"
 #include "trace/trace_file.hh"
 #include "workload/registry.hh"
 
@@ -45,7 +47,50 @@ struct Args {
     unsigned jobs = 0; ///< offline analysis threads (0 = serial)
     bool racez = false;
     bool vanilla = false;
+    bool stats = false; ///< dump shadow-structure counters
 };
+
+/**
+ * `--stats` dump: the paged-ProgramMap and FastTrack shadow counters
+ * behind one offline analysis, for eyeballing structure behavior on
+ * real workloads without a profiler.
+ */
+void
+printShadowStats(const core::OfflineResult &result)
+{
+    const replay::ProgramMapStats &pm = result.replay_stats.program_map;
+    const double hit_rate = pm.page_lookups
+        ? 100.0 * static_cast<double>(pm.cache_hits) /
+            static_cast<double>(pm.page_lookups)
+        : 0.0;
+    const double pm_probe = pm.page_lookups
+        ? static_cast<double>(pm.probe_steps) /
+            static_cast<double>(pm.page_lookups)
+        : 0.0;
+    std::printf("program map: %llu pages, %llu lookups "
+                "(%.1f%% last-page cache hits, %.2f probes/lookup), "
+                "%llu bulk invalidations\n",
+                static_cast<unsigned long long>(pm.pages_allocated),
+                static_cast<unsigned long long>(pm.page_lookups),
+                hit_rate, pm_probe,
+                static_cast<unsigned long long>(pm.mem_invalidations));
+
+    const detect::FastTrackStats &ft = result.detect_stats;
+    const double ft_probe = ft.shadow_lookups
+        ? static_cast<double>(ft.shadow_probe_steps) /
+            static_cast<double>(ft.shadow_lookups)
+        : 0.0;
+    std::printf("fasttrack: %llu/%llu shadow slots, %llu lookups "
+                "(%.2f probes/lookup), %llu epoch fast path, "
+                "%llu read shares, %llu clock spills\n",
+                static_cast<unsigned long long>(ft.shadow_slots),
+                static_cast<unsigned long long>(ft.shadow_capacity),
+                static_cast<unsigned long long>(ft.shadow_lookups),
+                ft_probe,
+                static_cast<unsigned long long>(ft.epoch_fast_path),
+                static_cast<unsigned long long>(ft.read_shares),
+                static_cast<unsigned long long>(ft.vc_spills));
+}
 
 int
 usage()
@@ -55,12 +100,14 @@ usage()
                  "       prorace_cli trace <workload> <file> [--period N]"
                  " [--seed N] [--driver prorace|vanilla] [--scale X]\n"
                  "       prorace_cli analyze <workload> <file> [--racez]"
-                 " [--scale X] [--jobs N]\n"
+                 " [--scale X] [--jobs N] [--stats]\n"
                  "       prorace_cli run <workload> [--period N]"
-                 " [--seed N] [--scale X] [--jobs N]\n"
+                 " [--seed N] [--scale X] [--jobs N] [--stats]\n"
                  "\n"
                  "--jobs N runs the offline analysis on N worker threads"
-                 " (0 = serial; results are identical either way)\n");
+                 " (0 = serial; results are identical either way)\n"
+                 "--stats dumps the shadow-structure counters (program-"
+                 "map pages and probes, FastTrack table and clocks)\n");
     return 2;
 }
 
@@ -95,6 +142,8 @@ parseFlags(int argc, char **argv, int first, Args &args)
                                                            10));
         } else if (flag == "--racez") {
             args.racez = true;
+        } else if (flag == "--stats") {
+            args.stats = true;
         } else if (flag == "--driver") {
             const char *v = next();
             if (!v)
@@ -185,6 +234,8 @@ cmdAnalyze(const Args &args)
                     static_cast<unsigned long long>(es.max_queue_depth),
                     es.task_seconds.mean() * 1e6);
     }
+    if (args.stats)
+        printShadowStats(result);
     std::printf("%s", result.report.format(w->program.get()).c_str());
     for (const workload::RacyBug &bug : w->bugs) {
         std::printf("ground truth %s: %s\n", bug.id.c_str(),
@@ -210,6 +261,8 @@ cmdRun(const Args &args)
     cfg.offline.num_threads = args.jobs;
     core::PipelineResult result =
         core::runPipeline(*w->program, w->setup, cfg);
+    if (args.stats)
+        printShadowStats(result.offline);
     std::printf("%s", result.offline.report.format(w->program.get())
                           .c_str());
     for (const workload::RacyBug &bug : w->bugs) {

@@ -1,6 +1,7 @@
 #include "core/offline.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "support/log.hh"
 #include "support/timer.hh"

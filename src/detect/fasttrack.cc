@@ -16,47 +16,19 @@ granuleOf(uint64_t addr)
 
 } // namespace
 
-/** Shadow state of one 8-byte granule. */
-struct FastTrack::VarState {
-    Epoch write_epoch;
-    RaceAccess last_write;
-    bool write_atomic = false;
-
-    // Reads: a single epoch while totally ordered, a vector clock once
-    // concurrent reads exist (the FastTrack read-share adaptation).
-    Epoch read_epoch;
-    RaceAccess last_read;
-    bool read_atomic = true;      ///< all recorded reads were atomic
-    std::unique_ptr<VectorClock> read_shared;
-    RaceAccess shared_read_sample; ///< representative reader for reports
-};
-
-/** Per-thread detector state. */
-struct FastTrack::ThreadState {
-    explicit ThreadState(uint32_t tid) : tid(tid)
-    {
-        clock.set(tid, 1);
-    }
-
-    uint32_t tid;
-    VectorClock clock;
-
-    uint64_t epochClock() const { return clock.get(tid); }
-    Epoch epoch() const { return Epoch(tid, epochClock()); }
-
-    void
-    increment()
-    {
-        clock.set(tid, epochClock() + 1);
-    }
-};
-
 FastTrack::FastTrack() = default;
 FastTrack::~FastTrack() = default;
 
 FastTrack::ThreadState &
 FastTrack::threadState(uint32_t tid)
 {
+    if (tid >= Epoch::kMaxThreads) {
+        // Epoch packs the tid into kTidBits bits; a larger tid would
+        // silently alias another thread's epochs and corrupt detection.
+        PRORACE_FATAL("thread id ", tid, " exceeds the FastTrack limit "
+                      "of ", Epoch::kMaxThreads, " threads (the packed "
+                      "epoch tid field is ", Epoch::kTidBits, " bits)");
+    }
     if (tid >= threads_.size())
         threads_.resize(tid + 1);
     if (!threads_[tid])
@@ -68,6 +40,17 @@ VectorClock &
 FastTrack::lockClock(uint64_t object)
 {
     return locks_[object];
+}
+
+FastTrackStats
+FastTrack::stats() const
+{
+    FastTrackStats s = stats_;
+    s.shadow_slots = shadow_.size();
+    s.shadow_capacity = shadow_.capacity();
+    s.shadow_lookups = shadow_.probeStats().lookups;
+    s.shadow_probe_steps = shadow_.probeStats().probe_steps;
+    return s;
 }
 
 void
@@ -122,12 +105,12 @@ void
 FastTrack::join(uint32_t parent, uint32_t child)
 {
     ++stats_.sync_ops;
-    auto it = exited_.find(child);
-    if (it == exited_.end()) {
+    const VectorClock *exit_clock = exited_.find(child);
+    if (!exit_clock) {
         warn("join of thread ", child, " with no recorded exit");
         return;
     }
-    threadState(parent).clock.join(it->second);
+    threadState(parent).clock.join(*exit_clock);
 }
 
 void
@@ -141,7 +124,8 @@ FastTrack::allocate(uint32_t tid, uint64_t addr, uint64_t size)
     // to the new object.
     const uint64_t first = granuleOf(addr);
     const uint64_t last = granuleOf(addr + (size ? size - 1 : 0));
-    shadow_.erase(shadow_.lower_bound(first), shadow_.upper_bound(last));
+    for (uint64_t g = first; g <= last; ++g)
+        shadow_.erase(g);
 }
 
 void
@@ -149,14 +133,15 @@ FastTrack::deallocate(uint32_t tid, uint64_t addr)
 {
     (void)tid;
     ++stats_.sync_ops;
-    auto it = alloc_sizes_.find(addr);
-    if (it == alloc_sizes_.end())
+    const uint64_t *size_entry = alloc_sizes_.find(addr);
+    if (!size_entry)
         return;
-    const uint64_t size = it->second;
-    alloc_sizes_.erase(it);
+    const uint64_t size = *size_entry;
+    alloc_sizes_.erase(addr);
     const uint64_t first = granuleOf(addr);
     const uint64_t last = granuleOf(addr + (size ? size - 1 : 0));
-    shadow_.erase(shadow_.lower_bound(first), shadow_.upper_bound(last));
+    for (uint64_t g = first; g <= last; ++g)
+        shadow_.erase(g);
 }
 
 void
@@ -168,8 +153,8 @@ FastTrack::reportRace(const VarState &var, bool prior_is_write,
     if (prior_is_write) {
         race.prior = var.last_write;
     } else {
-        race.prior = var.read_shared ? var.shared_read_sample
-                                     : var.last_read;
+        race.prior = var.read_is_shared ? var.shared_read_sample
+                                        : var.last_read;
     }
     race.current = {ma.tid, ma.insn_index, ma.is_write, ma.tsc, ma.origin};
     report_.add(race);
@@ -181,7 +166,7 @@ FastTrack::checkRead(VarState &var, const MemAccess &ma, ThreadState &th)
     ++stats_.reads;
 
     // Same-epoch fast path.
-    if (var.read_epoch == th.epoch() && !var.read_shared) {
+    if (var.read_epoch == th.epoch() && !var.read_is_shared) {
         ++stats_.epoch_fast_path;
         return;
     }
@@ -195,8 +180,11 @@ FastTrack::checkRead(VarState &var, const MemAccess &ma, ThreadState &th)
 
     const RaceAccess this_access{ma.tid, ma.insn_index, false, ma.tsc,
                                  ma.origin};
-    if (var.read_shared) {
-        var.read_shared->set(ma.tid, th.epochClock());
+    if (var.read_is_shared) {
+        const bool was_spilled = var.read_vc.usesHeap();
+        var.read_vc.set(ma.tid, th.epochClock());
+        if (!was_spilled && var.read_vc.usesHeap())
+            ++stats_.vc_spills;
         var.shared_read_sample = this_access;
         var.read_atomic = var.read_atomic && ma.is_atomic;
     } else if (var.read_epoch.isZero() ||
@@ -208,9 +196,12 @@ FastTrack::checkRead(VarState &var, const MemAccess &ma, ThreadState &th)
     } else {
         // Concurrent reads: inflate to a read vector clock.
         ++stats_.read_shares;
-        var.read_shared = std::make_unique<VectorClock>();
-        var.read_shared->set(var.read_epoch.tid(), var.read_epoch.clock());
-        var.read_shared->set(ma.tid, th.epochClock());
+        var.read_is_shared = true;
+        var.read_vc.clear();
+        var.read_vc.set(var.read_epoch.tid(), var.read_epoch.clock());
+        var.read_vc.set(ma.tid, th.epochClock());
+        if (var.read_vc.usesHeap())
+            ++stats_.vc_spills;
         var.shared_read_sample = this_access;
         var.read_atomic = var.read_atomic && ma.is_atomic;
     }
@@ -234,13 +225,14 @@ FastTrack::checkWrite(VarState &var, const MemAccess &ma, ThreadState &th)
     }
 
     // read-write race?
-    if (var.read_shared) {
-        if (!var.read_shared->lessOrEqual(th.clock) &&
+    if (var.read_is_shared) {
+        if (!var.read_vc.lessOrEqual(th.clock) &&
             !(var.read_atomic && ma.is_atomic)) {
             reportRace(var, false, ma, ma.addr & ~7ull);
         }
         // Writes collapse the read state back to epochs.
-        var.read_shared.reset();
+        var.read_is_shared = false;
+        var.read_vc.clear();
         var.read_epoch = Epoch();
     } else if (!var.read_epoch.isZero() &&
                !var.read_epoch.happensBefore(th.clock) &&
@@ -258,7 +250,8 @@ FastTrack::access(const MemAccess &ma)
 {
     ThreadState &th = threadState(ma.tid);
     // An access may straddle a granule boundary; check every granule it
-    // touches.
+    // touches. Note shadow_[g] may rehash the table, so the reference
+    // is re-fetched per granule and never held across iterations.
     const uint64_t first = granuleOf(ma.addr);
     const uint64_t last = granuleOf(ma.addr + (ma.width ? ma.width - 1 : 0));
     for (uint64_t g = first; g <= last; ++g) {

@@ -9,6 +9,12 @@
  * variable states are single epochs; a read set inflates to a full
  * vector clock only when reads are concurrent (the FastTrack insight).
  *
+ * The granule shadow, lock/exit clocks, and allocation lifetimes all
+ * live in flat open-addressing tables (support/flat_map.hh) with the
+ * state stored inline, and read-share vector clocks use VectorClock's
+ * inline small-size storage — the detection inner loop allocates
+ * nothing on the heap for typical few-thread traces (DESIGN.md §9).
+ *
  * malloc/free are tracked so a block freed and re-allocated at the same
  * address does not produce false races between the two objects' lifetimes
  * (paper §4.3).
@@ -18,13 +24,12 @@
 #define PRORACE_DETECT_FASTTRACK_HH
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "detect/report.hh"
 #include "detect/vector_clock.hh"
+#include "support/flat_map.hh"
 
 namespace prorace::detect {
 
@@ -47,6 +52,13 @@ struct FastTrackStats {
     uint64_t sync_ops = 0;
     uint64_t epoch_fast_path = 0; ///< same-epoch hits (FastTrack O(1) path)
     uint64_t read_shares = 0;     ///< epoch -> vector-clock inflations
+    uint64_t vc_spills = 0;       ///< read clocks spilled past inline storage
+
+    // Flat shadow-table probe behavior (filled by FastTrack::stats()).
+    uint64_t shadow_slots = 0;       ///< live granules in the shadow table
+    uint64_t shadow_capacity = 0;    ///< shadow-table slot count
+    uint64_t shadow_lookups = 0;
+    uint64_t shadow_probe_steps = 0;
 };
 
 /**
@@ -100,12 +112,46 @@ class FastTrack
     const RaceReport &report() const { return report_; }
     RaceReport &report() { return report_; }
 
-    /** Statistics. */
-    const FastTrackStats &stats() const { return stats_; }
+    /** Statistics, including flat-table probe counters. */
+    FastTrackStats stats() const;
 
   private:
-    struct VarState;
-    struct ThreadState;
+    /** Shadow state of one 8-byte granule, stored inline in the table. */
+    struct VarState {
+        Epoch write_epoch;
+        RaceAccess last_write;
+        bool write_atomic = false;
+
+        // Reads: a single epoch while totally ordered, a vector clock
+        // once concurrent reads exist (the FastTrack read-share
+        // adaptation). The clock lives inline; read_is_shared gates it.
+        Epoch read_epoch;
+        RaceAccess last_read;
+        bool read_atomic = true;      ///< all recorded reads were atomic
+        bool read_is_shared = false;
+        VectorClock read_vc;
+        RaceAccess shared_read_sample; ///< representative reader for reports
+    };
+
+    /** Per-thread detector state. */
+    struct ThreadState {
+        explicit ThreadState(uint32_t tid) : tid(tid)
+        {
+            clock.set(tid, 1);
+        }
+
+        uint32_t tid;
+        VectorClock clock;
+
+        uint64_t epochClock() const { return clock.get(tid); }
+        Epoch epoch() const { return Epoch(tid, epochClock()); }
+
+        void
+        increment()
+        {
+            clock.set(tid, epochClock() + 1);
+        }
+    };
 
     ThreadState &threadState(uint32_t tid);
     VectorClock &lockClock(uint64_t object);
@@ -115,10 +161,10 @@ class FastTrack
                     const MemAccess &ma, uint64_t granule_addr);
 
     std::vector<std::unique_ptr<ThreadState>> threads_;
-    std::unordered_map<uint64_t, VectorClock> locks_;
-    std::unordered_map<uint64_t, VectorClock> exited_;
-    std::map<uint64_t, VarState> shadow_;    ///< keyed by granule index
-    std::unordered_map<uint64_t, uint64_t> alloc_sizes_;
+    FlatMap<VectorClock> locks_;
+    FlatMap<VectorClock> exited_;
+    FlatMap<VarState> shadow_;    ///< keyed by granule index
+    FlatMap<uint64_t> alloc_sizes_;
     RaceReport report_;
     FastTrackStats stats_;
 };

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Reference FastTrack with the pre-overhaul data structures: an
+ * ordered std::map granule shadow, node-based hash maps for lock/exit
+ * clocks and allocation sizes, a heap-vector vector clock, and a
+ * heap-allocated read-share clock per inflated granule.
+ *
+ * This is NOT the production detector (that is detect::FastTrack, built
+ * on flat tables and inline clocks). It exists for two jobs:
+ *
+ *  - the randomized differential test (tests/test_shadow.cc) proves the
+ *    flat-table detector emits byte-identical reports and identical
+ *    core counters on ordering-sensitive event streams, and
+ *  - the bm_components microbenchmarks quantify the structure swap on a
+ *    shared-read-heavy stream (acceptance: >= 1.5x).
+ *
+ * Keep the *algorithm* here in lockstep with fasttrack.cc; only the
+ * containers differ.
+ */
+
+#ifndef PRORACE_DETECT_FASTTRACK_REF_HH
+#define PRORACE_DETECT_FASTTRACK_REF_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/fasttrack.hh"
+#include "detect/report.hh"
+#include "detect/vector_clock.hh"
+#include "support/log.hh"
+
+namespace prorace::detect {
+
+/** The original grow-on-demand heap-vector clock. */
+class RefVectorClock
+{
+  public:
+    uint64_t
+    get(uint32_t tid) const
+    {
+        return tid < clocks_.size() ? clocks_[tid] : 0;
+    }
+
+    void
+    set(uint32_t tid, uint64_t value)
+    {
+        if (tid >= clocks_.size())
+            clocks_.resize(tid + 1, 0);
+        clocks_[tid] = value;
+    }
+
+    void
+    join(const RefVectorClock &other)
+    {
+        if (other.clocks_.size() > clocks_.size())
+            clocks_.resize(other.clocks_.size(), 0);
+        for (size_t i = 0; i < other.clocks_.size(); ++i)
+            clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+    }
+
+    void assign(const RefVectorClock &other) { clocks_ = other.clocks_; }
+
+    bool
+    lessOrEqual(const RefVectorClock &other) const
+    {
+        for (size_t i = 0; i < clocks_.size(); ++i) {
+            if (clocks_[i] > other.get(static_cast<uint32_t>(i)))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::vector<uint64_t> clocks_;
+};
+
+/** Epoch helper against the reference clock. */
+inline bool
+refHappensBefore(const Epoch &e, const RefVectorClock &vc)
+{
+    return e.clock() <= vc.get(e.tid());
+}
+
+/** Pre-overhaul FastTrack; same event API as detect::FastTrack. */
+class RefFastTrack
+{
+  public:
+    void
+    acquire(uint32_t tid, uint64_t object)
+    {
+        ++stats_.sync_ops;
+        threadState(tid).clock.join(locks_[object]);
+    }
+
+    void
+    release(uint32_t tid, uint64_t object)
+    {
+        ++stats_.sync_ops;
+        ThreadState &th = threadState(tid);
+        locks_[object].assign(th.clock);
+        th.increment();
+    }
+
+    void
+    barrierEnter(uint32_t tid, uint64_t object)
+    {
+        ++stats_.sync_ops;
+        ThreadState &th = threadState(tid);
+        locks_[object].join(th.clock);
+        th.increment();
+    }
+
+    void
+    barrierExit(uint32_t tid, uint64_t object)
+    {
+        ++stats_.sync_ops;
+        threadState(tid).clock.join(locks_[object]);
+    }
+
+    void
+    fork(uint32_t parent, uint32_t child)
+    {
+        ++stats_.sync_ops;
+        ThreadState &p = threadState(parent);
+        threadState(child).clock.join(p.clock);
+        p.increment();
+    }
+
+    void
+    threadExit(uint32_t tid)
+    {
+        ++stats_.sync_ops;
+        exited_[tid].assign(threadState(tid).clock);
+    }
+
+    void
+    join(uint32_t parent, uint32_t child)
+    {
+        ++stats_.sync_ops;
+        auto it = exited_.find(child);
+        if (it == exited_.end())
+            return;
+        threadState(parent).clock.join(it->second);
+    }
+
+    void
+    allocate(uint32_t tid, uint64_t addr, uint64_t size)
+    {
+        (void)tid;
+        ++stats_.sync_ops;
+        alloc_sizes_[addr] = size;
+        const uint64_t first = addr >> 3;
+        const uint64_t last = (addr + (size ? size - 1 : 0)) >> 3;
+        shadow_.erase(shadow_.lower_bound(first),
+                      shadow_.upper_bound(last));
+    }
+
+    void
+    deallocate(uint32_t tid, uint64_t addr)
+    {
+        (void)tid;
+        ++stats_.sync_ops;
+        auto it = alloc_sizes_.find(addr);
+        if (it == alloc_sizes_.end())
+            return;
+        const uint64_t size = it->second;
+        alloc_sizes_.erase(it);
+        const uint64_t first = addr >> 3;
+        const uint64_t last = (addr + (size ? size - 1 : 0)) >> 3;
+        shadow_.erase(shadow_.lower_bound(first),
+                      shadow_.upper_bound(last));
+    }
+
+    void
+    access(const MemAccess &ma)
+    {
+        ThreadState &th = threadState(ma.tid);
+        const uint64_t first = ma.addr >> 3;
+        const uint64_t last =
+            (ma.addr + (ma.width ? ma.width - 1 : 0)) >> 3;
+        for (uint64_t g = first; g <= last; ++g) {
+            VarState &var = shadow_[g];
+            if (ma.is_write)
+                checkWrite(var, ma, th);
+            else
+                checkRead(var, ma, th);
+        }
+    }
+
+    const RaceReport &report() const { return report_; }
+    const FastTrackStats &stats() const { return stats_; }
+
+  private:
+    struct VarState {
+        Epoch write_epoch;
+        RaceAccess last_write;
+        bool write_atomic = false;
+        Epoch read_epoch;
+        RaceAccess last_read;
+        bool read_atomic = true;
+        std::unique_ptr<RefVectorClock> read_shared;
+        RaceAccess shared_read_sample;
+    };
+
+    struct ThreadState {
+        explicit ThreadState(uint32_t tid) : tid(tid)
+        {
+            clock.set(tid, 1);
+        }
+
+        uint32_t tid;
+        RefVectorClock clock;
+
+        uint64_t epochClock() const { return clock.get(tid); }
+        Epoch epoch() const { return Epoch(tid, epochClock()); }
+        void increment() { clock.set(tid, epochClock() + 1); }
+    };
+
+    ThreadState &
+    threadState(uint32_t tid)
+    {
+        if (tid >= threads_.size())
+            threads_.resize(tid + 1);
+        if (!threads_[tid])
+            threads_[tid] = std::make_unique<ThreadState>(tid);
+        return *threads_[tid];
+    }
+
+    void
+    reportRace(const VarState &var, bool prior_is_write,
+               const MemAccess &ma, uint64_t granule_addr)
+    {
+        DataRace race;
+        race.addr = granule_addr;
+        if (prior_is_write) {
+            race.prior = var.last_write;
+        } else {
+            race.prior = var.read_shared ? var.shared_read_sample
+                                         : var.last_read;
+        }
+        race.current = {ma.tid, ma.insn_index, ma.is_write, ma.tsc,
+                        ma.origin};
+        report_.add(race);
+    }
+
+    void
+    checkRead(VarState &var, const MemAccess &ma, ThreadState &th)
+    {
+        ++stats_.reads;
+        if (var.read_epoch == th.epoch() && !var.read_shared) {
+            ++stats_.epoch_fast_path;
+            return;
+        }
+        if (!var.write_epoch.isZero() &&
+            !refHappensBefore(var.write_epoch, th.clock) &&
+            !(var.write_atomic && ma.is_atomic)) {
+            reportRace(var, true, ma, ma.addr & ~7ull);
+        }
+        const RaceAccess this_access{ma.tid, ma.insn_index, false, ma.tsc,
+                                     ma.origin};
+        if (var.read_shared) {
+            var.read_shared->set(ma.tid, th.epochClock());
+            var.shared_read_sample = this_access;
+            var.read_atomic = var.read_atomic && ma.is_atomic;
+        } else if (var.read_epoch.isZero() ||
+                   refHappensBefore(var.read_epoch, th.clock)) {
+            var.read_epoch = Epoch(ma.tid, th.epochClock());
+            var.last_read = this_access;
+            var.read_atomic = ma.is_atomic;
+        } else {
+            ++stats_.read_shares;
+            var.read_shared = std::make_unique<RefVectorClock>();
+            var.read_shared->set(var.read_epoch.tid(),
+                                 var.read_epoch.clock());
+            var.read_shared->set(ma.tid, th.epochClock());
+            var.shared_read_sample = this_access;
+            var.read_atomic = var.read_atomic && ma.is_atomic;
+        }
+    }
+
+    void
+    checkWrite(VarState &var, const MemAccess &ma, ThreadState &th)
+    {
+        ++stats_.writes;
+        if (var.write_epoch == th.epoch()) {
+            ++stats_.epoch_fast_path;
+            return;
+        }
+        if (!var.write_epoch.isZero() &&
+            !refHappensBefore(var.write_epoch, th.clock) &&
+            !(var.write_atomic && ma.is_atomic)) {
+            reportRace(var, true, ma, ma.addr & ~7ull);
+        }
+        if (var.read_shared) {
+            if (!var.read_shared->lessOrEqual(th.clock) &&
+                !(var.read_atomic && ma.is_atomic)) {
+                reportRace(var, false, ma, ma.addr & ~7ull);
+            }
+            var.read_shared.reset();
+            var.read_epoch = Epoch();
+        } else if (!var.read_epoch.isZero() &&
+                   !refHappensBefore(var.read_epoch, th.clock) &&
+                   !(var.read_atomic && ma.is_atomic)) {
+            reportRace(var, false, ma, ma.addr & ~7ull);
+        }
+        var.write_epoch = Epoch(ma.tid, th.epochClock());
+        var.last_write = {ma.tid, ma.insn_index, true, ma.tsc, ma.origin};
+        var.write_atomic = ma.is_atomic;
+    }
+
+    std::vector<std::unique_ptr<ThreadState>> threads_;
+    std::unordered_map<uint64_t, RefVectorClock> locks_;
+    std::unordered_map<uint64_t, RefVectorClock> exited_;
+    std::map<uint64_t, VarState> shadow_;
+    std::unordered_map<uint64_t, uint64_t> alloc_sizes_;
+    RaceReport report_;
+    FastTrackStats stats_;
+};
+
+} // namespace prorace::detect
+
+#endif // PRORACE_DETECT_FASTTRACK_REF_HH

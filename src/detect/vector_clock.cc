@@ -5,42 +5,66 @@
 
 namespace prorace::detect {
 
-uint64_t
-VectorClock::get(uint32_t tid) const
+void
+VectorClock::growTo(uint32_t n)
 {
-    if (tid >= clocks_.size())
-        return 0;
-    return clocks_[tid];
+    if (n <= size_)
+        return;
+    if (n > cap_) {
+        // Geometric growth keeps repeated set() of ascending tids O(1)
+        // amortized; the clock never shrinks while alive.
+        uint32_t new_cap = cap_;
+        while (new_cap < n)
+            new_cap *= 2;
+        uint64_t *fresh = new uint64_t[new_cap];
+        std::copy(data(), data() + size_, fresh);
+        delete[] heap_;
+        heap_ = fresh;
+        cap_ = new_cap;
+    }
+    std::fill(data() + size_, data() + n, 0);
+    size_ = n;
 }
 
 void
 VectorClock::set(uint32_t tid, uint64_t value)
 {
-    if (tid >= clocks_.size())
-        clocks_.resize(tid + 1, 0);
-    clocks_[tid] = value;
+    growTo(tid + 1);
+    data()[tid] = value;
 }
 
 void
 VectorClock::join(const VectorClock &other)
 {
-    if (other.clocks_.size() > clocks_.size())
-        clocks_.resize(other.clocks_.size(), 0);
-    for (size_t i = 0; i < other.clocks_.size(); ++i)
-        clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+    growTo(static_cast<uint32_t>(other.size_));
+    uint64_t *mine = data();
+    const uint64_t *theirs = other.data();
+    for (uint32_t i = 0; i < other.size_; ++i)
+        mine[i] = std::max(mine[i], theirs[i]);
 }
 
 void
 VectorClock::assign(const VectorClock &other)
 {
-    clocks_ = other.clocks_;
+    if (this == &other)
+        return;
+    growTo(other.size_); // ensures capacity; may also raise size_
+    std::copy(other.data(), other.data() + other.size_, data());
+    size_ = other.size_; // shrink back if we were larger
 }
 
 bool
 VectorClock::lessOrEqual(const VectorClock &other) const
 {
-    for (size_t i = 0; i < clocks_.size(); ++i) {
-        if (clocks_[i] > other.get(static_cast<uint32_t>(i)))
+    const uint64_t *mine = data();
+    const uint64_t *theirs = other.data();
+    const uint32_t common = std::min(size_, other.size_);
+    for (uint32_t i = 0; i < common; ++i) {
+        if (mine[i] > theirs[i])
+            return false;
+    }
+    for (uint32_t i = common; i < size_; ++i) {
+        if (mine[i] > 0)
             return false;
     }
     return true;
@@ -51,13 +75,40 @@ VectorClock::toString() const
 {
     std::ostringstream os;
     os << "[";
-    for (size_t i = 0; i < clocks_.size(); ++i) {
+    for (uint32_t i = 0; i < size_; ++i) {
         if (i)
             os << " ";
-        os << "t" << i << ":" << clocks_[i];
+        os << "t" << i << ":" << data()[i];
     }
     os << "]";
     return os.str();
+}
+
+void
+VectorClock::copyFrom(const VectorClock &other)
+{
+    if (other.heap_) {
+        heap_ = new uint64_t[other.cap_];
+        cap_ = other.cap_;
+        std::copy(other.heap_, other.heap_ + other.size_, heap_);
+    } else {
+        std::copy(other.small_, other.small_ + kInlineComponents, small_);
+    }
+    size_ = other.size_;
+}
+
+void
+VectorClock::moveFrom(VectorClock &other) noexcept
+{
+    if (other.heap_) {
+        heap_ = other.heap_;
+        cap_ = other.cap_;
+        other.heap_ = nullptr;
+    } else {
+        std::copy(other.small_, other.small_ + kInlineComponents, small_);
+    }
+    size_ = other.size_;
+    other.reset();
 }
 
 } // namespace prorace::detect

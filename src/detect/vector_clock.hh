@@ -8,19 +8,55 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 namespace prorace::detect {
 
 /**
  * A grow-on-demand vector clock. Component t holds the last clock value
  * of thread t that the owner has synchronized with.
+ *
+ * Storage is small-size optimized: up to kInlineComponents components
+ * live inside the object, so the clocks of typical few-thread traces —
+ * including FastTrack's read-share inflations — never touch the heap.
+ * Larger clocks spill to a heap array transparently.
  */
 class VectorClock
 {
   public:
+    /** Components stored inline before spilling to the heap. */
+    static constexpr uint32_t kInlineComponents = 4;
+
+    VectorClock() = default;
+    VectorClock(const VectorClock &other) { copyFrom(other); }
+    VectorClock(VectorClock &&other) noexcept { moveFrom(other); }
+    ~VectorClock() { delete[] heap_; }
+
+    VectorClock &
+    operator=(const VectorClock &other)
+    {
+        if (this != &other) {
+            reset();
+            copyFrom(other);
+        }
+        return *this;
+    }
+
+    VectorClock &
+    operator=(VectorClock &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
     /** Clock component for thread @p tid (0 if never seen). */
-    uint64_t get(uint32_t tid) const;
+    uint64_t
+    get(uint32_t tid) const
+    {
+        return tid < size_ ? data()[tid] : 0;
+    }
 
     /** Set component @p tid to @p value. */
     void set(uint32_t tid, uint64_t value);
@@ -35,13 +71,46 @@ class VectorClock
     bool lessOrEqual(const VectorClock &other) const;
 
     /** Number of components stored. */
-    size_t size() const { return clocks_.size(); }
+    size_t size() const { return size_; }
+
+    /** Drop every component (back to the all-zero clock). */
+    void
+    clear()
+    {
+        reset();
+    }
+
+    /** True once the clock has spilled past the inline storage. */
+    bool usesHeap() const { return heap_ != nullptr; }
 
     /** Render as "[t0:3 t1:7]" for reports and debugging. */
     std::string toString() const;
 
   private:
-    std::vector<uint64_t> clocks_;
+    uint64_t *data() { return heap_ ? heap_ : small_; }
+    const uint64_t *data() const { return heap_ ? heap_ : small_; }
+
+    /** Ensure components [0, n) exist, zero-filling new ones. */
+    void growTo(uint32_t n);
+
+    void
+    reset()
+    {
+        delete[] heap_;
+        heap_ = nullptr;
+        cap_ = kInlineComponents;
+        size_ = 0;
+        for (uint32_t i = 0; i < kInlineComponents; ++i)
+            small_[i] = 0;
+    }
+
+    void copyFrom(const VectorClock &other);
+    void moveFrom(VectorClock &other) noexcept;
+
+    uint64_t small_[kInlineComponents] = {};
+    uint64_t *heap_ = nullptr;
+    uint32_t size_ = 0;
+    uint32_t cap_ = kInlineComponents;
 };
 
 /**
@@ -53,6 +122,11 @@ class VectorClock
 class Epoch
 {
   public:
+    static constexpr unsigned kTidBits = 10; ///< up to 1024 threads
+
+    /** Largest thread count the packed tid field can represent. */
+    static constexpr uint32_t kMaxThreads = 1u << kTidBits;
+
     Epoch() = default;
 
     Epoch(uint32_t tid, uint64_t clock)
@@ -74,7 +148,6 @@ class Epoch
     bool operator==(const Epoch &) const = default;
 
   private:
-    static constexpr unsigned kTidBits = 10; ///< up to 1024 threads
     static constexpr uint64_t kTidMask = (1ull << kTidBits) - 1;
 
     uint64_t bits_ = 0;

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reference model of ProgramMap's emulated memory with the
+ * pre-overhaul byte-granular containers: one hash-map entry per byte
+ * for values, and hash sets for the blacklist and consumed marks.
+ *
+ * This is NOT used by the pipeline (that is replay::ProgramMap's paged
+ * shadow). It exists so that
+ *
+ *  - the randomized differential test (tests/test_shadow.cc) can drive
+ *    the paged shadow against an obviously-correct model across page
+ *    boundaries, and
+ *  - the bm_components microbenchmarks can quantify the paged shadow's
+ *    speedup over the old structures (acceptance: >= 2x random access).
+ *
+ * Mirrors the observable memory semantics of ProgramMap exactly:
+ * register tracking is out of scope.
+ */
+
+#ifndef PRORACE_REPLAY_BYTE_MAP_MODEL_HH
+#define PRORACE_REPLAY_BYTE_MAP_MODEL_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace prorace::replay {
+
+/** Byte-granular emulated-memory model (the pre-paging structures). */
+class ByteMapModel
+{
+  public:
+    void
+    writeMem(uint64_t addr, uint64_t value, uint8_t width)
+    {
+        for (unsigned i = 0; i < width; ++i) {
+            const uint64_t byte_addr = addr + i;
+            if (blacklist_.count(byte_addr))
+                continue;
+            mem_[byte_addr] = static_cast<uint8_t>(value >> (8 * i));
+        }
+    }
+
+    void
+    invalidateMem(uint64_t addr, uint8_t width)
+    {
+        for (unsigned i = 0; i < width; ++i)
+            mem_.erase(addr + i);
+    }
+
+    std::optional<uint64_t>
+    readMem(uint64_t addr, uint8_t width)
+    {
+        uint64_t value = 0;
+        for (unsigned i = 0; i < width; ++i) {
+            auto it = mem_.find(addr + i);
+            if (it == mem_.end())
+                return std::nullopt;
+            value |= static_cast<uint64_t>(it->second) << (8 * i);
+        }
+        for (unsigned i = 0; i < width; ++i)
+            consumed_.insert(addr + i);
+        return value;
+    }
+
+    void
+    invalidateMemory()
+    {
+        mem_.clear();
+    }
+
+    void
+    blacklistMem(uint64_t addr, uint64_t size)
+    {
+        for (uint64_t i = 0; i < size; ++i) {
+            blacklist_.insert(addr + i);
+            mem_.erase(addr + i);
+        }
+    }
+
+    const std::unordered_set<uint64_t> &
+    consumedAddresses() const
+    {
+        return consumed_;
+    }
+
+  private:
+    std::unordered_map<uint64_t, uint8_t> mem_;
+    std::unordered_set<uint64_t> blacklist_;
+    std::unordered_set<uint64_t> consumed_;
+};
+
+} // namespace prorace::replay
+
+#endif // PRORACE_REPLAY_BYTE_MAP_MODEL_HH

@@ -9,6 +9,13 @@
  * known address makes that location available; loads from unavailable
  * locations poison their destination register; syscalls and other
  * scheduling points conservatively invalidate all emulated memory.
+ *
+ * Emulated memory is a sanitizer-style paged shadow (DESIGN.md §9):
+ * fixed 4 KiB pages carry the value bytes plus per-byte availability,
+ * blacklist, and consumed bitmaps, behind an open-addressing page table
+ * with a one-entry last-page cache. An aligned 8-byte load or store is
+ * one page lookup plus word-wide bitmap ops, and invalidateMemory() is
+ * an O(1) epoch bump instead of a hash-map rehash.
  */
 
 #ifndef PRORACE_REPLAY_PROGRAM_MAP_HH
@@ -16,16 +23,36 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "isa/reg.hh"
 #include "vm/cpu.hh"
 
 namespace prorace::replay {
 
-/** Availability-tracked registers + emulated memory. */
+/** Shadow-page and page-table behavior counters. */
+struct ProgramMapStats {
+    uint64_t pages_allocated = 0;
+    uint64_t page_lookups = 0;    ///< page-resolutions (incl. cache hits)
+    uint64_t cache_hits = 0;      ///< served by the last-page cache
+    uint64_t probe_steps = 0;     ///< table slots inspected on misses
+    uint64_t mem_invalidations = 0; ///< invalidateMemory() epoch bumps
+
+    void
+    merge(const ProgramMapStats &o)
+    {
+        pages_allocated += o.pages_allocated;
+        page_lookups += o.page_lookups;
+        cache_hits += o.cache_hits;
+        probe_steps += o.probe_steps;
+        mem_invalidations += o.mem_invalidations;
+    }
+};
+
+/** Availability-tracked registers + paged emulated memory. */
 class ProgramMap
 {
   public:
@@ -72,21 +99,79 @@ class ProgramMap
      */
     void blacklistMem(uint64_t addr, uint64_t size);
 
-    /** Emulated addresses whose values were consumed by reads. */
-    const std::unordered_set<uint64_t> &consumedAddresses() const
-    {
-        return consumed_;
-    }
+    /**
+     * Emulated byte addresses whose values were consumed by reads,
+     * rebuilt lazily from the per-page consumed bitmaps. Consumed marks
+     * survive invalidateMemory(), as before the paged rewrite.
+     */
+    std::unordered_set<uint64_t> consumedAddresses() const;
 
     /** Number of registers currently available. */
     unsigned availableRegCount() const;
 
+    /** Shadow-structure counters (merged into ReplayStats). */
+    const ProgramMapStats &memStats() const { return mstats_; }
+
   private:
+    static constexpr unsigned kPageShift = 12; ///< 4 KiB value bytes
+    static constexpr uint64_t kPageBytes = 1ull << kPageShift;
+    static constexpr uint64_t kOffsetMask = kPageBytes - 1;
+    static constexpr unsigned kWordsPerPage =
+        static_cast<unsigned>(kPageBytes / 64);
+
+    /**
+     * One shadow page: value bytes plus per-byte bitmaps. Availability
+     * is epoch-validated — a page whose avail_epoch is stale logically
+     * has an all-zero availability bitmap and is refreshed on first
+     * touch, which is what makes invalidateMemory() O(1).
+     */
+    struct Page {
+        uint64_t index = 0; ///< page number (addr >> kPageShift)
+        uint64_t avail_epoch = 0;
+        std::array<uint8_t, kPageBytes> bytes{};
+        std::array<uint64_t, kWordsPerPage> avail{};
+        std::array<uint64_t, kWordsPerPage> blacklist{};
+        std::array<uint64_t, kWordsPerPage> consumed{};
+    };
+
+    /** Page for @p page_index, or nullptr; refreshes stale epochs. */
+    Page *findPage(uint64_t page_index);
+
+    /** Page for @p page_index, created on demand; epoch-fresh. */
+    Page &getPage(uint64_t page_index);
+
+    /** Zero a stale availability bitmap and stamp the current epoch. */
+    void
+    refreshAvail(Page &page)
+    {
+        if (page.avail_epoch != epoch_) {
+            page.avail.fill(0);
+            page.avail_epoch = epoch_;
+        }
+    }
+
+    void growTable(size_t new_cap);
+
+    /** Width must be a power-of-two load/store size with no wraparound. */
+    static void checkSpan(uint64_t addr, uint8_t width);
+
+    // --- bitmap helpers over [off, off+len) bit ranges ---
+    static void setBits(uint64_t *bm, unsigned off, unsigned len);
+    static void clearBits(uint64_t *bm, unsigned off, unsigned len);
+    static bool allSet(const uint64_t *bm, unsigned off, unsigned len);
+    /** dst |= range-mask & ~veto (availability respecting blacklist). */
+    static void setBitsExcept(uint64_t *dst, const uint64_t *veto,
+                              unsigned off, unsigned len);
+
     std::array<uint64_t, isa::kNumGprs> values_{};
     uint16_t avail_mask_ = 0;
-    std::unordered_map<uint64_t, uint8_t> mem_;      ///< byte -> value
-    std::unordered_set<uint64_t> blacklist_;         ///< poisoned bytes
-    std::unordered_set<uint64_t> consumed_;          ///< read-back bytes
+
+    /** Open-addressing page table (power-of-two, never shrinks). */
+    std::vector<std::unique_ptr<Page>> table_;
+    size_t page_count_ = 0;
+    Page *last_page_ = nullptr; ///< one-entry lookup cache
+    uint64_t epoch_ = 1;
+    mutable ProgramMapStats mstats_;
 };
 
 } // namespace prorace::replay

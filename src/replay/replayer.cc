@@ -556,8 +556,11 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
         }
     }
 
-    consumed_.insert(pm.consumedAddresses().begin(),
-                     pm.consumedAddresses().end());
+    // consumedAddresses() is rebuilt from the per-page consumed bitmaps,
+    // so materialize it once per pass.
+    const std::unordered_set<uint64_t> consumed = pm.consumedAddresses();
+    consumed_.insert(consumed.begin(), consumed.end());
+    stats_.program_map.merge(pm.memStats());
 
     if (win.s2) {
         for (unsigned r = 0; r < isa::kNumGprs; ++r) {

@@ -76,6 +76,9 @@ struct ReplayStats {
     uint64_t violations_end = 0;      ///< closing-sample register mismatches
     uint64_t violations_backward = 0; ///< backward immediate contradictions
 
+    /** Paged-ProgramMap shadow counters, summed over all replay passes. */
+    ProgramMapStats program_map;
+
     uint64_t
     totalAccesses() const
     {
@@ -102,6 +105,7 @@ struct ReplayStats {
         violations_sample += o.violations_sample;
         violations_end += o.violations_end;
         violations_backward += o.violations_backward;
+        program_map.merge(o.program_map);
     }
 
     /** Recovered+sampled accesses per sampled access (paper Fig 11). */
