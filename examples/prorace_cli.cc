@@ -207,14 +207,30 @@ cmdAnalyze(const Args &args)
                      args.workload.c_str());
         return 1;
     }
-    trace::RunTrace trace = trace::loadTrace(args.trace_file);
     core::OfflineOptions opt;
     opt.pt_filter = w->pt_filter;
     opt.num_threads = args.jobs;
     if (args.racez)
         opt.replay.mode = replay::ReplayMode::kBasicBlock;
     core::ParallelOfflineAnalyzer analyzer(*w->program, opt);
-    core::OfflineResult result = analyzer.analyze(trace);
+    auto analyzed = analyzer.analyzeFile(args.trace_file);
+    if (!analyzed.ok()) {
+        std::fprintf(stderr, "cannot analyze trace: %s\n",
+                     analyzed.error().format().c_str());
+        return 1;
+    }
+    core::OfflineResult result = std::move(analyzed.value());
+    if (result.ingest_loss.hasLoss()) {
+        std::printf("trace damaged; analyzing what survives (%s)\n",
+                    result.ingest_loss.summary().c_str());
+    }
+    if (result.quarantine.windows_quarantined) {
+        std::printf("quarantined %llu replay windows (%llu retried)\n",
+                    static_cast<unsigned long long>(
+                        result.quarantine.windows_quarantined),
+                    static_cast<unsigned long long>(
+                        result.quarantine.window_retries));
+    }
 
     std::printf("decode %.3fs  reconstruct %.3fs  detect %.3fs  "
                 "(%llu events, recovery %.1fx, %d regeneration "

@@ -5,6 +5,7 @@
 
 #include "support/log.hh"
 #include "support/timer.hh"
+#include "trace/trace_file.hh"
 
 namespace prorace::core {
 
@@ -259,6 +260,17 @@ OfflineAnalyzer::analyze(const trace::RunTrace &run)
             replay_config.mem_blacklist.end(), new_blacklist.begin(),
             new_blacklist.end());
     }
+    return result;
+}
+
+Result<OfflineResult, trace::TraceError>
+OfflineAnalyzer::analyzeFile(const std::string &path)
+{
+    auto loaded = trace::readTraceFile(path);
+    if (!loaded.ok())
+        return loaded.error();
+    OfflineResult result = analyze(loaded.value().trace);
+    result.ingest_loss = loaded.value().loss;
     return result;
 }
 

@@ -17,7 +17,9 @@
 #include "pmu/pt_decode.hh"
 #include "replay/align.hh"
 #include "replay/replayer.hh"
+#include "support/expected.hh"
 #include "trace/records.hh"
+#include "trace/trace_error.hh"
 
 namespace prorace::core {
 
@@ -37,6 +39,18 @@ struct OfflineOptions {
     unsigned num_threads = 0;
 };
 
+/**
+ * Loss accounting of the parallel analyzer's window quarantine: a
+ * replay window whose task threw is retried once on the commit thread
+ * and then, if it fails again, dropped with its reconstructed accesses
+ * (its samples still reach detection through the unmatched-sample
+ * fallback).
+ */
+struct QuarantineStats {
+    uint64_t window_retries = 0;      ///< failed tasks retried inline
+    uint64_t windows_quarantined = 0; ///< windows dropped after retry
+};
+
 /** Everything the offline phase produces. */
 struct OfflineResult {
     detect::RaceReport report;
@@ -44,6 +58,9 @@ struct OfflineResult {
     pmu::PtDecodeStats decode_stats;
     replay::AlignStats align_stats;
     detect::FastTrackStats detect_stats;
+    /** What trace ingestion discarded (analyzeFile() path only). */
+    trace::SegmentLoss ingest_loss;
+    QuarantineStats quarantine;
     uint64_t extended_trace_events = 0;
     int regeneration_rounds = 0;
 
@@ -71,6 +88,16 @@ class OfflineAnalyzer
 
     /** Run the full offline pipeline over @p run. */
     OfflineResult analyze(const trace::RunTrace &run);
+
+    /**
+     * Ingest @p path fault-tolerantly and analyze what survives.
+     * Segment damage degrades the result (recorded in
+     * OfflineResult::ingest_loss); only an uninterpretable file —
+     * unreadable, foreign, wrong version, meta destroyed — returns a
+     * TraceError.
+     */
+    Result<OfflineResult, trace::TraceError>
+    analyzeFile(const std::string &path);
 
   private:
     /** One reconstruction + detection pass with the given blacklist. */

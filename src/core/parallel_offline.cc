@@ -6,6 +6,7 @@
 #include "exec/reorder_buffer.hh"
 #include "support/log.hh"
 #include "support/timer.hh"
+#include "trace/trace_file.hh"
 
 namespace prorace::core {
 
@@ -68,10 +69,8 @@ ParallelOfflineAnalyzer::decodeSharded(const trace::RunTrace &run,
         return pmu::decodePt(program_, options_.pt_filter, run, stats);
     }
     if (stats) {
-        for (const pmu::PtDecodeStats &s : shard_stats) {
-            stats->packets += s.packets;
-            stats->path_entries += s.path_entries;
-        }
+        for (const pmu::PtDecodeStats &s : shard_stats)
+            stats->merge(s);
     }
     return paths;
 }
@@ -147,17 +146,35 @@ ParallelOfflineAnalyzer::analyzeOnceParallel(
     replay::ReplayStats replay_stats;
     Replayer finalizer(program_, replay_config);
     Replayer::EmitMap thread_emit;
-    // On a task error, keep popping so every in-flight worker can
-    // commit before the buffer goes out of scope, then rethrow.
-    std::exception_ptr first_error;
     for (uint64_t seq = 0; seq < tasks.size(); ++seq) {
         WindowResult res = rob.pop();
         if (next_submit < tasks.size())
             submit_one();
-        if (res.error && !first_error)
-            first_error = res.error;
-        if (first_error)
-            continue;
+        if (res.error) {
+            // Quarantine policy: retry the window once on the commit
+            // thread (transient failures — allocation pressure on a
+            // loaded worker — get a second chance), then give it up
+            // and record the loss. Its samples fall back to the
+            // unmatched-sample path in finalizeThread, so one
+            // poisoned window costs its reconstructed accesses, not
+            // the run. Windows cannot hang: replay work is bounded by
+            // the window's path slice, so a timeout policy beyond
+            // this retry is unnecessary by construction.
+            ++result.quarantine.window_retries;
+            const WindowTask &t = tasks[seq];
+            WindowResult retry;
+            try {
+                Replayer replayer(program_, replay_config);
+                replayer.replayWindow(t.window, *t.path, *t.alignment,
+                                      run, retry.emit);
+                retry.stats = replayer.stats();
+                retry.consumed = replayer.consumedAddresses();
+            } catch (...) {
+                ++result.quarantine.windows_quarantined;
+                retry = WindowResult();
+            }
+            res = std::move(retry);
+        }
         replay_stats.merge(res.stats);
         consumed.insert(res.consumed.begin(), res.consumed.end());
         // Window [start, end) ranges are disjoint, so inserting the
@@ -172,8 +189,6 @@ ParallelOfflineAnalyzer::analyzeOnceParallel(
             thread_emit.entries.clear();
         }
     }
-    if (first_error)
-        std::rethrow_exception(first_error);
     // Samples of threads without decoded paths still contribute their
     // own access (same trailing block as the serial replayAll).
     for (const trace::PebsRecord &rec : run.pebs) {
@@ -253,6 +268,17 @@ ParallelOfflineAnalyzer::analyze(const trace::RunTrace &run)
     }
 
     exec_stats_ = ex.stats();
+    return result;
+}
+
+Result<OfflineResult, trace::TraceError>
+ParallelOfflineAnalyzer::analyzeFile(const std::string &path)
+{
+    auto loaded = trace::readTraceFile(path);
+    if (!loaded.ok())
+        return loaded.error();
+    OfflineResult result = analyze(loaded.value().trace);
+    result.ingest_loss = loaded.value().loss;
     return result;
 }
 

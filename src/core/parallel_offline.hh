@@ -52,6 +52,13 @@ class ParallelOfflineAnalyzer
     /** Run the full offline pipeline over @p run. */
     OfflineResult analyze(const trace::RunTrace &run);
 
+    /**
+     * Ingest @p path fault-tolerantly and analyze what survives; see
+     * OfflineAnalyzer::analyzeFile().
+     */
+    Result<OfflineResult, trace::TraceError>
+    analyzeFile(const std::string &path);
+
     /** Executor counters of the last analyze() call (parallel path). */
     const exec::ExecutorStats &executorStats() const
     {

@@ -199,12 +199,13 @@ TracingSession::onIndirectBranch(const vm::BranchEvent &ev)
 }
 
 void
-TracingSession::onContextSwitch(unsigned core_id, uint32_t tid, uint64_t tsc)
+TracingSession::onContextSwitch(unsigned core_id, uint32_t tid, uint64_t tsc,
+                                uint32_t ip)
 {
     max_tsc_ = std::max(max_tsc_, tsc);
     if (!config_.enable_pt)
         return;
-    cores_[core_id].pt->onContextSwitch(tid, tsc);
+    cores_[core_id].pt->onContextSwitch(tid, tsc, ip);
 }
 
 uint64_t

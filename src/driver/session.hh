@@ -94,7 +94,8 @@ class TracingSession : public vm::ExecutionObserver
     uint64_t onMemOp(const vm::MemOpEvent &ev) override;
     uint64_t onCondBranch(const vm::BranchEvent &ev) override;
     uint64_t onIndirectBranch(const vm::BranchEvent &ev) override;
-    void onContextSwitch(unsigned core, uint32_t tid, uint64_t tsc) override;
+    void onContextSwitch(unsigned core, uint32_t tid, uint64_t tsc,
+                         uint32_t ip) override;
     uint64_t onSync(const vm::SyncEvent &ev) override;
     uint64_t onIoSyscall(uint32_t tid, isa::SyscallNo no,
                          uint64_t latency) override;

@@ -95,13 +95,28 @@ PtEncoder::onIndirect(uint32_t src, uint32_t target, uint64_t tsc)
 }
 
 void
-PtEncoder::onContextSwitch(uint32_t tid, uint64_t tsc)
+PtEncoder::onContextSwitch(uint32_t tid, uint64_t tsc, uint32_t ip)
 {
+    // A PSB ahead of the context packet gives the offline decoder a
+    // scannable sync point followed immediately by a full re-anchor
+    // (tid + tsc + resume ip). Emitted on the first switch and then
+    // every psb_byte_period stream bytes.
+    if (!psb_emitted_ ||
+        writer_.byteCount() - last_psb_byte_ >= config_.psb_byte_period) {
+        PtPacket psb;
+        psb.kind = PtPacketKind::kPsb;
+        writePtPacket(writer_, psb);
+        overhead_bits_ += 38; // 6 header bits + 32 magic bits
+        psb_emitted_ = true;
+        last_psb_byte_ = writer_.byteCount();
+    }
     PtPacket p;
     p.kind = PtPacketKind::kContext;
     p.tid = tid;
     p.tsc = tsc;
+    p.ip = ip;
     writePtPacket(writer_, p);
+    overhead_bits_ += 32; // the resume-ip field is robustness framing
     packets_since_tsc_ = 0;
     last_tsc_ = tsc;
 }
@@ -114,6 +129,7 @@ PtEncoder::finish()
     PtPacket end;
     end.kind = PtPacketKind::kEnd;
     writePtPacket(writer_, end);
+    overhead_bits_ += 1; // the end marker's discriminator bit
     trace::PtCoreStream s;
     s.bytes = writer_.bytes();
     s.bit_count = writer_.bitCount();

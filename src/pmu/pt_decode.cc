@@ -1,5 +1,7 @@
 #include "pmu/pt_decode.hh"
 
+#include <algorithm>
+
 #include "support/log.hh"
 
 namespace prorace::pmu {
@@ -33,6 +35,13 @@ struct Walker {
      * after a blocking call could be timestamped before it.
      */
     uint64_t proven = 0;
+    /**
+     * Set when the stream feeding this walker lost synchronization:
+     * the speculative suffix has been rolled back to `proven` and a
+     * kPathGap appended; packets are refused until a context packet
+     * re-anchors the walker at its resume ip.
+     */
+    bool desynced = false;
 };
 
 /**
@@ -83,43 +92,121 @@ advance(Walker &w, const asmkit::Program &program, const PtFilter &filter,
     }
 }
 
+/**
+ * Roll @p w back to its proven prefix and mark the loss with a
+ * kPathGap. The speculative walk-ahead past `proven` was predicated on
+ * packets that are now untrusted, so it is discarded rather than kept
+ * as plausible-but-unproven path.
+ */
+void
+markDesynced(Walker &w, uint64_t &total_entries)
+{
+    if (w.desynced || w.need == Walker::Need::kDone)
+        return;
+    w.path.insns.resize(w.proven);
+    w.path.insns.push_back(kPathGap);
+    ++total_entries;
+    w.desynced = true;
+}
+
 /** Apply one stream's packets to a (possibly shared) walker set. */
 void
 decodeStreamInto(const asmkit::Program &program, const PtFilter &filter,
                  const trace::PtCoreStream &stream,
                  const std::map<uint32_t, uint32_t> &entries,
                  std::map<uint32_t, Walker> &walkers,
-                 uint64_t &total_entries, uint64_t &total_packets)
+                 PtDecodeStats &stats)
 {
     if (stream.bit_count == 0)
         return;
     BitReader reader(stream.bytes, stream.bit_count);
     Walker *current = nullptr;
     uint64_t stream_tsc = 0;
+    // Walkers this stream has fed: the blast radius of a
+    // desynchronization. (Threads are core-pinned, so walkers never
+    // span streams.)
+    std::vector<Walker *> stream_walkers;
+
+    // Lose synchronization: gap every walker this stream feeds, then
+    // scan forward for the next PSB. Returns false when the rest of
+    // the stream holds no sync point and decoding must stop.
+    auto resync = [&]() -> bool {
+        for (Walker *w : stream_walkers)
+            markDesynced(*w, stats.path_entries);
+        current = nullptr;
+        ++stats.resyncs;
+        const uint64_t from = reader.position();
+        const bool found = scanToPsb(reader);
+        stats.bits_skipped += reader.position() - from;
+        return found;
+    };
 
     for (;;) {
-        const PtPacket p = readPtPacket(reader);
-        ++total_packets;
+        PtPacket p;
+        if (!tryReadPtPacket(reader, p)) {
+            // Out of bits without a clean end packet: the stream was
+            // clipped (buffer wrap / salvaged segment); everything it
+            // was still proving ends here.
+            for (Walker *w : stream_walkers)
+                markDesynced(*w, stats.path_entries);
+            ++stats.truncated_streams;
+            break;
+        }
+        ++stats.packets;
         if (p.kind == PtPacketKind::kEnd)
             break;
 
         switch (p.kind) {
+          case PtPacketKind::kPsb: {
+            ++stats.psb_packets;
+            if (p.target != kPsbMagic && !resync())
+                return;
+            break;
+          }
           case PtPacketKind::kContext: {
             auto [it, inserted] = walkers.try_emplace(p.tid);
             Walker &w = it->second;
             if (inserted) {
                 auto entry = entries.find(p.tid);
-                if (entry == entries.end()) {
-                    PRORACE_FATAL("PT context packet for unknown tid ",
-                                  p.tid);
+                uint32_t start_ip;
+                if (entry != entries.end()) {
+                    start_ip = entry->second;
+                } else if (p.ip < program.size()) {
+                    // Thread metadata lost with its trace segment; the
+                    // context packet's resume ip is the fallback
+                    // anchor.
+                    start_ip = p.ip;
+                } else {
+                    walkers.erase(it);
+                    ++stats.dropped_packets;
+                    current = nullptr;
+                    break;
                 }
-                w.ip = entry->second;
+                w.ip = start_ip;
                 w.path.tid = p.tid;
-                advance(w, program, filter, total_entries);
+                advance(w, program, filter, stats.path_entries);
+            } else if (w.desynced) {
+                // Re-anchor after a gap at the packet's resume ip, the
+                // same recovery replay applies at syscall boundaries.
+                if (p.ip >= program.size() ||
+                    w.need == Walker::Need::kDone) {
+                    ++stats.dropped_packets;
+                    current = nullptr;
+                    break;
+                }
+                w.ip = p.ip;
+                w.need = Walker::Need::kAdvance;
+                w.proven = w.path.insns.size();
+                w.desynced = false;
+                advance(w, program, filter, stats.path_entries);
             }
             w.path.anchors.push_back({w.proven, p.tsc});
             stream_tsc = p.tsc;
             current = &w;
+            if (std::find(stream_walkers.begin(), stream_walkers.end(),
+                          &w) == stream_walkers.end()) {
+                stream_walkers.push_back(&w);
+            }
             break;
           }
           case PtPacketKind::kTsc: {
@@ -131,38 +218,57 @@ decodeStreamInto(const asmkit::Program &program, const PtFilter &filter,
             break;
           }
           case PtPacketKind::kTnt: {
-            PRORACE_ASSERT(current, "TNT packet before any context");
+            if (!current) {
+                ++stats.dropped_packets;
+                break;
+            }
             Walker &w = *current;
-            PRORACE_ASSERT(w.need == Walker::Need::kTnt,
-                           "unexpected TNT packet (walker state ",
-                           int(w.need), ")");
+            if (w.need != Walker::Need::kTnt) {
+                if (!resync())
+                    return;
+                break;
+            }
             const Insn &insn = program.insnAt(w.ip);
             w.ip = p.taken ? insn.target : w.ip + 1;
             w.need = Walker::Need::kAdvance;
             w.proven = w.path.insns.size(); // the branch retired
-            advance(w, program, filter, total_entries);
+            advance(w, program, filter, stats.path_entries);
             break;
           }
           case PtPacketKind::kTip: {
-            PRORACE_ASSERT(current, "TIP packet before any context");
+            if (!current) {
+                ++stats.dropped_packets;
+                break;
+            }
             Walker &w = *current;
-            PRORACE_ASSERT(w.need == Walker::Need::kTip,
-                           "unexpected TIP packet");
+            if (w.need != Walker::Need::kTip ||
+                p.target >= program.size()) {
+                if (!resync())
+                    return;
+                break;
+            }
             w.ip = p.target;
             w.need = Walker::Need::kAdvance;
             w.proven = w.path.insns.size();
-            advance(w, program, filter, total_entries);
+            advance(w, program, filter, stats.path_entries);
             break;
           }
           case PtPacketKind::kPge: {
-            PRORACE_ASSERT(current, "PGE packet before any context");
+            if (!current) {
+                ++stats.dropped_packets;
+                break;
+            }
             Walker &w = *current;
-            PRORACE_ASSERT(w.need == Walker::Need::kPge,
-                           "unexpected PGE packet");
+            if (w.need != Walker::Need::kPge ||
+                p.target >= program.size()) {
+                if (!resync())
+                    return;
+                break;
+            }
             w.ip = p.target;
             w.need = Walker::Need::kAdvance;
             w.proven = w.path.insns.size();
-            advance(w, program, filter, total_entries);
+            advance(w, program, filter, stats.path_entries);
             break;
           }
           case PtPacketKind::kEnd:
@@ -188,22 +294,19 @@ decodePt(const asmkit::Program &program, const PtFilter &filter,
 {
     const std::map<uint32_t, uint32_t> entries = entryMap(run);
     std::map<uint32_t, Walker> walkers;
-    uint64_t total_entries = 0;
-    uint64_t total_packets = 0;
+    PtDecodeStats local_stats;
 
     for (const trace::PtCoreStream &stream : run.pt) {
         decodeStreamInto(program, filter, stream, entries, walkers,
-                         total_entries, total_packets);
+                         local_stats);
     }
 
     std::map<uint32_t, ThreadPath> paths;
     for (auto &[tid, w] : walkers)
         paths.emplace(tid, std::move(w.path));
 
-    if (stats) {
-        stats->packets = total_packets;
-        stats->path_entries = total_entries;
-    }
+    if (stats)
+        *stats = local_stats;
     return paths;
 }
 
@@ -215,19 +318,16 @@ decodePtStream(const asmkit::Program &program, const PtFilter &filter,
     PRORACE_ASSERT(core < run.pt.size(), "PT stream index out of range");
     const std::map<uint32_t, uint32_t> entries = entryMap(run);
     std::map<uint32_t, Walker> walkers;
-    uint64_t total_entries = 0;
-    uint64_t total_packets = 0;
+    PtDecodeStats local_stats;
     decodeStreamInto(program, filter, run.pt[core], entries, walkers,
-                     total_entries, total_packets);
+                     local_stats);
 
     std::map<uint32_t, ThreadPath> paths;
     for (auto &[tid, w] : walkers)
         paths.emplace(tid, std::move(w.path));
 
-    if (stats) {
-        stats->packets = total_packets;
-        stats->path_entries = total_entries;
-    }
+    if (stats)
+        *stats = local_stats;
     return paths;
 }
 

@@ -9,6 +9,15 @@
  * transfer; context packets demultiplex the per-core stream into
  * per-thread paths; TSC and context packets yield (path position, TSC)
  * anchors used later to time-align PEBS samples with path positions.
+ *
+ * Malformed input does not abort the decode: like a hardware PT
+ * decoder, on an inconsistent packet (walker-state mismatch,
+ * out-of-range target, truncation) the decoder marks a kPathGap in
+ * every path fed by the stream, scans forward to the next PSB sync
+ * packet, and re-anchors each thread at its next context packet's
+ * resume ip. Replay already treats kPathGap like a syscall boundary
+ * (registers and emulated memory invalidated), so damage degrades
+ * coverage instead of poisoning reconstruction.
  */
 
 #ifndef PRORACE_PMU_PT_DECODE_HH
@@ -42,10 +51,28 @@ struct ThreadPath {
     bool complete = false;           ///< the walk reached a halt
 };
 
-/** Decoder statistics (offline-cost reporting). */
+/** Decoder statistics (offline-cost and loss reporting). */
 struct PtDecodeStats {
     uint64_t packets = 0;
     uint64_t path_entries = 0;
+    uint64_t psb_packets = 0;    ///< sync points seen
+    uint64_t resyncs = 0;        ///< recoveries from malformed input
+    uint64_t bits_skipped = 0;   ///< bits scanned over while resyncing
+    uint64_t dropped_packets = 0;///< packets with no walker to apply to
+    uint64_t truncated_streams = 0; ///< streams ending mid-packet
+
+    /** Accumulate @p other (sharded decode merges per-core stats). */
+    void
+    merge(const PtDecodeStats &other)
+    {
+        packets += other.packets;
+        path_entries += other.path_entries;
+        psb_packets += other.psb_packets;
+        resyncs += other.resyncs;
+        bits_skipped += other.bits_skipped;
+        dropped_packets += other.dropped_packets;
+        truncated_streams += other.truncated_streams;
+    }
 };
 
 /**

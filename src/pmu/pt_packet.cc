@@ -32,6 +32,7 @@ writePtPacket(BitWriter &w, const PtPacket &p)
         w.putBit(false);
         w.putBits(p.tid, 32);
         w.putU64(p.tsc);
+        w.putBits(p.ip, 32);
         break;
       case PtPacketKind::kTsc:
         w.putBit(true);
@@ -45,45 +46,112 @@ writePtPacket(BitWriter &w, const PtPacket &p)
       case PtPacketKind::kEnd:
         for (int i = 0; i < 5; ++i)
             w.putBit(true);
+        w.putBit(false);
+        break;
+      case PtPacketKind::kPsb:
+        for (int i = 0; i < 6; ++i)
+            w.putBit(true);
+        w.putBits(kPsbMagic, 32);
         break;
     }
+}
+
+bool
+tryReadPtPacket(BitReader &r, PtPacket &p)
+{
+    bool bit = false;
+    if (!r.tryGetBit(bit))
+        return false;
+    if (!bit) {
+        p.kind = PtPacketKind::kTnt;
+        return r.tryGetBit(p.taken);
+    }
+    if (!r.tryGetBit(bit))
+        return false;
+    if (!bit) {
+        p.kind = PtPacketKind::kTip;
+        if (!r.tryGetBit(p.short_target))
+            return false;
+        uint64_t target = 0;
+        if (!r.tryGetBits(target, p.short_target ? 16 : 32))
+            return false;
+        p.target = static_cast<uint32_t>(target);
+        return true;
+    }
+    if (!r.tryGetBit(bit))
+        return false;
+    if (!bit) {
+        p.kind = PtPacketKind::kPge;
+        if (!r.tryGetBit(p.short_target))
+            return false;
+        uint64_t target = 0;
+        if (!r.tryGetBits(target, p.short_target ? 16 : 32))
+            return false;
+        p.target = static_cast<uint32_t>(target);
+        return true;
+    }
+    if (!r.tryGetBit(bit))
+        return false;
+    if (!bit) {
+        p.kind = PtPacketKind::kContext;
+        uint64_t tid = 0, ip = 0;
+        if (!r.tryGetBits(tid, 32) || !r.tryGetBits(p.tsc, 64) ||
+            !r.tryGetBits(ip, 32)) {
+            return false;
+        }
+        p.tid = static_cast<uint32_t>(tid);
+        p.ip = static_cast<uint32_t>(ip);
+        return true;
+    }
+    if (!r.tryGetBit(bit))
+        return false;
+    if (!bit) {
+        p.kind = PtPacketKind::kTsc;
+        if (!r.tryGetBit(p.tsc_is_delta))
+            return false;
+        return r.tryGetBits(p.tsc, p.tsc_is_delta ? 32 : 64);
+    }
+    if (!r.tryGetBit(bit))
+        return false;
+    if (!bit) {
+        p.kind = PtPacketKind::kEnd;
+        return true;
+    }
+    p.kind = PtPacketKind::kPsb;
+    uint64_t magic = 0;
+    if (!r.tryGetBits(magic, 32))
+        return false;
+    p.target = static_cast<uint32_t>(magic);
+    return true;
 }
 
 PtPacket
 readPtPacket(BitReader &r)
 {
     PtPacket p;
-    if (!r.getBit()) {
-        p.kind = PtPacketKind::kTnt;
-        p.taken = r.getBit();
-        return p;
-    }
-    if (!r.getBit()) {
-        p.kind = PtPacketKind::kTip;
-        p.short_target = r.getBit();
-        p.target = static_cast<uint32_t>(r.getBits(p.short_target ? 16 : 32));
-        return p;
-    }
-    if (!r.getBit()) {
-        p.kind = PtPacketKind::kPge;
-        p.short_target = r.getBit();
-        p.target = static_cast<uint32_t>(r.getBits(p.short_target ? 16 : 32));
-        return p;
-    }
-    if (!r.getBit()) {
-        p.kind = PtPacketKind::kContext;
-        p.tid = static_cast<uint32_t>(r.getBits(32));
-        p.tsc = r.getU64();
-        return p;
-    }
-    if (!r.getBit()) {
-        p.kind = PtPacketKind::kTsc;
-        p.tsc_is_delta = r.getBit();
-        p.tsc = r.getBits(p.tsc_is_delta ? 32 : 64);
-        return p;
-    }
-    p.kind = PtPacketKind::kEnd;
+    if (!tryReadPtPacket(r, p))
+        PRORACE_PANIC("PT stream truncated mid-packet");
     return p;
+}
+
+bool
+scanToPsb(BitReader &r)
+{
+    // The PSB pattern is 6 header one-bits followed by the 32-bit
+    // magic, LSB first — 38 bits that the encoder never produces as
+    // the *start* of any other packet.
+    while (r.remaining() >= 38) {
+        const uint64_t start = r.position();
+        uint64_t header = 0, magic = 0;
+        if (r.tryGetBits(header, 6) && header == 0x3f &&
+            r.tryGetBits(magic, 32) && magic == kPsbMagic) {
+            r.seek(start);
+            return true;
+        }
+        r.seek(start + 1);
+    }
+    r.seek(r.position() + r.remaining());
+    return false;
 }
 
 } // namespace prorace::pmu

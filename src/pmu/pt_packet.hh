@@ -22,13 +22,21 @@ namespace prorace::pmu {
 
 /** Packet kinds, in header order. */
 enum class PtPacketKind : uint8_t {
-    kTnt,     ///< header "0"     + 1 taken/not-taken bit
-    kTip,     ///< header "10"    + 32-bit target
-    kPge,     ///< header "110"   + 32-bit target (trace re-enable)
-    kContext, ///< header "1110"  + 32-bit tid + 64-bit TSC
-    kTsc,     ///< header "11110" + 64-bit TSC
-    kEnd,     ///< header "11111"
+    kTnt,     ///< header "0"      + 1 taken/not-taken bit
+    kTip,     ///< header "10"     + 32-bit target
+    kPge,     ///< header "110"    + 32-bit target (trace re-enable)
+    kContext, ///< header "1110"   + 32-bit tid + 64-bit TSC + 32-bit ip
+    kTsc,     ///< header "11110"  + 64-bit TSC
+    kEnd,     ///< header "111110"
+    kPsb,     ///< header "111111" + 32-bit sync magic
 };
+
+/**
+ * Payload of every PSB packet. Header plus magic form a fixed 38-bit
+ * pattern the decoder scans for to re-acquire a damaged stream, the
+ * way hardware PT decoders resynchronize at PSB boundaries.
+ */
+inline constexpr uint32_t kPsbMagic = 0x50545342; // "PTSB"
 
 /** A decoded packet. */
 struct PtPacket {
@@ -36,9 +44,10 @@ struct PtPacket {
     bool taken = false;       ///< kTnt
     bool short_target = false;///< kTip / kPge: 16-bit compressed target
     bool tsc_is_delta = false;///< kTsc: 32-bit delta vs 64-bit absolute
-    uint32_t target = 0;      ///< kTip / kPge
+    uint32_t target = 0;      ///< kTip / kPge; kPsb: magic as read
     uint32_t tid = 0;         ///< kContext
     uint64_t tsc = 0;         ///< kContext; kTsc: delta or absolute
+    uint32_t ip = 0;          ///< kContext: resume instruction index
 };
 
 /** Append one packet to a bit stream. */
@@ -46,6 +55,23 @@ void writePtPacket(BitWriter &w, const PtPacket &p);
 
 /** Read the next packet; panics on a malformed stream. */
 PtPacket readPtPacket(BitReader &r);
+
+/**
+ * Bounds-checked read for untrusted streams: false when the stream
+ * runs out mid-packet (reader position is then unspecified), true with
+ * @p p filled otherwise. Every bit pattern decodes to *some* packet —
+ * corruption shows up as decoder-state mismatches, out-of-range
+ * targets, or a kPsb whose magic is wrong, all handled by the
+ * decoder's resynchronization (pmu/pt_decode).
+ */
+bool tryReadPtPacket(BitReader &r, PtPacket &p);
+
+/**
+ * Scan forward from the reader's position for the next PSB bit
+ * pattern, leaving the reader positioned at its first header bit.
+ * Returns false (reader at end) when no PSB remains.
+ */
+bool scanToPsb(BitReader &r);
 
 } // namespace prorace::pmu
 

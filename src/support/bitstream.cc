@@ -58,4 +58,24 @@ BitReader::getBits(unsigned nbits)
     return value;
 }
 
+bool
+BitReader::tryGetBit(bool &bit)
+{
+    if (pos_ >= bit_count_)
+        return false;
+    bit = (bytes_[pos_ / 8] >> (pos_ % 8)) & 1u;
+    ++pos_;
+    return true;
+}
+
+bool
+BitReader::tryGetBits(uint64_t &value, unsigned nbits)
+{
+    PRORACE_ASSERT(nbits <= 64, "tryGetBits width out of range: ", nbits);
+    if (remaining() < nbits)
+        return false;
+    value = getBits(nbits);
+    return true;
+}
+
 } // namespace prorace

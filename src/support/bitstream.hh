@@ -61,6 +61,29 @@ class BitReader
     /** Read @p nbits bits LSB-first; nbits <= 64. */
     uint64_t getBits(unsigned nbits);
 
+    /**
+     * Non-asserting read for untrusted streams: stores one bit in
+     * @p bit and returns true, or returns false (position unchanged)
+     * when the stream is exhausted.
+     */
+    bool tryGetBit(bool &bit);
+
+    /**
+     * Non-asserting multi-bit read: false (position unchanged) when
+     * fewer than @p nbits bits remain — the caller decides whether a
+     * short stream is corruption or a clean end.
+     */
+    bool tryGetBits(uint64_t &value, unsigned nbits);
+
+    /** Current bit position from the start of the stream. */
+    uint64_t position() const { return pos_; }
+
+    /** Jump to absolute bit position @p bitpos (clamped to the end). */
+    void seek(uint64_t bitpos)
+    {
+        pos_ = bitpos < bit_count_ ? bitpos : bit_count_;
+    }
+
     /** Read a whole byte. */
     uint8_t getByte() { return static_cast<uint8_t>(getBits(8)); }
 

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal Result<T, E> for fallible operations that must not abort.
+ *
+ * The offline pipeline ingests traces produced on machines we do not
+ * control; a flipped byte in the input must surface as a value the
+ * caller can inspect, not as a PRORACE_FATAL that kills the whole
+ * analysis. This is the `std::expected` shape reduced to what the
+ * trace-ingestion layer needs: construction from either side, ok(),
+ * and accessors that assert on misuse.
+ */
+
+#ifndef PRORACE_SUPPORT_EXPECTED_HH
+#define PRORACE_SUPPORT_EXPECTED_HH
+
+#include <utility>
+#include <variant>
+
+#include "support/log.hh"
+
+namespace prorace {
+
+/**
+ * Holds either a success value T or an error E. T and E must be
+ * distinct types (enforced by the variant-based construction).
+ */
+template <typename T, typename E> class Result
+{
+  public:
+    Result(T value) : storage_(std::in_place_index<0>, std::move(value))
+    {
+    }
+
+    Result(E error) : storage_(std::in_place_index<1>, std::move(error))
+    {
+    }
+
+    /** True when this holds a success value. */
+    bool ok() const { return storage_.index() == 0; }
+
+    explicit operator bool() const { return ok(); }
+
+    /** The success value; asserts when this holds an error. */
+    T &value()
+    {
+        PRORACE_ASSERT(ok(), "Result::value() on error result");
+        return std::get<0>(storage_);
+    }
+
+    const T &value() const
+    {
+        PRORACE_ASSERT(ok(), "Result::value() on error result");
+        return std::get<0>(storage_);
+    }
+
+    /** The error; asserts when this holds a success value. */
+    E &error()
+    {
+        PRORACE_ASSERT(!ok(), "Result::error() on success result");
+        return std::get<1>(storage_);
+    }
+
+    const E &error() const
+    {
+        PRORACE_ASSERT(!ok(), "Result::error() on success result");
+        return std::get<1>(storage_);
+    }
+
+  private:
+    std::variant<T, E> storage_;
+};
+
+} // namespace prorace
+
+#endif // PRORACE_SUPPORT_EXPECTED_HH

@@ -1,13 +1,30 @@
 #include "trace/trace_file.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
+#include "support/crc32.hh"
 #include "support/log.hh"
 
 namespace prorace::trace {
 
 namespace {
+
+/// kind..payload_size bytes covered by the header CRC.
+constexpr size_t kSegmentHeaderCrcSpan = 1 + 4 + 8;
+
+/// magic, kind, seq, payload_size, header_crc, payload_crc.
+constexpr size_t kSegmentHeaderSize = 4 + kSegmentHeaderCrcSpan + 4 + 4;
+
+/** Segment payload kinds. New kinds are skipped by older readers. */
+enum SegmentKind : uint8_t {
+    kSegMeta = 1,
+    kSegPebs = 2,
+    kSegSync = 3,
+    kSegPt = 4,
+    kSegEnd = 5,
+};
 
 /** Little-endian append-only byte sink. */
 class Writer
@@ -39,65 +56,89 @@ class Writer
         buf_.insert(buf_.end(), b.begin(), b.end());
     }
 
+    size_t size() const { return buf_.size(); }
+
     std::vector<uint8_t> take() { return std::move(buf_); }
 
   private:
     std::vector<uint8_t> buf_;
 };
 
-/** Sequential reader with bounds checking. */
+/**
+ * Sequential reader over untrusted bytes. Reads past the end do not
+ * abort: they return zero and latch the fail flag, so segment parsers
+ * can run over damaged payloads and report failure as a value.
+ */
 class Reader
 {
   public:
-    explicit Reader(const std::vector<uint8_t> &buf) : buf_(buf) {}
+    Reader(const uint8_t *data, size_t size) : data_(data), size_(size) {}
+
+    explicit Reader(const std::vector<uint8_t> &buf)
+        : data_(buf.data()), size_(buf.size())
+    {
+    }
 
     uint8_t
     u8()
     {
-        need(1);
-        return buf_[pos_++];
+        if (!need(1))
+            return 0;
+        return data_[pos_++];
     }
 
     uint32_t
     u32()
     {
-        need(4);
+        if (!need(4))
+            return 0;
         uint32_t v = 0;
         for (int i = 0; i < 4; ++i)
-            v |= static_cast<uint32_t>(buf_[pos_++]) << (8 * i);
+            v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
         return v;
     }
 
     uint64_t
     u64()
     {
-        need(8);
+        if (!need(8))
+            return 0;
         uint64_t v = 0;
         for (int i = 0; i < 8; ++i)
-            v |= static_cast<uint64_t>(buf_[pos_++]) << (8 * i);
+            v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
         return v;
     }
 
     std::vector<uint8_t>
     bytes(size_t n)
     {
-        need(n);
-        std::vector<uint8_t> out(buf_.begin() + pos_,
-                                 buf_.begin() + pos_ + n);
+        if (!need(n))
+            return {};
+        std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + n);
         pos_ += n;
         return out;
     }
 
+    size_t remaining() const { return failed_ ? 0 : size_ - pos_; }
+
+    /** True once any read has run past the end. */
+    bool failed() const { return failed_; }
+
   private:
-    void
+    bool
     need(size_t n)
     {
-        if (pos_ + n > buf_.size())
-            PRORACE_FATAL("truncated trace file");
+        if (failed_ || n > size_ - pos_) {
+            failed_ = true;
+            return false;
+        }
+        return true;
     }
 
-    const std::vector<uint8_t> &buf_;
+    const uint8_t *data_;
+    size_t size_;
     size_t pos_ = 0;
+    bool failed_ = false;
 };
 
 void
@@ -156,15 +197,28 @@ readSync(Reader &r)
     return s;
 }
 
-} // namespace
+/** Frame @p payload as segment number @p seq of @p kind onto @p out. */
+void
+appendSegment(Writer &out, SegmentKind kind, uint32_t seq,
+              const std::vector<uint8_t> &payload)
+{
+    Writer header;
+    header.u8(kind);
+    header.u32(seq);
+    header.u64(payload.size());
+    const std::vector<uint8_t> header_bytes = header.take();
+
+    out.u32(kSegmentMagic);
+    out.bytes(header_bytes);
+    out.u32(crc32(header_bytes.data(), header_bytes.size()));
+    out.u32(crc32(payload.data(), payload.size()));
+    out.bytes(payload);
+}
 
 std::vector<uint8_t>
-serializeTrace(const RunTrace &trace)
+serializeMeta(const RunTrace &trace)
 {
     Writer w;
-    w.u32(kTraceMagic);
-    w.u32(kTraceVersion);
-
     const TraceMeta &m = trace.meta;
     w.u32(m.num_cores);
     w.u64(m.wall_cycles);
@@ -185,36 +239,24 @@ serializeTrace(const RunTrace &trace)
         w.u32(t.tid);
         w.u32(t.entry_index);
     }
-
+    // Expected record counts: the reader reconciles what it salvaged
+    // against these to quantify loss.
     w.u64(trace.pebs.size());
-    for (const PebsRecord &r : trace.pebs)
-        writePebs(w, r);
-
     w.u64(trace.sync.size());
-    for (const SyncRecord &s : trace.sync)
-        writeSync(w, s);
-
     w.u32(static_cast<uint32_t>(trace.pt.size()));
-    for (const PtCoreStream &s : trace.pt) {
-        w.u64(s.bit_count);
-        w.u64(s.bytes.size());
-        w.bytes(s.bytes);
-    }
     return w.take();
 }
 
-RunTrace
-deserializeTrace(const std::vector<uint8_t> &bytes)
+/**
+ * Parse a meta payload. Returns false (leaving the outputs partially
+ * filled) when the payload is short or its counts point past its end.
+ */
+bool
+parseMeta(const std::vector<uint8_t> &payload, TraceMeta &m,
+          uint64_t &expected_pebs, uint64_t &expected_sync,
+          uint32_t &expected_pt)
 {
-    Reader r(bytes);
-    if (r.u32() != kTraceMagic)
-        PRORACE_FATAL("not a ProRace trace file (bad magic)");
-    const uint32_t version = r.u32();
-    if (version != kTraceVersion)
-        PRORACE_FATAL("unsupported trace version ", version);
-
-    RunTrace trace;
-    TraceMeta &m = trace.meta;
+    Reader r(payload);
     m.num_cores = r.u32();
     m.wall_cycles = r.u64();
     m.baseline_cycles = r.u64();
@@ -227,35 +269,352 @@ deserializeTrace(const std::vector<uint8_t> &bytes)
     m.pt_bytes = r.u64();
     m.sync_bytes = r.u64();
     const uint32_t nfp = r.u32();
+    if (r.failed() || nfp * 8ull > r.remaining())
+        return false;
     for (uint32_t i = 0; i < nfp; ++i)
         m.first_periods.push_back(r.u64());
     const uint32_t nthreads = r.u32();
+    if (r.failed() || nthreads * 8ull > r.remaining())
+        return false;
     for (uint32_t i = 0; i < nthreads; ++i) {
         ThreadMeta t;
         t.tid = r.u32();
         t.entry_index = r.u32();
         m.threads.push_back(t);
     }
+    expected_pebs = r.u64();
+    expected_sync = r.u64();
+    expected_pt = r.u32();
+    return !r.failed();
+}
 
-    const uint64_t npebs = r.u64();
-    trace.pebs.reserve(npebs);
-    for (uint64_t i = 0; i < npebs; ++i)
-        trace.pebs.push_back(readPebs(r));
-
-    const uint64_t nsync = r.u64();
-    trace.sync.reserve(nsync);
-    for (uint64_t i = 0; i < nsync; ++i)
-        trace.sync.push_back(readSync(r));
-
-    const uint32_t ncores = r.u32();
-    for (uint32_t i = 0; i < ncores; ++i) {
-        PtCoreStream s;
-        s.bit_count = r.u64();
-        const uint64_t nbytes = r.u64();
-        s.bytes = r.bytes(nbytes);
-        trace.pt.push_back(std::move(s));
+/** Next offset >= @p from where kSegmentMagic occurs, or buffer size. */
+size_t
+scanForSegmentMagic(const std::vector<uint8_t> &buf, size_t from)
+{
+    if (buf.size() < 4)
+        return buf.size();
+    for (size_t pos = from; pos + 4 <= buf.size(); ++pos) {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(buf[pos + i]) << (8 * i);
+        if (v == kSegmentMagic)
+            return pos;
     }
-    return trace;
+    return buf.size();
+}
+
+uint64_t
+saturatingLoss(uint64_t expected, uint64_t got)
+{
+    return expected > got ? expected - got : 0;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+serializeTrace(const RunTrace &trace)
+{
+    Writer out;
+    out.u32(kTraceMagic);
+    out.u32(kTraceVersion);
+
+    uint32_t seq = 0;
+    appendSegment(out, kSegMeta, seq++, serializeMeta(trace));
+
+    for (size_t base = 0; base < trace.pebs.size();
+         base += kPebsChunkRecords) {
+        const size_t count = std::min<size_t>(kPebsChunkRecords,
+                                              trace.pebs.size() - base);
+        Writer w;
+        w.u64(base);
+        w.u32(static_cast<uint32_t>(count));
+        for (size_t i = 0; i < count; ++i)
+            writePebs(w, trace.pebs[base + i]);
+        appendSegment(out, kSegPebs, seq++, w.take());
+    }
+
+    for (size_t base = 0; base < trace.sync.size();
+         base += kSyncChunkRecords) {
+        const size_t count = std::min<size_t>(kSyncChunkRecords,
+                                              trace.sync.size() - base);
+        Writer w;
+        w.u64(base);
+        w.u32(static_cast<uint32_t>(count));
+        for (size_t i = 0; i < count; ++i)
+            writeSync(w, trace.sync[base + i]);
+        appendSegment(out, kSegSync, seq++, w.take());
+    }
+
+    for (size_t core = 0; core < trace.pt.size(); ++core) {
+        const PtCoreStream &s = trace.pt[core];
+        Writer w;
+        w.u32(static_cast<uint32_t>(core));
+        w.u64(s.bit_count);
+        w.u64(s.bytes.size());
+        w.bytes(s.bytes);
+        appendSegment(out, kSegPt, seq++, w.take());
+    }
+
+    {
+        Writer w;
+        w.u32(seq); // segments preceding the end marker
+        appendSegment(out, kSegEnd, seq, w.take());
+    }
+    return out.take();
+}
+
+Result<LoadedTrace, TraceError>
+readTrace(const std::vector<uint8_t> &bytes, const std::string &context)
+{
+    auto err = [&](TraceErrorKind kind, std::string msg, uint64_t offset) {
+        return TraceError{kind, std::move(msg), offset, context};
+    };
+
+    Reader header(bytes);
+    const uint32_t magic = header.u32();
+    const uint32_t version = header.u32();
+    if (header.failed() || magic != kTraceMagic)
+        return err(TraceErrorKind::kBadMagic,
+                   "not a ProRace trace file (bad magic)", 0);
+    if (version != kTraceVersion)
+        return err(TraceErrorKind::kBadVersion,
+                   detail::concat("unsupported trace format version ",
+                                  version, " (current ", kTraceVersion,
+                                  "); re-trace the workload"),
+                   4);
+
+    LoadedTrace loaded;
+    RunTrace &trace = loaded.trace;
+    SegmentLoss &loss = loaded.loss;
+    bool have_meta = false;
+    bool saw_end = false;
+    uint64_t expected_pebs = 0, expected_sync = 0;
+    uint32_t expected_pt = 0;
+    std::vector<bool> pt_assigned;
+
+    size_t pos = 8;
+    while (pos < bytes.size()) {
+        if (bytes.size() - pos < kSegmentHeaderSize) {
+            loss.truncated = true;
+            loss.bytes_skipped += bytes.size() - pos;
+            break;
+        }
+        {
+            uint32_t seg_magic = 0;
+            for (int i = 0; i < 4; ++i)
+                seg_magic |= static_cast<uint32_t>(bytes[pos + i])
+                             << (8 * i);
+            if (seg_magic != kSegmentMagic) {
+                const size_t next = scanForSegmentMagic(bytes, pos + 1);
+                loss.bytes_skipped += next - pos;
+                if (next >= bytes.size())
+                    loss.truncated = true;
+                pos = next;
+                continue;
+            }
+        }
+        Reader r(bytes.data() + pos + 4, kSegmentHeaderSize - 4);
+        const uint8_t kind = r.u8();
+        r.u32(); // seq (diagnostic only)
+        const uint64_t payload_size = r.u64();
+        const uint32_t header_crc = r.u32();
+        const uint32_t payload_crc = r.u32();
+        if (crc32(bytes.data() + pos + 4, kSegmentHeaderCrcSpan) !=
+            header_crc) {
+            // Damaged header or a payload byte pattern that happens to
+            // look like the magic: resynchronize one byte further on.
+            const size_t next = scanForSegmentMagic(bytes, pos + 1);
+            loss.bytes_skipped += next - pos;
+            if (next >= bytes.size())
+                loss.truncated = true;
+            pos = next;
+            continue;
+        }
+        const size_t payload_pos = pos + kSegmentHeaderSize;
+        if (payload_size > bytes.size() - payload_pos) {
+            // Authentic header (CRC passed) whose payload runs past the
+            // end of the file: collection was clipped mid-segment. A
+            // clipped PT stream is still worth salvaging — the decoder
+            // handles mid-packet truncation — so hand over whatever
+            // bytes remain; anything else is dropped.
+            loss.truncated = true;
+            ++loss.segments_seen;
+            if (kind == kSegPt && have_meta) {
+                Reader tr(bytes.data() + payload_pos,
+                          bytes.size() - payload_pos);
+                const uint32_t core = tr.u32();
+                const uint64_t bit_count = tr.u64();
+                uint64_t nbytes = tr.u64();
+                if (!tr.failed() && core < trace.pt.size() &&
+                    !pt_assigned[core]) {
+                    ++loss.pt_streams_damaged;
+                    nbytes = std::min<uint64_t>(nbytes, tr.remaining());
+                    PtCoreStream &stream = trace.pt[core];
+                    stream.bytes = tr.bytes(static_cast<size_t>(nbytes));
+                    stream.bit_count = std::min<uint64_t>(
+                        bit_count, stream.bytes.size() * 8);
+                    pt_assigned[core] = true;
+                    break;
+                }
+            }
+            ++loss.segments_dropped;
+            break;
+        }
+        ++loss.segments_seen;
+        const uint8_t *payload_data = bytes.data() + payload_pos;
+        const bool crc_ok =
+            crc32(payload_data, payload_size) == payload_crc;
+        pos = payload_pos + static_cast<size_t>(payload_size);
+
+        switch (kind) {
+        case kSegMeta: {
+            if (have_meta) {
+                ++loss.segments_dropped;
+                break;
+            }
+            std::vector<uint8_t> payload(payload_data,
+                                         payload_data + payload_size);
+            if (!crc_ok ||
+                !parseMeta(payload, trace.meta, expected_pebs,
+                           expected_sync, expected_pt)) {
+                return err(TraceErrorKind::kCorruptMeta,
+                           "trace meta segment is corrupt",
+                           payload_pos);
+            }
+            trace.pt.resize(expected_pt);
+            pt_assigned.assign(expected_pt, false);
+            have_meta = true;
+            break;
+        }
+        case kSegPebs: {
+            if (!crc_ok || !have_meta) {
+                ++loss.segments_dropped;
+                break;
+            }
+            Reader pr(payload_data, payload_size);
+            pr.u64(); // first record index (diagnostic only)
+            const uint32_t count = pr.u32();
+            std::vector<PebsRecord> records;
+            records.reserve(count);
+            for (uint32_t i = 0; i < count && !pr.failed(); ++i)
+                records.push_back(readPebs(pr));
+            if (pr.failed()) {
+                ++loss.segments_dropped;
+                break;
+            }
+            trace.pebs.insert(trace.pebs.end(), records.begin(),
+                              records.end());
+            break;
+        }
+        case kSegSync: {
+            if (!crc_ok || !have_meta) {
+                ++loss.segments_dropped;
+                break;
+            }
+            Reader sr(payload_data, payload_size);
+            sr.u64(); // first record index (diagnostic only)
+            const uint32_t count = sr.u32();
+            std::vector<SyncRecord> records;
+            records.reserve(count);
+            for (uint32_t i = 0; i < count && !sr.failed(); ++i)
+                records.push_back(readSync(sr));
+            if (sr.failed()) {
+                ++loss.segments_dropped;
+                break;
+            }
+            trace.sync.insert(trace.sync.end(), records.begin(),
+                              records.end());
+            break;
+        }
+        case kSegPt: {
+            if (!have_meta) {
+                ++loss.segments_dropped;
+                break;
+            }
+            Reader tr(payload_data, payload_size);
+            const uint32_t core = tr.u32();
+            uint64_t bit_count = tr.u64();
+            uint64_t nbytes = tr.u64();
+            if (tr.failed() || core >= trace.pt.size() ||
+                pt_assigned[core]) {
+                ++loss.segments_dropped;
+                break;
+            }
+            if (!crc_ok) {
+                // Salvage: clamp the length fields to what is actually
+                // present and hand the damaged stream to the PT
+                // decoder, whose PSB resynchronization recovers the
+                // intact packet runs.
+                ++loss.pt_streams_damaged;
+                nbytes = std::min<uint64_t>(nbytes, tr.remaining());
+            } else if (nbytes > tr.remaining()) {
+                ++loss.segments_dropped;
+                break;
+            }
+            PtCoreStream &stream = trace.pt[core];
+            stream.bytes = tr.bytes(static_cast<size_t>(nbytes));
+            stream.bit_count =
+                std::min<uint64_t>(bit_count, stream.bytes.size() * 8);
+            pt_assigned[core] = true;
+            break;
+        }
+        case kSegEnd:
+            saw_end = crc_ok;
+            if (!crc_ok)
+                ++loss.segments_dropped;
+            break;
+        default:
+            // Unknown kind: written by a newer minor revision; skip.
+            ++loss.segments_dropped;
+            break;
+        }
+    }
+
+    if (!have_meta)
+        return err(TraceErrorKind::kCorruptMeta,
+                   "no readable meta segment", bytes.size());
+    if (!saw_end)
+        loss.truncated = true;
+    loss.pebs_dropped = saturatingLoss(expected_pebs, trace.pebs.size());
+    loss.sync_dropped = saturatingLoss(expected_sync, trace.sync.size());
+    for (uint32_t core = 0; core < expected_pt; ++core) {
+        if (!pt_assigned[core])
+            ++loss.pt_streams_dropped;
+    }
+    return loaded;
+}
+
+Result<LoadedTrace, TraceError>
+readTraceFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return TraceError{TraceErrorKind::kIo,
+                          "cannot open trace file", 0, path};
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> bytes(static_cast<size_t>(size > 0 ? size : 0));
+    const size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (got != bytes.size())
+        return TraceError{TraceErrorKind::kIo,
+                          detail::concat("short read (got ", got, " of ",
+                                         bytes.size(), " bytes)"),
+                          got, path};
+    return readTrace(bytes, path);
+}
+
+RunTrace
+deserializeTrace(const std::vector<uint8_t> &bytes)
+{
+    auto result = readTrace(bytes);
+    if (!result.ok())
+        PRORACE_FATAL(result.error().format());
+    if (result.value().loss.hasLoss())
+        warn("trace loaded with loss: ", result.value().loss.summary());
+    return std::move(result.value().trace);
 }
 
 void
@@ -268,24 +627,21 @@ saveTrace(const RunTrace &trace, const std::string &path)
     const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
     std::fclose(f);
     if (written != bytes.size())
-        PRORACE_FATAL("short write to trace file: ", path);
+        PRORACE_FATAL("short write to trace file ", path, ": wrote ",
+                      written, " of ", bytes.size(),
+                      " bytes (failed at byte offset ", written, ")");
 }
 
 RunTrace
 loadTrace(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        PRORACE_FATAL("cannot open trace file: ", path);
-    std::fseek(f, 0, SEEK_END);
-    const long size = std::ftell(f);
-    std::fseek(f, 0, SEEK_SET);
-    std::vector<uint8_t> bytes(static_cast<size_t>(size));
-    const size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
-    std::fclose(f);
-    if (got != bytes.size())
-        PRORACE_FATAL("short read from trace file: ", path);
-    return deserializeTrace(bytes);
+    auto result = readTraceFile(path);
+    if (!result.ok())
+        PRORACE_FATAL(result.error().format());
+    if (result.value().loss.hasLoss())
+        warn("trace ", path, " loaded with loss: ",
+             result.value().loss.summary());
+    return std::move(result.value().trace);
 }
 
 } // namespace prorace::trace

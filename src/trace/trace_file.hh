@@ -4,8 +4,23 @@
  *
  * In the paper's deployment model the production machine appends traces
  * to files that dedicated analysis machines consume later; this module is
- * that file format. The format is versioned and self-describing enough to
- * reject foreign files.
+ * that file format. Since version 4 the payload is split into
+ * CRC-checksummed segments behind a sync magic, so a reader facing a
+ * damaged file skips the broken segments and reports what was lost
+ * (trace/trace_error.hh) instead of aborting the analysis:
+ *
+ *   file   := u32 magic, u32 version, segment...
+ *   segment:= u32 seg_magic, u8 kind, u32 seq, u64 payload_size,
+ *             u32 header_crc, u32 payload_crc, payload
+ *
+ * Segment kinds: one meta segment (run counters + expected record
+ * counts), PEBS records in chunks, sync records in chunks, one PT
+ * segment per core, and an end marker whose absence flags truncation.
+ * PEBS/sync segments failing their CRC are dropped (a garbage sample
+ * would poison replay); PT segments failing their CRC are salvaged with
+ * clamped bounds, because the PT decoder has its own packet-level
+ * resynchronization (pmu/pt_decode) and can mine intact packets out of
+ * a damaged stream.
  */
 
 #ifndef PRORACE_TRACE_TRACE_FILE_HH
@@ -13,26 +28,68 @@
 
 #include <string>
 
+#include "support/expected.hh"
 #include "trace/records.hh"
+#include "trace/trace_error.hh"
 
 namespace prorace::trace {
 
 /** Magic bytes at the head of every trace file. */
 inline constexpr uint32_t kTraceMagic = 0x50524354; // "PRCT"
 
-/** Current format version. */
-inline constexpr uint32_t kTraceVersion = 3;
+/**
+ * Current format version. Bumped to 4 for the segmented format; older
+ * flat-format traces are rejected with a clear error (re-trace the
+ * workload — the production side always writes the current version).
+ */
+inline constexpr uint32_t kTraceVersion = 4;
+
+/** Magic introducing every segment; the resync scan target. */
+inline constexpr uint32_t kSegmentMagic = 0x34474553; // "SEG4"
+
+/** PEBS records per segment; the unit of loss under corruption. */
+inline constexpr uint32_t kPebsChunkRecords = 256;
+
+/** Sync records per segment. */
+inline constexpr uint32_t kSyncChunkRecords = 1024;
+
+/** A successfully ingested trace plus whatever the reader discarded. */
+struct LoadedTrace {
+    RunTrace trace;
+    SegmentLoss loss;
+};
+
+/**
+ * Ingest a serialized trace, skipping damaged segments. Returns the
+ * trace with loss accounting, or a TraceError when the buffer is not
+ * interpretable at all. @p context names the source in errors
+ * (defaults to "<memory>" for in-memory buffers).
+ */
+Result<LoadedTrace, TraceError>
+readTrace(const std::vector<uint8_t> &bytes,
+          const std::string &context = "<memory>");
+
+/** readTrace() over a file; I/O failures become TraceError{kIo}. */
+Result<LoadedTrace, TraceError> readTraceFile(const std::string &path);
 
 /** Write @p trace to @p path; fatal on I/O errors. */
 void saveTrace(const RunTrace &trace, const std::string &path);
 
-/** Read a trace from @p path; fatal on I/O or format errors. */
+/**
+ * Read a trace from @p path; fatal on I/O or format errors, warns on
+ * segment loss. Prefer readTraceFile() in code that can handle a
+ * Result.
+ */
 RunTrace loadTrace(const std::string &path);
 
 /** Serialize to an in-memory buffer (used by tests and size metering). */
 std::vector<uint8_t> serializeTrace(const RunTrace &trace);
 
-/** Deserialize from an in-memory buffer; fatal on format errors. */
+/**
+ * Deserialize from an in-memory buffer; fatal on format errors, warns
+ * on segment loss. Prefer readTrace() in code that can handle a
+ * Result.
+ */
 RunTrace deserializeTrace(const std::vector<uint8_t> &bytes);
 
 } // namespace prorace::trace

@@ -89,10 +89,15 @@ class ExecutionObserver
     /** An indirect jmp, indirect call, or ret retired. @return extra. */
     virtual uint64_t onIndirectBranch(const BranchEvent &) { return 0; }
 
-    /** A core switched to a (possibly new) thread. */
-    virtual void onContextSwitch(unsigned core, uint32_t tid, uint64_t tsc)
+    /**
+     * A core switched to a (possibly new) thread; @p ip is the
+     * instruction index the thread resumes at (PT context packets
+     * carry it as a decoder re-anchor point).
+     */
+    virtual void onContextSwitch(unsigned core, uint32_t tid, uint64_t tsc,
+                                 uint32_t ip)
     {
-        (void)core; (void)tid; (void)tsc;
+        (void)core; (void)tid; (void)tsc; (void)ip;
     }
 
     /** A sync/allocation op retired. @return extra cycles. */

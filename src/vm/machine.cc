@@ -282,7 +282,7 @@ Machine::stepCore(unsigned core_id)
         core.quantum_left = rng_.range(config_.quantum_min,
                                        config_.quantum_max);
         if (observer_)
-            observer_->onContextSwitch(core_id, next, core.clock);
+            observer_->onContextSwitch(core_id, next, core.clock, t.ip);
         if (!started_[next]) {
             started_[next] = true;
             core.clock += reportSync(t, core, SyncKind::kThreadStart,
