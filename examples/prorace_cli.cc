@@ -14,6 +14,12 @@
  *       reconstruction to basic blocks, as the RaceZ baseline does.
  *   prorace_cli run <workload> [--period N] [--seed N] [--scale X]
  *       Both phases in one process.
+ *   prorace_cli oracle [--count K] [--period N] [--seed N] [--jobs N]
+ *       Generate K seeded planted-race workloads, run the full
+ *       pipeline on each, and score the reports against the
+ *       generator's exact ground truth (recall / precision / false
+ *       positives). The quantitative health check for the whole
+ *       reconstruction + detection stack.
  *
  * The <workload> program must be identical between trace and analyze
  * (same name and --scale), exactly as the offline phase needs the
@@ -29,6 +35,8 @@
 #include "core/parallel_offline.hh"
 #include "core/pipeline.hh"
 #include "detect/fasttrack.hh"
+#include "oracle/generator.hh"
+#include "oracle/scorer.hh"
 #include "replay/program_map.hh"
 #include "trace/trace_file.hh"
 #include "workload/registry.hh"
@@ -45,6 +53,7 @@ struct Args {
     uint64_t seed = 1;
     double scale = 1.0;
     unsigned jobs = 0; ///< offline analysis threads (0 = serial)
+    size_t count = 5;  ///< generated workloads for the oracle command
     bool racez = false;
     bool vanilla = false;
     bool stats = false; ///< dump shadow-structure counters
@@ -103,6 +112,8 @@ usage()
                  " [--scale X] [--jobs N] [--stats]\n"
                  "       prorace_cli run <workload> [--period N]"
                  " [--seed N] [--scale X] [--jobs N] [--stats]\n"
+                 "       prorace_cli oracle [--count K] [--period N]"
+                 " [--seed N] [--jobs N]\n"
                  "\n"
                  "--jobs N runs the offline analysis on N worker threads"
                  " (0 = serial; results are identical either way)\n"
@@ -140,6 +151,11 @@ parseFlags(int argc, char **argv, int first, Args &args)
                 return false;
             args.jobs = static_cast<unsigned>(std::strtoul(v, nullptr,
                                                            10));
+        } else if (flag == "--count") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.count = std::strtoul(v, nullptr, 10);
         } else if (flag == "--racez") {
             args.racez = true;
         } else if (flag == "--stats") {
@@ -290,6 +306,42 @@ cmdRun(const Args &args)
     return 0;
 }
 
+int
+cmdOracle(const Args &args)
+{
+    const auto battery = oracle::standardBattery(args.seed, args.count);
+    oracle::ScoreAccumulator acc;
+    std::printf("%-18s %-34s %7s %7s %6s %4s\n", "workload",
+                "sites", "recall", "precis", "pairs", "fp");
+    for (const oracle::GeneratorConfig &cfg : battery) {
+        const oracle::GeneratedWorkload gw = oracle::generate(cfg);
+        core::PipelineConfig pc = core::proRaceConfig(
+            args.period, args.seed + 7, gw.workload.pt_filter);
+        pc.offline.num_threads = args.jobs;
+        core::PipelineResult result = core::runPipeline(
+            *gw.workload.program, gw.workload.setup, pc);
+        const oracle::OracleScore score =
+            oracle::scoreReport(gw.truth, result.offline.report);
+        acc.add(score);
+        std::printf("%-18s %-34s %7.3f %7.3f %6zu %4zu\n",
+                    gw.workload.name.c_str(),
+                    gw.workload.description.c_str(), score.recall(),
+                    score.precision(), score.truth_pairs,
+                    score.false_positives);
+        for (const auto &pair : score.missed)
+            std::printf("  missed (%u, %u)\n", pair.first, pair.second);
+        for (const auto &pair : score.spurious)
+            std::printf("  spurious (%u, %u)\n", pair.first,
+                        pair.second);
+    }
+    std::printf("\nperiod %llu over %zu workloads: recall %.3f, "
+                "precision %.3f, %zu false positives\n",
+                static_cast<unsigned long long>(args.period),
+                battery.size(), acc.recall(), acc.precision(),
+                acc.false_positives);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -302,6 +354,11 @@ main(int argc, char **argv)
 
     if (args.command == "list")
         return cmdList();
+    if (args.command == "oracle") {
+        if (!parseFlags(argc, argv, 2, args))
+            return usage();
+        return cmdOracle(args);
+    }
     if (argc < 3)
         return usage();
     args.workload = argv[2];

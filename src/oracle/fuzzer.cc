@@ -1,0 +1,635 @@
+#include "oracle/fuzzer.hh"
+
+#include <vector>
+
+#include "asmkit/layout.hh"
+#include "asmkit/program.hh"
+#include "isa/disasm.hh"
+#include "isa/semantics.hh"
+#include "oracle/ref_interp.hh"
+#include "support/rng.hh"
+#include "vm/machine.hh"
+
+namespace prorace::oracle {
+
+using isa::AluOp;
+using isa::CondCode;
+using isa::Flags;
+using isa::Insn;
+using isa::MemOperand;
+using isa::Op;
+using isa::Reg;
+
+namespace {
+
+constexpr uint64_t kArenaBase = 0x40000000ull;
+
+/** Boundary-heavy operand pool; the tail positions draw fresh randoms. */
+uint64_t
+interestingValue(Rng &rng)
+{
+    static const uint64_t kPool[] = {
+        0,
+        1,
+        2,
+        0x7full,
+        0x80ull,
+        0xffull,
+        0x7fffull,
+        0x8000ull,
+        0xffffull,
+        0x7fffffffull,
+        0x80000000ull,
+        0xffffffffull,
+        0x7fffffffffffffffull,
+        0x8000000000000000ull,
+        0xffffffffffffffffull,
+        0x0123456789abcdefull,
+        0x5555555555555555ull,
+        0xaaaaaaaaaaaaaaaaull,
+    };
+    constexpr size_t kPoolSize = sizeof(kPool) / sizeof(kPool[0]);
+    const uint64_t pick = rng.below(kPoolSize + 6);
+    if (pick < kPoolSize)
+        return kPool[pick];
+    return rng.next();
+}
+
+AluOp
+randomAluOp(Rng &rng)
+{
+    static const AluOp kOps[] = {AluOp::kAdd, AluOp::kSub, AluOp::kAnd,
+                                 AluOp::kOr,  AluOp::kXor, AluOp::kMul,
+                                 AluOp::kShl, AluOp::kShr, AluOp::kSar};
+    return kOps[rng.below(9)];
+}
+
+uint8_t
+randomWidth(Rng &rng)
+{
+    static const uint8_t kWidths[] = {1, 2, 4, 8};
+    return kWidths[rng.below(4)];
+}
+
+std::string
+describeFlags(const Flags &f)
+{
+    std::string s;
+    s += f.zf ? 'Z' : '-';
+    s += f.sf ? 'S' : '-';
+    s += f.cf ? 'C' : '-';
+    s += f.of ? 'O' : '-';
+    return s;
+}
+
+std::string
+seedSuffix(uint64_t seed)
+{
+    return " [seed " + std::to_string(seed) +
+        "; reproduce with PRORACE_TEST_SEED=" + std::to_string(seed) +
+        "]";
+}
+
+// ---------------------------------------------------------------------
+// fuzzAluSemantics
+// ---------------------------------------------------------------------
+
+bool
+checkAluCase(AluOp op, uint64_t a, uint64_t b, std::string &failure)
+{
+    const isa::AluResult got = isa::evalAlu(op, a, b);
+    const RefAluResult want = refAlu(op, a, b);
+    if (got.value != want.value || !(got.flags == want.flags)) {
+        failure = std::string("evalAlu(") + isa::aluName(op) + ", " +
+            std::to_string(a) + ", " + std::to_string(b) + ") = " +
+            std::to_string(got.value) + "/" + describeFlags(got.flags) +
+            ", reference " + std::to_string(want.value) + "/" +
+            describeFlags(want.flags);
+        return false;
+    }
+    // Round-trip through the reverse-execution primitive.
+    uint64_t recovered = 0;
+    const bool invertible =
+        op == AluOp::kAdd || op == AluOp::kSub || op == AluOp::kXor;
+    const bool inverted = isa::invertAlu(op, got.value, b, recovered);
+    if (inverted != invertible || (invertible && recovered != a)) {
+        failure = std::string("invertAlu(") + isa::aluName(op) + ", " +
+            std::to_string(got.value) + ", " + std::to_string(b) +
+            ") -> " + (inverted ? std::to_string(recovered) : "refused") +
+            ", expected " +
+            (invertible ? std::to_string(a) : std::string("refusal"));
+        return false;
+    }
+    return true;
+}
+
+bool
+checkWidthCase(uint64_t v, std::string &failure)
+{
+    static const uint8_t kWidths[] = {1, 2, 4, 8};
+    for (const uint8_t w : kWidths) {
+        if (isa::truncateToWidth(v, w) != refNarrow(v, w)) {
+            failure = "truncateToWidth(" + std::to_string(v) + ", " +
+                std::to_string(int(w)) + ") diverges";
+            return false;
+        }
+        for (const bool sign : {false, true}) {
+            if (isa::extendFromWidth(v, w, sign) != refWiden(v, w, sign)) {
+                failure = "extendFromWidth(" + std::to_string(v) + ", " +
+                    std::to_string(int(w)) + ", " +
+                    (sign ? "signed" : "unsigned") + ") diverges";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+checkAddressCase(Rng &rng, std::string &failure)
+{
+    uint64_t regs[isa::kNumGprs];
+    for (uint64_t &r : regs)
+        r = interestingValue(rng);
+    MemOperand mem;
+    if (rng.chance(0.2)) {
+        mem = MemOperand::ripRel(static_cast<int64_t>(rng.next()));
+    } else {
+        mem.base = rng.chance(0.8)
+            ? isa::gprFromIndex(static_cast<unsigned>(rng.below(16)))
+            : Reg::none;
+        mem.index = rng.chance(0.5)
+            ? isa::gprFromIndex(static_cast<unsigned>(rng.below(16)))
+            : Reg::none;
+        static const uint8_t kScales[] = {1, 2, 4, 8};
+        mem.scale = kScales[rng.below(4)];
+        mem.disp = static_cast<int64_t>(interestingValue(rng));
+    }
+    const uint64_t got = isa::effectiveAddress(
+        mem, [&](Reg r) { return regs[isa::gprIndex(r)]; });
+    uint64_t want;
+    if (mem.rip_relative) {
+        want = static_cast<uint64_t>(mem.disp);
+    } else {
+        want = static_cast<uint64_t>(mem.disp);
+        if (mem.base != Reg::none)
+            want += regs[isa::gprIndex(mem.base)];
+        if (mem.index != Reg::none)
+            want += regs[isa::gprIndex(mem.index)] * mem.scale;
+    }
+    if (got != want) {
+        failure = "effectiveAddress diverges: got " + std::to_string(got) +
+            ", reference " + std::to_string(want);
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// fuzzMachineForward
+// ---------------------------------------------------------------------
+
+/**
+ * One generated unit: 1–3 instructions with any internal jcc target
+ * expressed unit-locally, patched to an absolute index at assembly.
+ * Units are the shrink granule — removing any unit leaves a valid
+ * program.
+ */
+using Unit = std::vector<Insn>;
+
+Insn
+movri(Reg dst, int64_t imm)
+{
+    Insn i;
+    i.op = Op::kMovRI;
+    i.dst = dst;
+    i.imm = imm;
+    return i;
+}
+
+/** Registers the generator may clobber: every GPR but rsp. */
+Reg
+randomDst(Rng &rng)
+{
+    Reg r;
+    do {
+        r = isa::gprFromIndex(static_cast<unsigned>(rng.below(16)));
+    } while (r == Reg::rsp);
+    return r;
+}
+
+/** Operand-read pool: any GPR including rsp (reads are harmless). */
+Reg
+randomSrc(Rng &rng)
+{
+    return isa::gprFromIndex(static_cast<unsigned>(rng.below(16)));
+}
+
+/**
+ * A memory operand that usually lands in a small arena window (so
+ * loads observe earlier stores) and occasionally uses raw register
+ * values as wild addresses (both memories are sparse, untouched
+ * bytes read as zero on each side).
+ */
+MemOperand
+randomMem(Rng &rng)
+{
+    if (rng.chance(0.5))
+        return MemOperand::ripRel(
+            static_cast<int64_t>(kArenaBase + rng.below(192)));
+    if (rng.chance(0.6)) {
+        MemOperand m = MemOperand::baseDisp(
+            randomSrc(rng), static_cast<int64_t>(rng.below(128)));
+        return m;
+    }
+    static const uint8_t kScales[] = {1, 2, 4, 8};
+    return MemOperand::baseIndex(randomSrc(rng), randomSrc(rng),
+                                 kScales[rng.below(4)],
+                                 static_cast<int64_t>(rng.below(64)));
+}
+
+Unit
+randomUnit(Rng &rng)
+{
+    Unit unit;
+    switch (rng.below(12)) {
+      case 0: { // constant load
+        unit.push_back(movri(
+            randomDst(rng), static_cast<int64_t>(interestingValue(rng))));
+        break;
+      }
+      case 1: { // reg-reg ALU
+        Insn i;
+        i.op = Op::kAluRR;
+        i.alu = randomAluOp(rng);
+        i.dst = randomDst(rng);
+        i.src = randomSrc(rng);
+        unit.push_back(i);
+        break;
+      }
+      case 2: { // reg-imm ALU
+        Insn i;
+        i.op = Op::kAluRI;
+        i.alu = randomAluOp(rng);
+        i.dst = randomDst(rng);
+        i.imm = static_cast<int64_t>(interestingValue(rng));
+        unit.push_back(i);
+        break;
+      }
+      case 3: { // compare or test, then materialize flags into a reg
+        Insn c;
+        if (rng.chance(0.5)) {
+            c.op = rng.chance(0.5) ? Op::kCmpRR : Op::kTestRR;
+            c.dst = randomSrc(rng);
+            c.src = randomSrc(rng);
+        } else {
+            c.op = rng.chance(0.5) ? Op::kCmpRI : Op::kTestRI;
+            c.dst = randomSrc(rng);
+            c.imm = static_cast<int64_t>(interestingValue(rng));
+        }
+        unit.push_back(c);
+        Insn j;
+        j.op = Op::kJcc;
+        j.cond = static_cast<CondCode>(rng.below(12));
+        j.target = 3; // unit-local: skip the probe write
+        unit.push_back(j);
+        unit.push_back(movri(randomDst(rng),
+                             static_cast<int64_t>(rng.below(1 << 20))));
+        break;
+      }
+      case 4: { // flag probe of whatever flags are live
+        Insn j;
+        j.op = Op::kJcc;
+        j.cond = static_cast<CondCode>(rng.below(12));
+        j.target = 2;
+        unit.push_back(j);
+        unit.push_back(movri(randomDst(rng),
+                             static_cast<int64_t>(rng.below(1 << 20))));
+        break;
+      }
+      case 5: { // lea
+        Insn i;
+        i.op = Op::kLea;
+        i.dst = randomDst(rng);
+        i.mem = randomMem(rng);
+        unit.push_back(i);
+        break;
+      }
+      case 6: { // store
+        Insn i;
+        i.op = Op::kStore;
+        i.src = randomSrc(rng);
+        i.mem = randomMem(rng);
+        i.width = randomWidth(rng);
+        unit.push_back(i);
+        break;
+      }
+      case 7: { // load, both extensions
+        Insn i;
+        i.op = Op::kLoad;
+        i.dst = randomDst(rng);
+        i.mem = randomMem(rng);
+        i.width = randomWidth(rng);
+        i.sign_extend = i.width != 8 && rng.chance(0.5);
+        unit.push_back(i);
+        break;
+      }
+      case 8: { // immediate store
+        Insn i;
+        i.op = Op::kStoreI;
+        i.mem = randomMem(rng);
+        i.width = randomWidth(rng);
+        i.imm = static_cast<int64_t>(interestingValue(rng));
+        unit.push_back(i);
+        break;
+      }
+      case 9: { // balanced push/pop pair
+        Insn p;
+        p.op = Op::kPush;
+        p.src = randomSrc(rng);
+        unit.push_back(p);
+        Insn q;
+        q.op = Op::kPop;
+        q.dst = randomDst(rng);
+        unit.push_back(q);
+        break;
+      }
+      case 10: { // atomic RMW
+        Insn i;
+        i.op = Op::kAtomicRmw;
+        i.alu = randomAluOp(rng);
+        i.dst = randomDst(rng);
+        i.src = randomSrc(rng);
+        i.mem = randomMem(rng);
+        i.width = randomWidth(rng);
+        unit.push_back(i);
+        break;
+      }
+      default: { // compare-and-swap
+        Insn i;
+        i.op = Op::kCas;
+        i.dst = randomDst(rng);
+        i.src = randomSrc(rng);
+        i.mem = randomMem(rng);
+        i.width = randomWidth(rng);
+        unit.push_back(i);
+        break;
+      }
+    }
+    return unit;
+}
+
+std::vector<Insn>
+assemble(const std::vector<Unit> &units)
+{
+    std::vector<Insn> code;
+    for (const Unit &unit : units) {
+        const uint32_t base = static_cast<uint32_t>(code.size());
+        for (Insn insn : unit) {
+            if (insn.op == Op::kJcc || insn.op == Op::kJmp)
+                insn.target += base;
+            code.push_back(insn);
+        }
+    }
+    Insn halt;
+    halt.op = Op::kHalt;
+    code.push_back(halt);
+    return code;
+}
+
+/** Non-empty when machine and reference disagree on the program. */
+std::string
+diffOneProgram(const std::vector<Unit> &units, uint64_t &executed)
+{
+    const std::vector<Insn> code = assemble(units);
+
+    asmkit::Program program(code, {{"main", 0}}, {},
+                            {{"main", 0, static_cast<uint32_t>(
+                                             code.size())}});
+    vm::MachineConfig config;
+    config.num_cores = 1;
+    config.seed = 1;
+    config.timing_jitter = false;
+    config.max_instructions = code.size() * 4 + 64;
+    vm::Machine machine(program, config);
+    machine.addThread(0u, 0);
+    const vm::RunStatus status = machine.run();
+
+    RefInterp ref(code);
+    ref.setReg(Reg::rsp, asmkit::stackTopFor(0));
+    const RefStatus ref_status = ref.run(0, code.size() * 4 + 64);
+    executed += ref.steps();
+
+    if (status != vm::RunStatus::kFinished)
+        return "machine did not finish a straight-line program";
+    if (ref_status != RefStatus::kHalted)
+        return "reference did not halt: " + ref.error();
+
+    const vm::ThreadContext &t = machine.thread(0);
+    for (unsigned i = 0; i < isa::kNumGprs; ++i) {
+        const Reg r = isa::gprFromIndex(i);
+        if (t.regs.get(r) != ref.reg(r))
+            return std::string(isa::regName(r)) + ": machine " +
+                std::to_string(t.regs.get(r)) + ", reference " +
+                std::to_string(ref.reg(r));
+    }
+    if (!(t.flags == ref.flags()))
+        return "flags: machine " + describeFlags(t.flags) +
+            ", reference " + describeFlags(ref.flags());
+    for (const auto &[addr, byte] : ref.bytes()) {
+        const uint64_t got = machine.memory().read(addr, 1);
+        if (got != byte)
+            return "byte at " + std::to_string(addr) + ": machine " +
+                std::to_string(got) + ", reference " +
+                std::to_string(byte);
+    }
+    return {};
+}
+
+std::string
+listingOf(const std::vector<Unit> &units)
+{
+    std::string s;
+    const std::vector<Insn> code = assemble(units);
+    for (size_t i = 0; i < code.size(); ++i)
+        s += "  " + std::to_string(i) + ": " + isa::disassemble(code[i]) +
+            "\n";
+    return s;
+}
+
+/** Greedy unit removal: drop any unit whose removal keeps the diff. */
+std::vector<Unit>
+shrink(std::vector<Unit> units)
+{
+    bool progress = true;
+    while (progress && units.size() > 1) {
+        progress = false;
+        for (size_t i = 0; i < units.size(); ++i) {
+            std::vector<Unit> candidate = units;
+            candidate.erase(candidate.begin() +
+                            static_cast<ptrdiff_t>(i));
+            uint64_t scratch = 0;
+            if (!diffOneProgram(candidate, scratch).empty()) {
+                units = std::move(candidate);
+                progress = true;
+                break;
+            }
+        }
+    }
+    return units;
+}
+
+} // namespace
+
+FuzzStats
+fuzzAluSemantics(const FuzzOptions &options)
+{
+    FuzzStats stats;
+    Rng rng(options.seed);
+    while (stats.instructions < options.min_instructions) {
+        ++stats.programs;
+        std::string failure;
+        bool ok = true;
+        switch (rng.below(4)) {
+          case 0:
+          case 1: {
+            const AluOp op = randomAluOp(rng);
+            const uint64_t a = interestingValue(rng);
+            const uint64_t b = interestingValue(rng);
+            ok = checkAluCase(op, a, b, failure);
+            // evalCmp and evalTest are flag projections of the same
+            // operands; check them in the same batch.
+            if (ok) {
+                const Flags cmp_got = isa::evalCmp(a, b);
+                const Flags cmp_want = refAlu(AluOp::kSub, a, b).flags;
+                if (!(cmp_got == cmp_want)) {
+                    ok = false;
+                    failure = "evalCmp(" + std::to_string(a) + ", " +
+                        std::to_string(b) + ") = " +
+                        describeFlags(cmp_got) + ", reference " +
+                        describeFlags(cmp_want);
+                }
+            }
+            if (ok) {
+                const Flags test_got = isa::evalTest(a, b);
+                const Flags test_want = refLogicFlags(a & b);
+                if (!(test_got == test_want)) {
+                    ok = false;
+                    failure = "evalTest(" + std::to_string(a) + ", " +
+                        std::to_string(b) + ") diverges";
+                }
+            }
+            stats.instructions += 3;
+            break;
+          }
+          case 2:
+            ok = checkWidthCase(interestingValue(rng), failure);
+            stats.instructions += 12;
+            break;
+          default:
+            ok = checkAddressCase(rng, failure);
+            ++stats.instructions;
+            break;
+        }
+        if (!ok) {
+            ++stats.mismatches;
+            if (stats.failure.empty())
+                stats.failure = failure + seedSuffix(options.seed);
+        }
+    }
+    return stats;
+}
+
+FuzzStats
+fuzzMachineForward(const FuzzOptions &options)
+{
+    FuzzStats stats;
+    Rng rng(options.seed);
+    while (stats.instructions < options.min_instructions) {
+        ++stats.programs;
+        std::vector<Unit> units;
+        // A few seeded registers so ALU ops have material to chew on.
+        for (int i = 0; i < 4; ++i)
+            units.push_back({movri(
+                randomDst(rng),
+                static_cast<int64_t>(interestingValue(rng)))});
+        for (uint32_t i = 0; i < options.units_per_program; ++i)
+            units.push_back(randomUnit(rng));
+
+        const std::string diff = diffOneProgram(units, stats.instructions);
+        if (diff.empty())
+            continue;
+        ++stats.mismatches;
+        if (stats.failure.empty()) {
+            const std::vector<Unit> minimal = shrink(units);
+            uint64_t scratch = 0;
+            stats.failure = "program " + std::to_string(stats.programs) +
+                ": " + diffOneProgram(minimal, scratch) +
+                seedSuffix(options.seed) + "\nminimized program:\n" +
+                listingOf(minimal);
+        }
+    }
+    return stats;
+}
+
+FuzzStats
+fuzzReverseExecution(const FuzzOptions &options)
+{
+    FuzzStats stats;
+    Rng rng(options.seed);
+    while (stats.instructions < options.min_instructions) {
+        ++stats.programs;
+        // Forward chain of invertible ALU ops, then recover every
+        // intermediate value backwards — the register-history walk
+        // backward replay performs between two samples.
+        static const AluOp kInvertible[] = {AluOp::kAdd, AluOp::kSub,
+                                            AluOp::kXor};
+        const size_t steps = 8 + rng.below(25);
+        std::vector<uint64_t> values = {interestingValue(rng)};
+        std::vector<AluOp> ops;
+        std::vector<uint64_t> operands;
+        for (size_t i = 0; i < steps; ++i) {
+            const AluOp op = kInvertible[rng.below(3)];
+            const uint64_t b = interestingValue(rng);
+            ops.push_back(op);
+            operands.push_back(b);
+            values.push_back(isa::evalAlu(op, values.back(), b).value);
+        }
+        stats.instructions += steps;
+
+        uint64_t cursor = values.back();
+        for (size_t i = steps; i-- > 0;) {
+            uint64_t recovered = 0;
+            if (!isa::invertAlu(ops[i], cursor, operands[i], recovered) ||
+                recovered != values[i]) {
+                ++stats.mismatches;
+                if (stats.failure.empty())
+                    stats.failure = std::string("reverse step ") +
+                        std::to_string(i) + " (" + isa::aluName(ops[i]) +
+                        " " + std::to_string(operands[i]) +
+                        "): recovered " + std::to_string(recovered) +
+                        ", executed " + std::to_string(values[i]) +
+                        seedSuffix(options.seed);
+                break;
+            }
+            cursor = recovered;
+        }
+
+        // Non-invertible operations must be refused, never guessed.
+        static const AluOp kLossy[] = {AluOp::kAnd, AluOp::kOr,
+                                       AluOp::kMul, AluOp::kShl,
+                                       AluOp::kShr, AluOp::kSar};
+        const AluOp lossy = kLossy[rng.below(6)];
+        uint64_t ignored = 0;
+        ++stats.instructions;
+        if (isa::invertAlu(lossy, rng.next(), rng.next(), ignored)) {
+            ++stats.mismatches;
+            if (stats.failure.empty())
+                stats.failure = std::string("invertAlu accepted lossy ") +
+                    isa::aluName(lossy) + seedSuffix(options.seed);
+        }
+    }
+    return stats;
+}
+
+} // namespace prorace::oracle

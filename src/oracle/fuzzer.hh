@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Differential fuzzers for the execution core.
+ *
+ * Three oracles, all seeded and deterministic:
+ *
+ *  - fuzzAluSemantics: isa/semantics.cc (evalAlu/evalCmp/evalTest,
+ *    truncate/extend, effectiveAddress, invertAlu) against the
+ *    independent reference formulas in oracle/ref_interp.hh, over
+ *    boundary-heavy random operands.
+ *
+ *  - fuzzMachineForward: whole random straight-line programs (ALU,
+ *    flag probes, loads/stores of every width, push/pop, atomics)
+ *    executed by vm::Machine and by RefInterp, comparing final
+ *    registers, flags, and every written memory byte. On divergence
+ *    the failing program is shrunk by greedy unit removal and the
+ *    minimized listing embedded in FuzzStats::failure.
+ *
+ *  - fuzzReverseExecution: forward chains of ALU operations inverted
+ *    step by step with isa::invertAlu — the primitive backward replay
+ *    rests on — checking every intermediate register value round-trips,
+ *    and that non-invertible operations are refused.
+ *
+ * A failure message always contains the options seed, so any CI hit
+ * reproduces locally with PRORACE_TEST_SEED=<seed>.
+ */
+
+#ifndef PRORACE_ORACLE_FUZZER_HH
+#define PRORACE_ORACLE_FUZZER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace prorace::oracle {
+
+/** Fuzz campaign knobs. */
+struct FuzzOptions {
+    uint64_t seed = 1;
+    /** Stop once this many instructions/checks have executed. */
+    uint64_t min_instructions = 10'000;
+    /** Generated units per forward-fuzz program (~1–3 insns each). */
+    uint32_t units_per_program = 24;
+};
+
+/** Campaign outcome. */
+struct FuzzStats {
+    uint64_t programs = 0;     ///< programs (or operand batches) run
+    uint64_t instructions = 0; ///< instructions executed / checks made
+    uint64_t mismatches = 0;   ///< divergences found
+    std::string failure;       ///< first failure, minimized, with seed
+};
+
+FuzzStats fuzzAluSemantics(const FuzzOptions &options);
+FuzzStats fuzzMachineForward(const FuzzOptions &options);
+FuzzStats fuzzReverseExecution(const FuzzOptions &options);
+
+} // namespace prorace::oracle
+
+#endif // PRORACE_ORACLE_FUZZER_HH

@@ -1,0 +1,369 @@
+#include "oracle/generator.hh"
+
+#include <algorithm>
+
+#include "support/log.hh"
+#include "support/rng.hh"
+#include "workload/kernels.hh"
+
+namespace prorace::oracle {
+
+using workload::AddressKind;
+using workload::ProgramBuilder;
+using isa::AluOp;
+using isa::CondCode;
+using isa::MemOperand;
+using isa::Reg;
+
+const char *
+siteDisciplineName(SiteDiscipline d)
+{
+    switch (d) {
+      case SiteDiscipline::kRacy:   return "racy";
+      case SiteDiscipline::kLocked: return "locked";
+      case SiteDiscipline::kAtomic: return "atomic";
+    }
+    return "?";
+}
+
+RacePairSet
+GroundTruth::pairsOf(const SiteTruth &site)
+{
+    if (site.discipline != SiteDiscipline::kRacy)
+        return {};
+    const uint32_t lo = std::min(site.load_insn, site.store_insn);
+    const uint32_t hi = std::max(site.load_insn, site.store_insn);
+    // The load races with the store, and the store races with itself
+    // across threads; two loads never race.
+    return {{lo, hi}, {site.store_insn, site.store_insn}};
+}
+
+std::string
+GeneratorConfig::name() const
+{
+    return "oracle-s" + std::to_string(seed) + "-t" +
+        std::to_string(threads);
+}
+
+namespace {
+
+/** Codegen-time description of one site, fixed before emission. */
+struct SitePlan {
+    SiteDiscipline discipline = SiteDiscipline::kRacy;
+    AddressKind kind = AddressKind::kPcRelative;
+    uint8_t width = 8;
+    std::string value_sym; ///< pc-relative storage, when kind == pcrel
+    std::string obj_sym;   ///< pointed-to object, for indirect kinds
+    std::string ptr_sym;   ///< global holding &obj, for indirect kinds
+    unsigned id = 0;
+};
+
+uint8_t
+pickWidth(Rng &rng, bool mixed)
+{
+    static const uint8_t kWidths[] = {1, 2, 4, 8};
+    return mixed ? kWidths[rng.below(4)] : 8;
+}
+
+/**
+ * Emit one site's per-request access code inside the worker loop.
+ * Fills load/store instruction indices for racy sites.
+ */
+void
+emitSite(ProgramBuilder &b, const SitePlan &plan,
+         const GeneratorConfig &config, uint32_t &load_insn,
+         uint32_t &store_insn)
+{
+    const std::string tag = "site" + std::to_string(plan.id);
+    switch (plan.discipline) {
+      case SiteDiscipline::kRacy:
+        switch (plan.kind) {
+          case AddressKind::kPcRelative:
+            // counter++ through %rip addressing, no lock.
+            load_insn = b.load(Reg::rax, b.symRef(plan.value_sym),
+                               plan.width);
+            b.addri(Reg::rax, 1);
+            store_insn = b.store(b.symRef(plan.value_sym), Reg::rax,
+                                 plan.width);
+            break;
+          case AddressKind::kRegisterIndirect:
+            // The handle is fetched once and stays live in rbx across
+            // intervening work, as a request handler keeps its object
+            // pointer in a callee-saved register.
+            b.load(Reg::rbx, b.symRef(plan.ptr_sym));
+            workload::emitArraySweep(b, tag + "_live", Reg::r15, 2,
+                                     false);
+            load_insn = b.load(
+                Reg::rax, MemOperand::baseDisp(Reg::rbx, 8), plan.width);
+            b.addri(Reg::rax, 1);
+            store_insn = b.store(MemOperand::baseDisp(Reg::rbx, 8),
+                                 Reg::rax, plan.width);
+            b.movri(Reg::rbx, 0); // end the handle's live range
+            break;
+          case AddressKind::kMemoryIndirect:
+            // The pointer is reloaded immediately before the access and
+            // killed right after: the hardest reconstruction case.
+            b.load(Reg::rsi, b.symRef(plan.ptr_sym));
+            load_insn = b.load(
+                Reg::rax, MemOperand::baseDisp(Reg::rsi, 8), plan.width);
+            b.addri(Reg::rax, 1);
+            store_insn = b.store(MemOperand::baseDisp(Reg::rsi, 8),
+                                 Reg::rax, plan.width);
+            b.movri(Reg::rsi, 0);
+            break;
+        }
+        break;
+
+      case SiteDiscipline::kLocked: {
+        // The same update under the global stats lock, taken only every
+        // lock_every requests — a per-request global lock would
+        // serialize the racy sites away.
+        b.movrr(Reg::rax, Reg::r13);
+        b.aluri(AluOp::kAnd, Reg::rax, config.lock_every - 1);
+        b.cmpri(Reg::rax, config.lock_every - 1);
+        b.jcc(CondCode::kNe, tag + "_skip");
+        b.lock(b.symRef("mtx"));
+        load_insn = b.load(Reg::rax, b.symRef(plan.value_sym),
+                           plan.width);
+        b.addri(Reg::rax, 1);
+        store_insn = b.store(b.symRef(plan.value_sym), Reg::rax,
+                             plan.width);
+        b.unlock(b.symRef("mtx"));
+        b.label(tag + "_skip");
+        break;
+      }
+
+      case SiteDiscipline::kAtomic:
+        // Atomic fetch-add: concurrent but never a data race.
+        b.movri(Reg::rdx, 1);
+        load_insn = store_insn =
+            b.atomicRmw(AluOp::kAdd, Reg::rax, b.symRef(plan.value_sym),
+                        Reg::rdx, plan.width);
+        break;
+    }
+}
+
+} // namespace
+
+GeneratedWorkload
+generate(const GeneratorConfig &config)
+{
+    PRORACE_ASSERT(config.threads >= 2,
+                   "a race needs at least two threads");
+    PRORACE_ASSERT((config.lock_every & (config.lock_every - 1)) == 0 &&
+                       config.lock_every > 0,
+                   "lock_every must be a power of two");
+
+    Rng rng(config.seed);
+    const unsigned total_sites =
+        config.racy_sites + config.locked_sites + config.atomic_sites;
+
+    // Plan the sites, then shuffle their emission order so programs
+    // from different seeds differ structurally, not just in data.
+    std::vector<SitePlan> plans;
+    static const AddressKind kKinds[] = {
+        AddressKind::kPcRelative, AddressKind::kRegisterIndirect,
+        AddressKind::kMemoryIndirect};
+    for (unsigned i = 0; i < total_sites; ++i) {
+        SitePlan plan;
+        plan.id = i;
+        if (i < config.racy_sites) {
+            plan.discipline = SiteDiscipline::kRacy;
+            plan.kind = kKinds[rng.below(3)];
+        } else if (i < config.racy_sites + config.locked_sites) {
+            plan.discipline = SiteDiscipline::kLocked;
+            plan.kind = AddressKind::kPcRelative;
+        } else {
+            plan.discipline = SiteDiscipline::kAtomic;
+            plan.kind = AddressKind::kPcRelative;
+        }
+        plan.width = pickWidth(rng, config.mixed_widths);
+        const std::string base = "site" + std::to_string(i);
+        if (plan.kind == AddressKind::kPcRelative) {
+            plan.value_sym = base;
+        } else {
+            plan.obj_sym = base + "_obj";
+            plan.ptr_sym = base + "_ptr";
+        }
+        plans.push_back(plan);
+    }
+    // Fisher-Yates with the generator's own rng (std::shuffle's
+    // distribution is implementation-defined; this must be stable).
+    for (size_t i = plans.size(); i > 1; --i)
+        std::swap(plans[i - 1], plans[rng.below(i)]);
+
+    ProgramBuilder b;
+    b.global("mtx", 8);
+    b.globalU64("input_seed", 0);
+    for (const SitePlan &plan : plans) {
+        if (plan.kind == AddressKind::kPcRelative) {
+            b.global(plan.value_sym, 8);
+        } else {
+            b.global(plan.obj_sym, 16);
+            b.globalU64(plan.ptr_sym, 0);
+        }
+    }
+    b.global("scratch",
+             static_cast<uint64_t>(config.threads) *
+                 std::max<uint32_t>(config.sweep_elems, 2) * 8);
+
+    // main: publish the indirect sites' handles, then spawn/join the
+    // workers exactly as the curated racy workloads do.
+    b.label("main");
+    for (const SitePlan &plan : plans) {
+        if (plan.kind == AddressKind::kPcRelative)
+            continue;
+        b.lea(Reg::rax, b.symRef(plan.obj_sym));
+        b.store(b.symRef(plan.ptr_sym), Reg::rax);
+    }
+    b.movri(Reg::rcx, 0);
+    b.label("main_spawn");
+    b.movrr(Reg::r12, Reg::rcx);
+    b.spawn(Reg::rax, "worker", Reg::r12);
+    b.push(Reg::rax);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, config.threads);
+    b.jcc(CondCode::kLt, "main_spawn");
+    b.movri(Reg::rcx, 0);
+    b.label("main_join");
+    b.pop(Reg::rax);
+    b.join(Reg::rax);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, config.threads);
+    b.jcc(CondCode::kLt, "main_join");
+    b.halt();
+
+    const uint32_t sweep = std::max<uint32_t>(config.sweep_elems, 2);
+    b.beginFunction("worker");
+    b.movrr(Reg::r14, Reg::rdi); // tid
+    b.load(Reg::r10, b.symRef("input_seed"));
+    b.lea(Reg::r15, b.symRef("scratch"));
+    b.movri(Reg::rax, sweep * 8);
+    b.alurr(AluOp::kMul, Reg::rax, Reg::r14);
+    b.alurr(AluOp::kAdd, Reg::r15, Reg::rax);
+    b.movri(Reg::r13, 0); // request index
+    b.label("req");
+
+    // Input- and request-dependent work length, so PEBS periods don't
+    // phase-lock onto the loop structure.
+    b.movrr(Reg::r9, Reg::r13);
+    b.alurr(AluOp::kXor, Reg::r9, Reg::r10);
+    b.aluri(AluOp::kMul, Reg::r9, 2654435761ll);
+    b.aluri(AluOp::kShr, Reg::r9, 24);
+    b.aluri(AluOp::kAnd, Reg::r9, 31);
+    b.aluri(AluOp::kAdd, Reg::r9, config.work_before);
+    workload::emitVariableComputeLoop(b, "pre", Reg::r9);
+
+    std::vector<std::pair<uint32_t, uint32_t>> site_insns(total_sites);
+    for (const SitePlan &plan : plans) {
+        uint32_t ld = 0, st = 0;
+        emitSite(b, plan, config, ld, st);
+        site_insns[plan.id] = {ld, st};
+    }
+
+    if (config.heap_churn) {
+        // Thread-private allocation churn: opens and closes a heap
+        // lifetime every request (FastTrack must not report the block's
+        // reuse across threads as a race).
+        b.movri(Reg::rdi, 64);
+        b.mallocCall(Reg::rax, Reg::rdi);
+        b.store(MemOperand::baseDisp(Reg::rax, 8), Reg::r13);
+        b.load(Reg::rdx, MemOperand::baseDisp(Reg::rax, 8));
+        b.freeCall(Reg::rax);
+    }
+
+    workload::emitComputeLoop(b, "post", config.work_after);
+    // Library call with all handles dead: PT gaps like real libc calls.
+    b.movrr(Reg::rdi, Reg::r15);
+    b.movri(Reg::rsi, sweep);
+    b.call("lib_sum");
+
+    b.addri(Reg::r13, 1);
+    b.cmpri(Reg::r13, config.items);
+    b.jcc(CondCode::kLt, "req");
+    b.halt();
+    b.endFunction();
+
+    workload::emitLibHelpers(b);
+
+    GeneratedWorkload out;
+    out.config = config;
+    out.workload.name = config.name();
+    out.workload.description =
+        std::to_string(config.racy_sites) + " racy / " +
+        std::to_string(config.locked_sites) + " locked / " +
+        std::to_string(config.atomic_sites) + " atomic sites, " +
+        std::to_string(config.threads) + " threads";
+    out.workload.program = std::make_shared<asmkit::Program>(b.build());
+
+    for (const SitePlan &plan : plans) {
+        SiteTruth site;
+        site.discipline = plan.discipline;
+        site.kind = plan.kind;
+        site.width = plan.width;
+        if (plan.kind == AddressKind::kPcRelative) {
+            site.symbol = plan.value_sym;
+            site.addr = out.workload.program->symbol(plan.value_sym).addr;
+        } else {
+            site.symbol = plan.obj_sym;
+            site.addr =
+                out.workload.program->symbol(plan.obj_sym).addr + 8;
+        }
+        site.load_insn = site_insns[plan.id].first;
+        site.store_insn = site_insns[plan.id].second;
+        out.truth.sites.push_back(site);
+
+        const RacePairSet pairs = GroundTruth::pairsOf(site);
+        out.truth.racy_pairs.insert(pairs.begin(), pairs.end());
+
+        if (plan.discipline == SiteDiscipline::kRacy) {
+            workload::RacyBug bug;
+            bug.id = out.workload.name + "/site" +
+                std::to_string(plan.id);
+            bug.manifestation = "planted race";
+            bug.kind = plan.kind;
+            bug.racy_insns = {site.load_insn, site.store_insn};
+            bug.racy_addr = site.addr;
+            bug.racy_size = site.width;
+            out.workload.bugs.push_back(bug);
+        }
+    }
+    // Sites were emitted in shuffled order; keep the truth listing in
+    // site-id order for stable reporting.
+    std::sort(out.truth.sites.begin(), out.truth.sites.end(),
+              [](const SiteTruth &a, const SiteTruth &b_) {
+                  return a.symbol < b_.symbol;
+              });
+
+    const uint64_t input_addr =
+        out.workload.program->symbol("input_seed").addr;
+    out.workload.setup = [input_addr](vm::Machine &m) {
+        m.memory().write(input_addr, m.config().seed * 0x9e3779b9, 8);
+        m.addThread("main");
+    };
+    out.workload.pt_filter =
+        workload::mainExecutableFilter(*out.workload.program);
+    return out;
+}
+
+std::vector<GeneratorConfig>
+standardBattery(uint64_t base_seed, size_t count)
+{
+    std::vector<GeneratorConfig> configs;
+    Rng rng(base_seed ^ 0x0f14c3a11ull);
+    for (size_t i = 0; i < count; ++i) {
+        GeneratorConfig cfg;
+        cfg.seed = base_seed + i;
+        cfg.threads = 2 + static_cast<unsigned>(i % 3);
+        cfg.racy_sites = 2 + static_cast<unsigned>(rng.below(3));
+        cfg.locked_sites = 1 + static_cast<unsigned>(rng.below(2));
+        cfg.atomic_sites = static_cast<unsigned>(rng.below(2));
+        cfg.mixed_widths = (i % 2) == 0;
+        cfg.heap_churn = (i % 3) != 2;
+        cfg.items = 80 + static_cast<uint32_t>(rng.below(60));
+        configs.push_back(cfg);
+    }
+    return configs;
+}
+
+} // namespace prorace::oracle

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Seeded planted-race workload generator.
+ *
+ * Hand-written racy scenarios (workload/racybugs.cc) cover twelve bug
+ * shapes; measuring detector *quality* — recall under a sampling
+ * budget — needs arbitrarily many scenarios with exact ground truth.
+ * This generator synthesizes parameterized multi-threaded programs
+ * over the same code-generation kernels the curated workloads use and
+ * emits, alongside each program, the exact set of racy instruction
+ * pairs it planted. The pair set is the oracle the scorer
+ * (oracle/scorer.hh) joins race reports against.
+ *
+ * Generation is a pure function of GeneratorConfig: the same config
+ * (and in particular the same seed) always yields a byte-identical
+ * program and ground truth, so a (config, machine seed) pair names one
+ * exact experiment.
+ */
+
+#ifndef PRORACE_ORACLE_GENERATOR_HH
+#define PRORACE_ORACLE_GENERATOR_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace prorace::oracle {
+
+/** Synchronization discipline of one shared site. */
+enum class SiteDiscipline : uint8_t {
+    kRacy,   ///< plain unsynchronized load + store (the planted race)
+    kLocked, ///< same update under the global stats lock (no race)
+    kAtomic, ///< atomic read-modify-write (no race)
+};
+
+/** Printable discipline name. */
+const char *siteDisciplineName(SiteDiscipline d);
+
+/** Ground truth for one generated shared site. */
+struct SiteTruth {
+    std::string symbol;            ///< global backing the site's storage
+    SiteDiscipline discipline = SiteDiscipline::kRacy;
+    workload::AddressKind kind = workload::AddressKind::kPcRelative;
+    uint64_t addr = 0;             ///< racy/shared location
+    uint8_t width = 8;             ///< access width in bytes
+    uint32_t load_insn = 0;        ///< the site's load instruction
+    uint32_t store_insn = 0;       ///< the site's store instruction
+};
+
+/** Normalized (min, max) instruction pairs. */
+using RacePairSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+/** Exact ground truth emitted beside a generated program. */
+struct GroundTruth {
+    /**
+     * Every racy instruction pair the program contains, at the same
+     * (min, max) granularity RaceReport deduplicates on. For a racy
+     * site with load L and store S this is {(L,S), (S,S)}: the store
+     * races with concurrent loads and with itself across threads; two
+     * loads never race.
+     */
+    RacePairSet racy_pairs;
+
+    /** Per-site detail (racy and non-racy alike, for precision checks). */
+    std::vector<SiteTruth> sites;
+
+    /** Racy pairs planted at @p site (empty for non-racy sites). */
+    static RacePairSet pairsOf(const SiteTruth &site);
+};
+
+/** Knobs of one generated workload. */
+struct GeneratorConfig {
+    uint64_t seed = 1;        ///< sole source of generation randomness
+    unsigned threads = 3;     ///< worker threads (>= 2 for races)
+    uint32_t items = 100;     ///< requests per worker
+    unsigned racy_sites = 3;  ///< planted racy locations
+    unsigned locked_sites = 2;///< lock-protected shared locations
+    unsigned atomic_sites = 1;///< atomic-RMW shared locations
+    bool mixed_widths = true; ///< widths drawn from {1,2,4,8} (else 8)
+    bool heap_churn = true;   ///< per-request malloc/store/load/free
+    uint32_t work_before = 12;///< compute padding before the sites
+    uint32_t work_after = 12; ///< compute padding after them
+    uint32_t sweep_elems = 6; ///< private-array sweep length
+    /** The stats lock is taken every this many requests (power of 2). */
+    uint32_t lock_every = 8;
+
+    /** Canonical workload name, e.g. "oracle-s42-t3". */
+    std::string name() const;
+};
+
+/** A generated program with its exact oracle. */
+struct GeneratedWorkload {
+    workload::Workload workload; ///< bugs[] filled from the racy sites
+    GroundTruth truth;
+    GeneratorConfig config;
+};
+
+/**
+ * Synthesize a workload from @p config. Deterministic: equal configs
+ * yield byte-identical programs (same listing, symbols, and truth).
+ */
+GeneratedWorkload generate(const GeneratorConfig &config);
+
+/**
+ * A small battery of diverse configs derived from @p base_seed —
+ * varying thread counts, site mixes, widths, and heap churn — for
+ * recall curves and CI floors (bench/fig14_oracle_recall).
+ */
+std::vector<GeneratorConfig> standardBattery(uint64_t base_seed,
+                                             size_t count);
+
+} // namespace prorace::oracle
+
+#endif // PRORACE_ORACLE_GENERATOR_HH

@@ -1,0 +1,316 @@
+#include "oracle/ref_interp.hh"
+
+#include "isa/opcode.hh"
+
+namespace prorace::oracle {
+
+using isa::AluOp;
+using isa::CondCode;
+using isa::Flags;
+using isa::Insn;
+using isa::MemOperand;
+using isa::Op;
+using isa::Reg;
+
+// All value/flag math below is written independently of
+// isa/semantics.cc: 128-bit arithmetic for carries, xor masks for
+// signed overflow, and cast-based narrowing — so a shared bug cannot
+// hide in shared code.
+
+Flags
+refLogicFlags(uint64_t value)
+{
+    Flags f;
+    f.zf = value == 0;
+    f.sf = (value >> 63) != 0;
+    return f;
+}
+
+RefAluResult
+refAlu(AluOp op, uint64_t a, uint64_t b)
+{
+    RefAluResult r;
+    switch (op) {
+      case AluOp::kAdd: {
+        const unsigned __int128 wide =
+            static_cast<unsigned __int128>(a) + b;
+        r.value = static_cast<uint64_t>(wide);
+        r.flags = refLogicFlags(r.value);
+        r.flags.cf = (wide >> 64) != 0;
+        r.flags.of = ((~(a ^ b) & (a ^ r.value)) >> 63) != 0;
+        break;
+      }
+      case AluOp::kSub: {
+        const unsigned __int128 wide =
+            static_cast<unsigned __int128>(a) - b;
+        r.value = static_cast<uint64_t>(wide);
+        r.flags = refLogicFlags(r.value);
+        r.flags.cf = (wide >> 64) != 0;
+        r.flags.of = (((a ^ b) & (a ^ r.value)) >> 63) != 0;
+        break;
+      }
+      case AluOp::kAnd:
+        r.value = a & b;
+        r.flags = refLogicFlags(r.value);
+        break;
+      case AluOp::kOr:
+        r.value = a | b;
+        r.flags = refLogicFlags(r.value);
+        break;
+      case AluOp::kXor:
+        r.value = a ^ b;
+        r.flags = refLogicFlags(r.value);
+        break;
+      case AluOp::kMul:
+        r.value = static_cast<uint64_t>(
+            static_cast<unsigned __int128>(a) * b);
+        r.flags = refLogicFlags(r.value);
+        break;
+      case AluOp::kShl:
+        r.value = a << (b & 63);
+        r.flags = refLogicFlags(r.value);
+        break;
+      case AluOp::kShr:
+        r.value = a >> (b & 63);
+        r.flags = refLogicFlags(r.value);
+        break;
+      case AluOp::kSar: {
+        const unsigned count = b & 63;
+        uint64_t v = a >> count;
+        if (count != 0 && (a >> 63) != 0)
+            v |= ~0ull << (64 - count);
+        r.value = v;
+        r.flags = refLogicFlags(r.value);
+        break;
+      }
+    }
+    return r;
+}
+
+uint64_t
+refNarrow(uint64_t value, uint8_t width)
+{
+    switch (width) {
+      case 1: return static_cast<uint8_t>(value);
+      case 2: return static_cast<uint16_t>(value);
+      case 4: return static_cast<uint32_t>(value);
+      default: return value;
+    }
+}
+
+uint64_t
+refWiden(uint64_t value, uint8_t width, bool sign_extend)
+{
+    if (!sign_extend)
+        return refNarrow(value, width);
+    switch (width) {
+      case 1:
+        return static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int8_t>(value)));
+      case 2:
+        return static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int16_t>(value)));
+      case 4:
+        return static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int32_t>(value)));
+      default:
+        return value;
+    }
+}
+
+namespace {
+
+bool
+refCond(CondCode cc, const Flags &f)
+{
+    switch (cc) {
+      case CondCode::kEq: return f.zf;
+      case CondCode::kNe: return !f.zf;
+      case CondCode::kLt: return f.sf != f.of;
+      case CondCode::kLe: return f.zf || f.sf != f.of;
+      case CondCode::kGt: return !(f.zf || f.sf != f.of);
+      case CondCode::kGe: return f.sf == f.of;
+      case CondCode::kB:  return f.cf;
+      case CondCode::kBe: return f.cf || f.zf;
+      case CondCode::kA:  return !(f.cf || f.zf);
+      case CondCode::kAe: return !f.cf;
+      case CondCode::kS:  return f.sf;
+      case CondCode::kNs: return !f.sf;
+    }
+    return false;
+}
+
+} // namespace
+
+RefInterp::RefInterp(std::vector<Insn> code) : code_(std::move(code)) {}
+
+uint64_t
+RefInterp::reg(Reg r) const
+{
+    return gpr_[isa::gprIndex(r)];
+}
+
+void
+RefInterp::setReg(Reg r, uint64_t value)
+{
+    gpr_[isa::gprIndex(r)] = value;
+}
+
+uint64_t
+RefInterp::readMem(uint64_t addr, uint8_t width) const
+{
+    uint64_t value = 0;
+    for (unsigned i = 0; i < width; ++i) {
+        const auto it = bytes_.find(addr + i);
+        const uint64_t byte = it == bytes_.end() ? 0 : it->second;
+        value |= byte << (8 * i);
+    }
+    return value;
+}
+
+void
+RefInterp::writeMem(uint64_t addr, uint64_t value, uint8_t width)
+{
+    for (unsigned i = 0; i < width; ++i)
+        bytes_[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+}
+
+RefStatus
+RefInterp::run(uint32_t entry, uint64_t max_steps)
+{
+    uint32_t ip = entry;
+    steps_ = 0;
+    error_.clear();
+
+    const auto ea = [this](const MemOperand &mem) -> uint64_t {
+        if (mem.rip_relative)
+            return static_cast<uint64_t>(mem.disp);
+        uint64_t addr = static_cast<uint64_t>(mem.disp);
+        if (mem.base != Reg::none)
+            addr += reg(mem.base);
+        if (mem.index != Reg::none)
+            addr += reg(mem.index) * mem.scale;
+        return addr;
+    };
+
+    while (steps_ < max_steps) {
+        if (ip >= code_.size()) {
+            error_ = "ip " + std::to_string(ip) + " out of range";
+            return RefStatus::kUnsupported;
+        }
+        const Insn &insn = code_[ip];
+        uint32_t next_ip = ip + 1;
+        ++steps_;
+
+        switch (insn.op) {
+          case Op::kNop:
+            break;
+          case Op::kHalt:
+            return RefStatus::kHalted;
+          case Op::kMovRI:
+            setReg(insn.dst, static_cast<uint64_t>(insn.imm));
+            break;
+          case Op::kMovRR:
+            setReg(insn.dst, reg(insn.src));
+            break;
+          case Op::kLoad:
+            setReg(insn.dst, refWiden(readMem(ea(insn.mem), insn.width),
+                                      insn.width, insn.sign_extend));
+            break;
+          case Op::kStore:
+            writeMem(ea(insn.mem), refNarrow(reg(insn.src), insn.width),
+                     insn.width);
+            break;
+          case Op::kStoreI:
+            writeMem(ea(insn.mem),
+                     refNarrow(static_cast<uint64_t>(insn.imm),
+                               insn.width),
+                     insn.width);
+            break;
+          case Op::kLea:
+            setReg(insn.dst, ea(insn.mem));
+            break;
+          case Op::kAluRR: {
+            const RefAluResult r = refAlu(insn.alu, reg(insn.dst),
+                                    reg(insn.src));
+            setReg(insn.dst, r.value);
+            flags_ = r.flags;
+            break;
+          }
+          case Op::kAluRI: {
+            const RefAluResult r = refAlu(insn.alu, reg(insn.dst),
+                                    static_cast<uint64_t>(insn.imm));
+            setReg(insn.dst, r.value);
+            flags_ = r.flags;
+            break;
+          }
+          case Op::kCmpRR:
+            flags_ = refAlu(AluOp::kSub, reg(insn.dst),
+                            reg(insn.src)).flags;
+            break;
+          case Op::kCmpRI:
+            flags_ = refAlu(AluOp::kSub, reg(insn.dst),
+                            static_cast<uint64_t>(insn.imm)).flags;
+            break;
+          case Op::kTestRR:
+            flags_ = refLogicFlags(reg(insn.dst) & reg(insn.src));
+            break;
+          case Op::kTestRI:
+            flags_ = refLogicFlags(reg(insn.dst) &
+                                   static_cast<uint64_t>(insn.imm));
+            break;
+          case Op::kJcc:
+            if (refCond(insn.cond, flags_))
+                next_ip = insn.target;
+            break;
+          case Op::kJmp:
+            next_ip = insn.target;
+            break;
+          case Op::kPush: {
+            const uint64_t sp = reg(Reg::rsp) - 8;
+            writeMem(sp, reg(insn.src), 8);
+            setReg(Reg::rsp, sp);
+            break;
+          }
+          case Op::kPop: {
+            const uint64_t sp = reg(Reg::rsp);
+            setReg(insn.dst, readMem(sp, 8));
+            setReg(Reg::rsp, sp + 8);
+            break;
+          }
+          case Op::kAtomicRmw: {
+            // Single-threaded, so atomicity is moot: plain RMW that
+            // leaves the flags alone and returns the old value.
+            const uint64_t addr = ea(insn.mem);
+            const uint64_t old =
+                refWiden(readMem(addr, insn.width), insn.width, false);
+            const uint64_t neu =
+                refAlu(insn.alu, old, reg(insn.src)).value;
+            writeMem(addr, refNarrow(neu, insn.width), insn.width);
+            setReg(insn.dst, old);
+            break;
+          }
+          case Op::kCas: {
+            const uint64_t addr = ea(insn.mem);
+            const uint64_t old =
+                refWiden(readMem(addr, insn.width), insn.width, false);
+            if (old == refNarrow(reg(insn.dst), insn.width)) {
+                writeMem(addr, refNarrow(reg(insn.src), insn.width),
+                         insn.width);
+                flags_.zf = true; // only zf is defined by cas
+            } else {
+                setReg(insn.dst, old);
+                flags_.zf = false;
+            }
+            break;
+          }
+          default:
+            error_ = std::string("unsupported op ") + isa::opName(insn.op);
+            return RefStatus::kUnsupported;
+        }
+        ip = next_ip;
+    }
+    return RefStatus::kStepLimit;
+}
+
+} // namespace prorace::oracle

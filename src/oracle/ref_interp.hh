@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Independent reference interpreter for the differential ISA fuzzer.
+ *
+ * Executes the single-threaded, non-sync subset of the ISA over a
+ * byte-map memory, computing values and flags with formulas written
+ * independently of isa/semantics.cc (128-bit carries, xor-based
+ * overflow tests, cast-based widening). Any divergence from
+ * vm::Machine on the same program is a bug in one of the two — the
+ * same oracle structure tests/byte_map_model.hh gives the shadow
+ * memory.
+ *
+ * Deliberately simple: O(1) code, no scheduling, no observers. Ops
+ * outside the supported subset stop execution with an error string
+ * rather than guessing.
+ */
+
+#ifndef PRORACE_ORACLE_REF_INTERP_HH
+#define PRORACE_ORACLE_REF_INTERP_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/flags.hh"
+#include "isa/insn.hh"
+
+namespace prorace::oracle {
+
+/**
+ * Reference ALU result. The ref* functions below are the independent
+ * re-implementations of isa/semantics.cc the differential fuzzer
+ * compares against; RefInterp is built on them.
+ */
+struct RefAluResult {
+    uint64_t value = 0;
+    isa::Flags flags;
+};
+
+/** zf/sf from a value, cf/of cleared (logic-op flags). */
+isa::Flags refLogicFlags(uint64_t value);
+
+/** Independent ALU evaluation (128-bit carries, xor overflow masks). */
+RefAluResult refAlu(isa::AluOp op, uint64_t a, uint64_t b);
+
+/** Independent width truncation via unsigned casts. */
+uint64_t refNarrow(uint64_t value, uint8_t width);
+
+/** Independent widening via signed/unsigned casts. */
+uint64_t refWiden(uint64_t value, uint8_t width, bool sign_extend);
+
+/** Outcome of a reference run. */
+enum class RefStatus : uint8_t {
+    kHalted,      ///< executed a kHalt
+    kStepLimit,   ///< max_steps exhausted (likely a runaway loop)
+    kUnsupported, ///< hit an op outside the modeled subset
+};
+
+class RefInterp
+{
+  public:
+    explicit RefInterp(std::vector<isa::Insn> code);
+
+    /** Run from @p entry until halt, step limit, or unsupported op. */
+    RefStatus run(uint32_t entry, uint64_t max_steps);
+
+    uint64_t reg(isa::Reg r) const;
+    void setReg(isa::Reg r, uint64_t value);
+    const isa::Flags &flags() const { return flags_; }
+
+    /** Little-endian read; untouched bytes read as zero. */
+    uint64_t readMem(uint64_t addr, uint8_t width) const;
+
+    /** Every byte the program wrote, for exhaustive comparison. */
+    const std::unordered_map<uint64_t, uint8_t> &bytes() const
+    {
+        return bytes_;
+    }
+
+    /** Human-readable detail when run() returned kUnsupported. */
+    const std::string &error() const { return error_; }
+
+    /** Steps actually executed by the last run(). */
+    uint64_t steps() const { return steps_; }
+
+  private:
+    void writeMem(uint64_t addr, uint64_t value, uint8_t width);
+
+    std::vector<isa::Insn> code_;
+    std::array<uint64_t, isa::kNumGprs> gpr_{};
+    isa::Flags flags_;
+    std::unordered_map<uint64_t, uint8_t> bytes_;
+    std::string error_;
+    uint64_t steps_ = 0;
+};
+
+} // namespace prorace::oracle
+
+#endif // PRORACE_ORACLE_REF_INTERP_HH

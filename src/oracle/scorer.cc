@@ -1,0 +1,84 @@
+#include "oracle/scorer.hh"
+
+#include <algorithm>
+
+namespace prorace::oracle {
+
+double
+OracleScore::recall() const
+{
+    if (truth_pairs == 0)
+        return 1.0;
+    return static_cast<double>(detected_pairs) /
+        static_cast<double>(truth_pairs);
+}
+
+double
+OracleScore::precision() const
+{
+    if (reported_pairs == 0)
+        return 1.0;
+    return static_cast<double>(detected_pairs) /
+        static_cast<double>(reported_pairs);
+}
+
+RacePairSet
+reportPairs(const detect::RaceReport &report)
+{
+    RacePairSet pairs;
+    for (const detect::DataRace &race : report.races())
+        pairs.insert(std::minmax(race.prior.insn_index,
+                                 race.current.insn_index));
+    return pairs;
+}
+
+OracleScore
+scoreReport(const GroundTruth &truth, const detect::RaceReport &report)
+{
+    OracleScore score;
+    const RacePairSet reported = reportPairs(report);
+    score.truth_pairs = truth.racy_pairs.size();
+    score.reported_pairs = reported.size();
+    for (const auto &pair : truth.racy_pairs) {
+        if (reported.count(pair))
+            ++score.detected_pairs;
+        else
+            score.missed.insert(pair);
+    }
+    for (const auto &pair : reported) {
+        if (!truth.racy_pairs.count(pair))
+            score.spurious.insert(pair);
+    }
+    score.false_positives = score.spurious.size();
+    return score;
+}
+
+void
+ScoreAccumulator::add(const OracleScore &score)
+{
+    ++runs;
+    truth_pairs += score.truth_pairs;
+    detected_pairs += score.detected_pairs;
+    reported_pairs += score.reported_pairs;
+    false_positives += score.false_positives;
+}
+
+double
+ScoreAccumulator::recall() const
+{
+    if (truth_pairs == 0)
+        return 1.0;
+    return static_cast<double>(detected_pairs) /
+        static_cast<double>(truth_pairs);
+}
+
+double
+ScoreAccumulator::precision() const
+{
+    if (reported_pairs == 0)
+        return 1.0;
+    return static_cast<double>(detected_pairs) /
+        static_cast<double>(reported_pairs);
+}
+
+} // namespace prorace::oracle

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Oracle scorer: joins ProRace race reports against the generator's
+ * ground truth (oracle/generator.hh) and computes recall, precision,
+ * and false-positive counts for one (workload, pipeline config) run.
+ *
+ * Pairs are compared at the same normalized (min insn, max insn)
+ * granularity RaceReport deduplicates on, so the join is exact: a
+ * reported pair either is a planted race or it is spurious.
+ */
+
+#ifndef PRORACE_ORACLE_SCORER_HH
+#define PRORACE_ORACLE_SCORER_HH
+
+#include <cstddef>
+
+#include "detect/report.hh"
+#include "oracle/generator.hh"
+
+namespace prorace::oracle {
+
+/** Join of one race report against one ground truth. */
+struct OracleScore {
+    size_t truth_pairs = 0;     ///< planted racy pairs
+    size_t detected_pairs = 0;  ///< planted pairs present in the report
+    size_t reported_pairs = 0;  ///< distinct pairs the report contains
+    size_t false_positives = 0; ///< reported pairs not in the truth
+
+    RacePairSet missed;   ///< planted pairs the report lacks
+    RacePairSet spurious; ///< reported pairs the truth lacks
+
+    /** detected / truth; 1.0 for an empty truth. */
+    double recall() const;
+    /** detected / reported; 1.0 for an empty report. */
+    double precision() const;
+};
+
+/** Distinct normalized instruction pairs in @p report. */
+RacePairSet reportPairs(const detect::RaceReport &report);
+
+/** Score @p report against @p truth. */
+OracleScore scoreReport(const GroundTruth &truth,
+                        const detect::RaceReport &report);
+
+/** Running aggregate over many scored runs. */
+struct ScoreAccumulator {
+    size_t runs = 0;
+    size_t truth_pairs = 0;
+    size_t detected_pairs = 0;
+    size_t reported_pairs = 0;
+    size_t false_positives = 0;
+
+    void add(const OracleScore &score);
+    /** Pair-weighted mean recall across all added runs. */
+    double recall() const;
+    /** Pair-weighted mean precision across all added runs. */
+    double precision() const;
+};
+
+} // namespace prorace::oracle
+
+#endif // PRORACE_ORACLE_SCORER_HH

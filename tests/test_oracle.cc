@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the ground-truth oracle: generator determinism and
+ * structural validity, scorer arithmetic on hand-built sets, and the
+ * end-to-end guarantee that the full pipeline recovers every planted
+ * race at period 1 with no false positives.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "detect/report.hh"
+#include "oracle/generator.hh"
+#include "oracle/scorer.hh"
+#include "vm/machine.hh"
+
+#include "testutil.hh"
+
+namespace prorace::oracle {
+namespace {
+
+TEST(OracleGenerator, SameSeedYieldsByteIdenticalProgramAndTruth)
+{
+    GeneratorConfig cfg;
+    cfg.seed = testutil::testSeed(42);
+    PRORACE_SEED_TRACE(cfg.seed);
+    const GeneratedWorkload a = generate(cfg);
+    const GeneratedWorkload b = generate(cfg);
+
+    EXPECT_EQ(a.workload.program->listing(),
+              b.workload.program->listing());
+    EXPECT_EQ(a.truth.racy_pairs, b.truth.racy_pairs);
+    ASSERT_EQ(a.truth.sites.size(), b.truth.sites.size());
+    for (size_t i = 0; i < a.truth.sites.size(); ++i) {
+        EXPECT_EQ(a.truth.sites[i].symbol, b.truth.sites[i].symbol);
+        EXPECT_EQ(a.truth.sites[i].addr, b.truth.sites[i].addr);
+        EXPECT_EQ(a.truth.sites[i].load_insn, b.truth.sites[i].load_insn);
+        EXPECT_EQ(a.truth.sites[i].store_insn,
+                  b.truth.sites[i].store_insn);
+    }
+    EXPECT_EQ(a.workload.name, b.workload.name);
+}
+
+TEST(OracleGenerator, DifferentSeedsDiffer)
+{
+    GeneratorConfig a_cfg, b_cfg;
+    a_cfg.seed = 1;
+    b_cfg.seed = 2;
+    EXPECT_NE(generate(a_cfg).workload.program->listing(),
+              generate(b_cfg).workload.program->listing());
+}
+
+TEST(OracleGenerator, TruthPairsFollowLoadStoreRule)
+{
+    // A racy site with load L and store S plants {(L,S), (S,S)} and
+    // nothing else; non-racy sites plant nothing.
+    SiteTruth racy;
+    racy.discipline = SiteDiscipline::kRacy;
+    racy.load_insn = 9;
+    racy.store_insn = 4;
+    EXPECT_EQ(GroundTruth::pairsOf(racy),
+              (RacePairSet{{4, 9}, {4, 4}}));
+
+    SiteTruth locked = racy;
+    locked.discipline = SiteDiscipline::kLocked;
+    EXPECT_TRUE(GroundTruth::pairsOf(locked).empty());
+}
+
+TEST(OracleGenerator, PlantedSitesReallyRaceInTheMachine)
+{
+    // Ground truth must describe the execution, not just the listing:
+    // every racy address is touched by >= 2 threads with at least one
+    // write, through exactly the truth's load/store instructions.
+    GeneratorConfig cfg;
+    cfg.seed = testutil::testSeed(7);
+    PRORACE_SEED_TRACE(cfg.seed);
+    cfg.items = 40;
+    const GeneratedWorkload gw = generate(cfg);
+
+    vm::MachineConfig mc;
+    mc.seed = 3;
+    mc.record_memory_log = true;
+    vm::Machine m(*gw.workload.program, mc);
+    gw.workload.setup(m);
+    ASSERT_EQ(m.run(), vm::RunStatus::kFinished);
+
+    for (const SiteTruth &site : gw.truth.sites) {
+        std::set<uint32_t> tids, insns;
+        bool wrote = false;
+        for (const auto &e : m.memoryLog()) {
+            if (e.addr < site.addr || e.addr >= site.addr + site.width)
+                continue;
+            if (e.insn_index != site.load_insn &&
+                e.insn_index != site.store_insn)
+                continue;
+            tids.insert(e.tid);
+            insns.insert(e.insn_index);
+            wrote = wrote || e.is_write;
+        }
+        EXPECT_GE(tids.size(), 2u) << site.symbol;
+        EXPECT_TRUE(wrote) << site.symbol;
+        EXPECT_TRUE(insns.count(site.store_insn)) << site.symbol;
+    }
+    EXPECT_EQ(gw.workload.bugs.size(), cfg.racy_sites);
+}
+
+TEST(OracleScorer, JoinsHandBuiltSetsExactly)
+{
+    GroundTruth truth;
+    truth.racy_pairs = {{1, 5}, {5, 5}, {8, 9}};
+
+    detect::RaceReport report;
+    const auto add = [&report](uint32_t a, uint32_t b) {
+        detect::DataRace race;
+        race.prior.insn_index = a;
+        race.current.insn_index = b;
+        report.add(race);
+    };
+    add(5, 1);  // planted (normalizes to (1,5))
+    add(5, 5);  // planted
+    add(2, 3);  // spurious
+    add(3, 2);  // duplicate of the spurious pair, must dedup
+
+    const OracleScore score = scoreReport(truth, report);
+    EXPECT_EQ(score.truth_pairs, 3u);
+    EXPECT_EQ(score.detected_pairs, 2u);
+    EXPECT_EQ(score.reported_pairs, 3u);
+    EXPECT_EQ(score.false_positives, 1u);
+    EXPECT_EQ(score.missed, (RacePairSet{{8, 9}}));
+    EXPECT_EQ(score.spurious, (RacePairSet{{2, 3}}));
+    EXPECT_DOUBLE_EQ(score.recall(), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(score.precision(), 2.0 / 3.0);
+}
+
+TEST(OracleScorer, EmptyEdgeCases)
+{
+    const OracleScore empty = scoreReport({}, detect::RaceReport{});
+    EXPECT_DOUBLE_EQ(empty.recall(), 1.0);
+    EXPECT_DOUBLE_EQ(empty.precision(), 1.0);
+
+    ScoreAccumulator acc;
+    EXPECT_DOUBLE_EQ(acc.recall(), 1.0);
+    acc.add(empty);
+    EXPECT_EQ(acc.runs, 1u);
+    EXPECT_DOUBLE_EQ(acc.precision(), 1.0);
+}
+
+TEST(OracleEndToEnd, FullRecallAndPrecisionAtPeriodOne)
+{
+    // Period 1 samples every access: the pipeline must find every
+    // planted pair and nothing else on small workloads.
+    for (uint64_t seed : testutil::testSeeds({11ull, 23ull})) {
+        PRORACE_SEED_TRACE(seed);
+        GeneratorConfig cfg;
+        cfg.seed = seed;
+        cfg.items = 50;
+        const GeneratedWorkload gw = generate(cfg);
+        auto pc = core::proRaceConfig(1, 5, gw.workload.pt_filter);
+        auto result =
+            core::runPipeline(*gw.workload.program, gw.workload.setup, pc);
+        const OracleScore score = scoreReport(gw.truth,
+                                              result.offline.report);
+        EXPECT_DOUBLE_EQ(score.recall(), 1.0) << gw.workload.name;
+        EXPECT_EQ(score.false_positives, 0u) << gw.workload.name;
+    }
+}
+
+TEST(OracleEndToEnd, StandardBatteryIsDiverseAndWellFormed)
+{
+    const auto battery = standardBattery(500, 6);
+    ASSERT_EQ(battery.size(), 6u);
+    std::set<unsigned> thread_counts;
+    for (const GeneratorConfig &cfg : battery) {
+        thread_counts.insert(cfg.threads);
+        const GeneratedWorkload gw = generate(cfg);
+        EXPECT_FALSE(gw.truth.racy_pairs.empty()) << gw.workload.name;
+        EXPECT_GT(gw.workload.program->size(), 0u);
+    }
+    EXPECT_GE(thread_counts.size(), 3u)
+        << "battery should vary thread counts";
+}
+
+} // namespace
+} // namespace prorace::oracle

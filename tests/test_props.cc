@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Property tests for the PR-2 shadow primitives: long random operation
+ * sequences against trivially-correct models. FlatMap runs against
+ * std::unordered_map with adversarial key distributions; the SSO
+ * VectorClock runs against a dense vector model with tids crossing the
+ * inline-4 spill boundary both ways.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "detect/vector_clock.hh"
+#include "support/flat_map.hh"
+#include "support/rng.hh"
+
+#include "testutil.hh"
+
+namespace {
+
+using namespace prorace;
+using detect::VectorClock;
+
+/**
+ * Keys that stress the open-addressing table: dense small integers
+ * (clustered probes), one-bit patterns (weak hash inputs), and a few
+ * scattered 64-bit values (growth).
+ */
+uint64_t
+adversarialKey(Rng &rng)
+{
+    switch (rng.below(3)) {
+      case 0: return rng.below(64);
+      case 1: return uint64_t{1} << rng.below(64);
+      default: return rng.next() | 1;
+    }
+}
+
+TEST(FlatMapProps, RandomOpsMatchUnorderedMap)
+{
+    for (uint64_t seed : testutil::testSeeds({101ull, 202ull, 303ull})) {
+        PRORACE_SEED_TRACE(seed);
+        Rng rng(seed);
+        FlatMap<uint64_t> flat;
+        std::unordered_map<uint64_t, uint64_t> ref;
+
+        for (int op = 0; op < 60000; ++op) {
+            const uint64_t key = adversarialKey(rng);
+            switch (rng.below(4)) {
+              case 0: // insert/overwrite
+                flat[key] = static_cast<uint64_t>(op);
+                ref[key] = static_cast<uint64_t>(op);
+                break;
+              case 1: // erase
+                ASSERT_EQ(flat.erase(key), ref.erase(key) > 0);
+                break;
+              case 2: { // lookup
+                const uint64_t *v = flat.find(key);
+                const auto it = ref.find(key);
+                ASSERT_EQ(v != nullptr, it != ref.end());
+                if (v) {
+                    ASSERT_EQ(*v, it->second);
+                }
+                break;
+              }
+              default: // operator[] default-constructs like the model
+                ASSERT_EQ(flat[key], ref[key]);
+                break;
+            }
+            ASSERT_EQ(flat.size(), ref.size());
+        }
+
+        // forEach visits exactly the model's surviving entries.
+        std::unordered_map<uint64_t, uint64_t> visited;
+        flat.forEach([&](uint64_t k, const uint64_t &v) {
+            ASSERT_TRUE(visited.emplace(k, v).second)
+                << "forEach visited key twice";
+        });
+        ASSERT_EQ(visited.size(), ref.size());
+        for (const auto &[k, v] : ref) {
+            const auto it = visited.find(k);
+            ASSERT_NE(it, visited.end());
+            ASSERT_EQ(it->second, v);
+        }
+    }
+}
+
+/** Dense-vector model of a vector clock. */
+struct ClockModel {
+    std::vector<uint64_t> c;
+
+    void
+    set(uint32_t tid, uint64_t v)
+    {
+        if (c.size() <= tid)
+            c.resize(tid + 1, 0);
+        c[tid] = v;
+    }
+
+    uint64_t
+    get(uint32_t tid) const
+    {
+        return tid < c.size() ? c[tid] : 0;
+    }
+
+    void
+    join(const ClockModel &o)
+    {
+        if (c.size() < o.c.size())
+            c.resize(o.c.size(), 0);
+        for (size_t i = 0; i < o.c.size(); ++i)
+            c[i] = std::max(c[i], o.c[i]);
+    }
+
+    bool
+    lessOrEqual(const ClockModel &o) const
+    {
+        for (size_t i = 0; i < c.size(); ++i)
+            if (c[i] > o.get(static_cast<uint32_t>(i)))
+                return false;
+        return true;
+    }
+};
+
+void
+expectClockEquals(const VectorClock &vc, const ClockModel &model,
+                  uint32_t max_tid)
+{
+    for (uint32_t t = 0; t <= max_tid; ++t)
+        ASSERT_EQ(vc.get(t), model.get(t)) << "component " << t;
+}
+
+TEST(VectorClockProps, RandomOpsMatchDenseModel)
+{
+    // Tids up to 11 so clocks continually cross the inline-4 boundary.
+    constexpr uint32_t kMaxTid = 11;
+    for (uint64_t seed : testutil::testSeeds({7ull, 77ull, 777ull})) {
+        PRORACE_SEED_TRACE(seed);
+        Rng rng(seed);
+        constexpr size_t kClocks = 6;
+        std::vector<VectorClock> clocks(kClocks);
+        std::vector<ClockModel> models(kClocks);
+
+        for (int op = 0; op < 30000; ++op) {
+            const size_t i = rng.below(kClocks);
+            const size_t j = rng.below(kClocks);
+            switch (rng.below(6)) {
+              case 0: { // set
+                const uint32_t tid =
+                    static_cast<uint32_t>(rng.below(kMaxTid + 1));
+                const uint64_t v = rng.below(1 << 20);
+                clocks[i].set(tid, v);
+                models[i].set(tid, v);
+                break;
+              }
+              case 1: // join
+                clocks[i].join(clocks[j]);
+                models[i].join(models[j]);
+                break;
+              case 2: // assign
+                clocks[i].assign(clocks[j]);
+                models[i] = models[j];
+                break;
+              case 3: // ordering agrees with the model
+                ASSERT_EQ(clocks[i].lessOrEqual(clocks[j]),
+                          models[i].lessOrEqual(models[j]))
+                    << clocks[i].toString() << " vs "
+                    << clocks[j].toString();
+                break;
+              case 4: { // copy construct + move construct round-trip
+                VectorClock copy(clocks[i]);
+                expectClockEquals(copy, models[i], kMaxTid);
+                VectorClock moved(std::move(copy));
+                expectClockEquals(moved, models[i], kMaxTid);
+                break;
+              }
+              default: // clear
+                clocks[i].clear();
+                models[i] = ClockModel{};
+                break;
+            }
+            expectClockEquals(clocks[i], models[i], kMaxTid);
+        }
+
+        // Reflexivity and join-absorption on the final states.
+        for (size_t i = 0; i < kClocks; ++i) {
+            ASSERT_TRUE(clocks[i].lessOrEqual(clocks[i]));
+            VectorClock joined(clocks[i]);
+            joined.join(clocks[(i + 1) % kClocks]);
+            ASSERT_TRUE(clocks[i].lessOrEqual(joined));
+        }
+    }
+}
+
+} // namespace

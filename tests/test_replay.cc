@@ -136,7 +136,8 @@ TEST(Align, TscInterpolationIsMonotone)
 TEST(Replayer, ReconstructionMatchesOracleExactly)
 {
     asmkit::Program program = makeBranchyProgram(150);
-    for (uint64_t seed : {3ull, 11ull, 29ull}) {
+    for (uint64_t seed : testutil::testSeeds({3ull, 11ull, 29ull})) {
+        PRORACE_SEED_TRACE(seed);
         Fixture fx(program, 23, seed);
         Replayer replayer(program, {});
         auto accesses = replayer.replayAll(fx.paths, fx.alignments,

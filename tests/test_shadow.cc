@@ -21,6 +21,8 @@
 #include "support/flat_map.hh"
 #include "support/rng.hh"
 
+#include "testutil.hh"
+
 namespace {
 
 using namespace prorace;
@@ -81,7 +83,9 @@ TEST(FlatMap, RandomizedAgainstStdMap)
 {
     FlatMap<uint64_t> flat;
     std::unordered_map<uint64_t, uint64_t> ref;
-    Rng rng(77);
+    const uint64_t seed = testutil::testSeed(77);
+    PRORACE_SEED_TRACE(seed);
+    Rng rng(seed);
     for (int op = 0; op < 50000; ++op) {
         const uint64_t key = rng.below(512) * 0x9e370001ull;
         switch (rng.below(3)) {
@@ -222,7 +226,9 @@ TEST(PagedProgramMap, RandomizedDifferentialAgainstByteMap)
 {
     ProgramMap paged;
     ByteMapModel ref;
-    Rng rng(20260806);
+    const uint64_t seed = testutil::testSeed(20260806);
+    PRORACE_SEED_TRACE(seed);
+    Rng rng(seed);
 
     // Address pool clustered around page boundaries and spread across
     // distant pages, so straddles, sparse pages, and table growth all
@@ -365,7 +371,9 @@ expectIdenticalReports(const FastTrack &ft, const RefFastTrack &ref)
 
 TEST(FastTrackDifferential, RandomizedEventStreams)
 {
-    for (uint64_t seed : {1ull, 7ull, 123ull, 20260806ull}) {
+    for (uint64_t seed :
+         testutil::testSeeds({1ull, 7ull, 123ull, 20260806ull})) {
+        PRORACE_SEED_TRACE(seed);
         Rng rng(seed);
         std::vector<DetectorEvent> events;
         constexpr uint32_t kThreads = 6;

@@ -12,6 +12,8 @@
 #include "asmkit/layout.hh"
 #include "vm/machine.hh"
 
+#include "testutil.hh"
+
 namespace prorace::vm {
 namespace {
 
@@ -160,7 +162,8 @@ TEST(Machine, MutexProvidesMutualExclusion)
 {
     // Without the lock this increment loop loses updates with high
     // probability; with it the total must be exact for every seed.
-    for (uint64_t seed : {1ull, 2ull, 3ull, 17ull}) {
+    for (uint64_t seed : testutil::testSeeds({1ull, 2ull, 3ull, 17ull})) {
+        PRORACE_SEED_TRACE(seed);
         ProgramBuilder b;
         b.globalU64("counter", 0);
         b.global("mtx", 8);

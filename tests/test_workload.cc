@@ -13,6 +13,8 @@
 #include "workload/racybugs.hh"
 #include "workload/registry.hh"
 
+#include "testutil.hh"
+
 namespace prorace::workload {
 namespace {
 
@@ -159,7 +161,8 @@ TEST(Workloads, RegistryFindsEverySuite)
 TEST(Pipeline, ProRaceDetectsAPcRelativeBugReliably)
 {
     Workload w = makeRacyBug("pfscan", 0.5);
-    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (uint64_t seed : testutil::testSeeds({1ull, 2ull, 3ull})) {
+        PRORACE_SEED_TRACE(seed);
         auto cfg = core::proRaceConfig(1000, seed, w.pt_filter);
         auto result = core::runPipeline(*w.program, w.setup, cfg);
         EXPECT_TRUE(bugDetected(w.bugs[0], result.offline.report))

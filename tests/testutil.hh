@@ -8,7 +8,9 @@
 #define PRORACE_TESTS_TESTUTIL_HH
 
 #include <cstdint>
+#include <cstdlib>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "asmkit/builder.hh"
@@ -98,6 +100,49 @@ makeBranchyProgram(int iterations = 50)
 
     return b.build();
 }
+
+/**
+ * The seed for a randomized test: @p fallback unless PRORACE_TEST_SEED
+ * is set, in which case the environment wins. Every randomized test
+ * draws its seed through here (or testSeeds) so a CI failure
+ * reproduces locally by exporting the seed the failure printed.
+ */
+inline uint64_t
+testSeed(uint64_t fallback)
+{
+    if (const char *env = std::getenv("PRORACE_TEST_SEED"))
+        return std::strtoull(env, nullptr, 10);
+    return fallback;
+}
+
+/**
+ * Seed list for sweep-style tests. PRORACE_TEST_SEED collapses the
+ * sweep to that single seed, so one exported variable reproduces a
+ * failure from any seed-parameterized test.
+ */
+inline std::vector<uint64_t>
+testSeeds(std::vector<uint64_t> fallback)
+{
+    if (const char *env = std::getenv("PRORACE_TEST_SEED"))
+        return {std::strtoull(env, nullptr, 10)};
+    return fallback;
+}
+
+/** Reproduction hint printed (via SCOPED_TRACE) on any seed failure. */
+inline std::string
+seedMessage(uint64_t seed)
+{
+    return "random seed " + std::to_string(seed) +
+        " (reproduce with PRORACE_TEST_SEED=" + std::to_string(seed) +
+        ")";
+}
+
+/**
+ * Attach the seed to every assertion in the enclosing scope. Expands
+ * to SCOPED_TRACE, so it is usable only inside gtest test bodies.
+ */
+#define PRORACE_SEED_TRACE(seed) \
+    SCOPED_TRACE(::prorace::testutil::seedMessage(seed))
 
 /** Per-thread oracle paths extracted from a machine's path log. */
 inline std::map<uint32_t, std::vector<uint32_t>>
