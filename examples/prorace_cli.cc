@@ -20,6 +20,11 @@
  *       generator's exact ground truth (recall / precision / false
  *       positives). The quantitative health check for the whole
  *       reconstruction + detection stack.
+ *   prorace_cli static-report <workload> [--scale X]
+ *       Static binary analysis only: build the CFG, dataflow and
+ *       escape passes over the workload binary and dump the results
+ *       as JSONL on stdout (one summary record, one site-class
+ *       record) with a human-readable digest on stderr.
  *
  * The <workload> program must be identical between trace and analyze
  * (same name and --scale), exactly as the offline phase needs the
@@ -31,6 +36,7 @@
 #include <cstring>
 #include <string>
 
+#include "analysis/analysis.hh"
 #include "baseline/racez.hh"
 #include "core/parallel_offline.hh"
 #include "core/pipeline.hh"
@@ -56,7 +62,8 @@ struct Args {
     size_t count = 5;  ///< generated workloads for the oracle command
     bool racez = false;
     bool vanilla = false;
-    bool stats = false; ///< dump shadow-structure counters
+    bool stats = false;        ///< dump shadow-structure counters
+    bool no_prefilter = false; ///< disable the static access prefilter
 };
 
 /**
@@ -84,6 +91,32 @@ printShadowStats(const core::OfflineResult &result)
                 hit_rate, pm_probe,
                 static_cast<unsigned long long>(pm.mem_invalidations));
 
+    const core::PrefilterStats &pf = result.prefilter;
+    if (pf.enabled) {
+        const double frac = pf.events_seen
+            ? 100.0 * static_cast<double>(pf.pruned()) /
+                static_cast<double>(pf.events_seen)
+            : 0.0;
+        std::printf("prefilter: %llu/%llu sites thread-local, "
+                    "%llu/%llu events pruned (%.1f%%: %llu implicit "
+                    "stack, %llu direct stack)\n",
+                    static_cast<unsigned long long>(
+                        pf.sites_thread_local),
+                    static_cast<unsigned long long>(pf.sites_total),
+                    static_cast<unsigned long long>(pf.pruned()),
+                    static_cast<unsigned long long>(pf.events_seen),
+                    frac,
+                    static_cast<unsigned long long>(
+                        pf.pruned_stack_implicit),
+                    static_cast<unsigned long long>(
+                        pf.pruned_stack_direct));
+    } else {
+        std::printf("prefilter: off (%s), %llu events seen\n",
+                    pf.analysis_sound ? "disabled by flag"
+                                      : "analysis not sound",
+                    static_cast<unsigned long long>(pf.events_seen));
+    }
+
     const detect::FastTrackStats &ft = result.detect_stats;
     const double ft_probe = ft.shadow_lookups
         ? static_cast<double>(ft.shadow_probe_steps) /
@@ -109,16 +142,23 @@ usage()
                  "       prorace_cli trace <workload> <file> [--period N]"
                  " [--seed N] [--driver prorace|vanilla] [--scale X]\n"
                  "       prorace_cli analyze <workload> <file> [--racez]"
-                 " [--scale X] [--jobs N] [--stats]\n"
+                 " [--scale X] [--jobs N] [--stats] [--no-prefilter]\n"
                  "       prorace_cli run <workload> [--period N]"
-                 " [--seed N] [--scale X] [--jobs N] [--stats]\n"
+                 " [--seed N] [--scale X] [--jobs N] [--stats]"
+                 " [--no-prefilter]\n"
                  "       prorace_cli oracle [--count K] [--period N]"
                  " [--seed N] [--jobs N]\n"
+                 "       prorace_cli static-report <workload>"
+                 " [--scale X]\n"
                  "\n"
                  "--jobs N runs the offline analysis on N worker threads"
                  " (0 = serial; results are identical either way)\n"
                  "--stats dumps the shadow-structure counters (program-"
-                 "map pages and probes, FastTrack table and clocks)\n");
+                 "map pages and probes, FastTrack table and clocks)\n"
+                 "and the static-prefilter event counters\n"
+                 "--no-prefilter keeps definitely-thread-local accesses "
+                 "in the detector feed (the race report is identical; "
+                 "detection just costs more)\n");
     return 2;
 }
 
@@ -160,6 +200,8 @@ parseFlags(int argc, char **argv, int first, Args &args)
             args.racez = true;
         } else if (flag == "--stats") {
             args.stats = true;
+        } else if (flag == "--no-prefilter") {
+            args.no_prefilter = true;
         } else if (flag == "--driver") {
             const char *v = next();
             if (!v)
@@ -226,6 +268,7 @@ cmdAnalyze(const Args &args)
     core::OfflineOptions opt;
     opt.pt_filter = w->pt_filter;
     opt.num_threads = args.jobs;
+    opt.static_prefilter = !args.no_prefilter;
     if (args.racez)
         opt.replay.mode = replay::ReplayMode::kBasicBlock;
     core::ParallelOfflineAnalyzer analyzer(*w->program, opt);
@@ -291,6 +334,7 @@ cmdRun(const Args &args)
         ? baseline::raceZConfig(args.period, args.seed)
         : core::proRaceConfig(args.period, args.seed, w->pt_filter);
     cfg.offline.num_threads = args.jobs;
+    cfg.offline.static_prefilter = !args.no_prefilter;
     core::PipelineResult result =
         core::runPipeline(*w->program, w->setup, cfg);
     if (args.stats)
@@ -342,6 +386,81 @@ cmdOracle(const Args &args)
     return 0;
 }
 
+int
+cmdStaticReport(const Args &args)
+{
+    auto w = workload::findWorkload(args.workload, args.scale);
+    if (!w) {
+        std::fprintf(stderr, "unknown workload: %s\n",
+                     args.workload.c_str());
+        return 1;
+    }
+    const analysis::ProgramAnalysis pa(*w->program);
+    const analysis::StaticSummary s = pa.summary();
+
+    // JSONL on stdout: one summary record, one site-class record.
+    std::printf(
+        "{\"type\":\"summary\",\"workload\":\"%s\",\"insns\":%llu,"
+        "\"blocks\":%llu,\"edges\":%llu,\"reachable_blocks\":%llu,"
+        "\"address_taken\":%llu,\"mem_sites\":%llu,"
+        "\"thread_local_sites\":%llu,\"thread_local_fraction\":%.4f,"
+        "\"invertible_insns\":%llu,\"learn_insns\":%llu,"
+        "\"rsp_integrity\":%s,\"no_stack_escape\":%s,\"sound\":%s}\n",
+        args.workload.c_str(),
+        static_cast<unsigned long long>(s.insns),
+        static_cast<unsigned long long>(s.blocks),
+        static_cast<unsigned long long>(s.edges),
+        static_cast<unsigned long long>(s.reachable_blocks),
+        static_cast<unsigned long long>(s.address_taken),
+        static_cast<unsigned long long>(s.mem_sites),
+        static_cast<unsigned long long>(s.thread_local_sites),
+        s.threadLocalFraction(),
+        static_cast<unsigned long long>(s.invertible_insns),
+        static_cast<unsigned long long>(s.learn_insns),
+        s.rsp_integrity ? "true" : "false",
+        s.no_stack_escape ? "true" : "false",
+        s.rsp_integrity && s.no_stack_escape ? "true" : "false");
+
+    uint64_t by_class[4] = {0, 0, 0, 0};
+    for (analysis::SiteClass c : pa.escape().sites())
+        ++by_class[static_cast<unsigned>(c)];
+    std::printf(
+        "{\"type\":\"sites\",\"workload\":\"%s\",\"no_access\":%llu,"
+        "\"stack_implicit\":%llu,\"stack_direct\":%llu,"
+        "\"may_shared\":%llu}\n",
+        args.workload.c_str(),
+        static_cast<unsigned long long>(by_class[static_cast<unsigned>(
+            analysis::SiteClass::kNoAccess)]),
+        static_cast<unsigned long long>(by_class[static_cast<unsigned>(
+            analysis::SiteClass::kStackImplicit)]),
+        static_cast<unsigned long long>(by_class[static_cast<unsigned>(
+            analysis::SiteClass::kStackDirect)]),
+        static_cast<unsigned long long>(by_class[static_cast<unsigned>(
+            analysis::SiteClass::kMayShared)]));
+
+    // Human digest on stderr so stdout stays machine-parseable.
+    std::fprintf(stderr,
+                 "%s: %llu insns in %llu blocks (%llu reachable), "
+                 "%llu edges, %llu address-taken\n"
+                 "  %llu memory sites, %llu thread-local (%.1f%%), "
+                 "%llu invertible insns, %llu learn insns\n"
+                 "  rsp integrity %s, no stack escape %s\n",
+                 args.workload.c_str(),
+                 static_cast<unsigned long long>(s.insns),
+                 static_cast<unsigned long long>(s.blocks),
+                 static_cast<unsigned long long>(s.reachable_blocks),
+                 static_cast<unsigned long long>(s.edges),
+                 static_cast<unsigned long long>(s.address_taken),
+                 static_cast<unsigned long long>(s.mem_sites),
+                 static_cast<unsigned long long>(s.thread_local_sites),
+                 100.0 * s.threadLocalFraction(),
+                 static_cast<unsigned long long>(s.invertible_insns),
+                 static_cast<unsigned long long>(s.learn_insns),
+                 s.rsp_integrity ? "held" : "VIOLATED",
+                 s.no_stack_escape ? "held" : "VIOLATED");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -376,6 +495,11 @@ main(int argc, char **argv)
         if (!parseFlags(argc, argv, 3, args))
             return usage();
         return cmdRun(args);
+    }
+    if (args.command == "static-report") {
+        if (!parseFlags(argc, argv, 3, args))
+            return usage();
+        return cmdStaticReport(args);
     }
     return usage();
 }

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Classic register dataflow over the recovered CFG: per-block kill/use
+ * masks, backward liveness, and a collapsed reaching-definitions pass.
+ *
+ * All three are register-mask lattices (16 GPRs), so block states are
+ * plain uint16_t and the fixpoints are worklist loops over bit
+ * operations. Conservatism at unknown boundaries:
+ *
+ *  - liveness treats a block with an unenumerable successor set
+ *    (indirect transfer, return, halt-less end) as having everything
+ *    live out;
+ *  - reaching definitions treats an `unknown_entry` block (thread
+ *    entry, indirect target, return site) as receiving an external
+ *    definition of every register.
+ */
+
+#ifndef PRORACE_ANALYSIS_DATAFLOW_HH
+#define PRORACE_ANALYSIS_DATAFLOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/insn_facts.hh"
+
+namespace prorace::analysis {
+
+/**
+ * Reaching definition of one register at a block entry, collapsed to
+ * the decision the consumers need: no def reaches (dead register),
+ * exactly one program def reaches (its instruction index), several
+ * defs reach (ambiguous), or an unenumerable external def reaches
+ * (thread entry / callee clobber / indirect entry).
+ */
+struct ReachingDef {
+    enum Kind : uint8_t {
+        kNone = 0,   ///< no definition reaches
+        kUnique,     ///< exactly one: `insn` holds its index
+        kAmbiguous,  ///< two or more distinct definitions
+        kExternal,   ///< unknown boundary definition
+    };
+    Kind kind = kNone;
+    uint32_t insn = 0;
+
+    bool operator==(const ReachingDef &) const = default;
+};
+
+/** Per-block dataflow summaries and fixpoint results. */
+struct BlockDataflow {
+    uint16_t kill = 0;      ///< GPRs the block may write
+    uint16_t use = 0;       ///< GPRs read before any write in the block
+    uint32_t mem_ops = 0;   ///< PEBS-countable events in the block
+    uint16_t live_in = 0;   ///< GPRs live at block entry
+    uint16_t live_out = 0;  ///< GPRs live at block exit
+    /** Entry reaching definition per GPR. */
+    ReachingDef reach_in[isa::kNumGprs];
+};
+
+/** Dataflow facts for a whole program. */
+class Dataflow
+{
+  public:
+    /** @p facts must be the per-instruction table of cfg's program. */
+    Dataflow(const Cfg &cfg, const std::vector<InsnFacts> &facts);
+
+    const BlockDataflow &block(uint32_t id) const { return blocks_[id]; }
+    const std::vector<BlockDataflow> &blocks() const { return blocks_; }
+
+    /** May-write register mask of one whole block. */
+    uint16_t killMask(uint32_t block) const { return blocks_[block].kill; }
+
+    uint32_t livenessIterations() const { return liveness_iterations_; }
+    uint32_t reachingIterations() const { return reaching_iterations_; }
+
+  private:
+    void summarizeBlocks(const Cfg &cfg,
+                         const std::vector<InsnFacts> &facts);
+    void solveLiveness(const Cfg &cfg);
+    void solveReaching(const Cfg &cfg,
+                       const std::vector<InsnFacts> &facts);
+
+    std::vector<BlockDataflow> blocks_;
+    uint32_t liveness_iterations_ = 0;
+    uint32_t reaching_iterations_ = 0;
+};
+
+} // namespace prorace::analysis
+
+#endif // PRORACE_ANALYSIS_DATAFLOW_HH

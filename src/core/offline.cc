@@ -161,6 +161,41 @@ detectRaces(const trace::RunTrace &run,
     stats = ft.stats();
 }
 
+void
+applyStaticPrefilter(std::vector<replay::ReconstructedAccess> &accesses,
+                     const analysis::ProgramAnalysis *analysis,
+                     bool enabled, PrefilterStats &stats)
+{
+    stats.events_seen += accesses.size();
+    if (analysis) {
+        const analysis::StaticSummary sum = analysis->summary();
+        stats.analysis_sound = sum.rsp_integrity && sum.no_stack_escape;
+        stats.sites_total = sum.mem_sites;
+        stats.sites_thread_local = sum.thread_local_sites;
+    }
+    // An unsound analysis classifies every site may-shared, so the scan
+    // below could never prune anything; skip it outright.
+    stats.enabled = enabled && analysis != nullptr &&
+        stats.analysis_sound;
+    if (!stats.enabled)
+        return;
+    auto keep = std::remove_if(
+        accesses.begin(), accesses.end(),
+        [&](const replay::ReconstructedAccess &a) {
+            if (!analysis->siteThreadLocal(a.insn_index))
+                return false;
+            using analysis::SiteClass;
+            if (analysis->escape().site(a.insn_index) ==
+                SiteClass::kStackImplicit) {
+                ++stats.pruned_stack_implicit;
+            } else {
+                ++stats.pruned_stack_direct;
+            }
+            return true;
+        });
+    accesses.erase(keep, accesses.end());
+}
+
 std::vector<std::pair<uint64_t, uint64_t>>
 regenerationBlacklist(
     const detect::RaceReport &report,
@@ -193,8 +228,12 @@ regenerationBlacklist(
 
 OfflineAnalyzer::OfflineAnalyzer(const asmkit::Program &program,
                                  const OfflineOptions &options)
-    : program_(program), options_(options)
+    : program_(program), options_(options),
+      analysis_(std::make_unique<analysis::ProgramAnalysis>(program))
 {
+    // Hand the precomputed fact tables to the replay layer; replay and
+    // alignment results are bit-identical with or without them.
+    options_.replay.analysis = analysis_.get();
 }
 
 void
@@ -215,7 +254,10 @@ OfflineAnalyzer::analyzeOnce(
     consumed = replayer.consumedAddresses();
     result.reconstruct_seconds += timer.lap();
 
-    // --- detection ---
+    // --- detection (prefilter cost counts as detection cost) ---
+    detail::applyStaticPrefilter(accesses, analysis_.get(),
+                                 options_.static_prefilter,
+                                 result.prefilter);
     detail::detectRaces(run, alignments, accesses, result.report,
                         result.detect_stats);
     result.detect_seconds += timer.lap();
@@ -235,7 +277,8 @@ OfflineAnalyzer::analyze(const trace::RunTrace &run)
         result.decode_seconds = timer.lap();
 
         alignments = replay::alignTrace(program_, paths, run,
-                                        &result.align_stats);
+                                        &result.align_stats,
+                                        analysis_.get());
         result.reconstruct_seconds += timer.lap();
     }
 

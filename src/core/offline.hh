@@ -9,7 +9,9 @@
 #define PRORACE_CORE_OFFLINE_HH
 
 #include <cstdint>
+#include <memory>
 
+#include "analysis/analysis.hh"
 #include "asmkit/program.hh"
 #include "detect/fasttrack.hh"
 #include "detect/report.hh"
@@ -37,6 +39,36 @@ struct OfflineOptions {
      * result is bit-identical either way.
      */
     unsigned num_threads = 0;
+    /**
+     * Drop extended-trace events whose access site the static escape
+     * analysis proved definitely thread-local before they reach the
+     * FastTrack detector. Per-thread stacks are disjoint and FastTrack
+     * accesses never advance thread clocks, so the race report is
+     * byte-identical with the prefilter on or off; only detection cost
+     * changes. Disabled automatically (at zero cost) whenever the
+     * analysis cannot certify its stack invariants for the program.
+     */
+    bool static_prefilter = true;
+};
+
+/**
+ * Counters of the static access prefilter, accumulated over every
+ * detection pass (regeneration rounds included) of one analyze() call.
+ */
+struct PrefilterStats {
+    bool enabled = false;        ///< option on and analysis available
+    bool analysis_sound = false; ///< escape-analysis invariants held
+    uint64_t sites_total = 0;        ///< static memory-access sites
+    uint64_t sites_thread_local = 0; ///< sites proved thread-local
+    uint64_t events_seen = 0;   ///< extended-trace events inspected
+    uint64_t pruned_stack_implicit = 0; ///< push/pop/call/ret events
+    uint64_t pruned_stack_direct = 0;   ///< rsp/rbp-relative accesses
+
+    uint64_t
+    pruned() const
+    {
+        return pruned_stack_implicit + pruned_stack_direct;
+    }
 };
 
 /**
@@ -61,7 +93,8 @@ struct OfflineResult {
     /** What trace ingestion discarded (analyzeFile() path only). */
     trace::SegmentLoss ingest_loss;
     QuarantineStats quarantine;
-    uint64_t extended_trace_events = 0;
+    PrefilterStats prefilter;
+    uint64_t extended_trace_events = 0; ///< counted before the prefilter
     int regeneration_rounds = 0;
 
     // Wall-clock cost split of the offline pipeline (paper §7.6).
@@ -111,6 +144,8 @@ class OfflineAnalyzer
 
     const asmkit::Program &program_;
     OfflineOptions options_;
+    /** Static facts shared by the aligner, replayer and prefilter. */
+    std::unique_ptr<analysis::ProgramAnalysis> analysis_;
 };
 
 namespace detail {
@@ -138,6 +173,17 @@ regenerationBlacklist(
     const detect::RaceReport &report,
     const std::unordered_set<uint64_t> &consumed,
     const std::vector<std::pair<uint64_t, uint64_t>> &existing);
+
+/**
+ * The static access prefilter shared by the serial and parallel
+ * analyzers: removes extended-trace events at definitely-thread-local
+ * sites and accounts for what was dropped. A no-op (beyond counting
+ * events_seen) when @p enabled is false or @p analysis is null.
+ */
+void applyStaticPrefilter(
+    std::vector<replay::ReconstructedAccess> &accesses,
+    const analysis::ProgramAnalysis *analysis, bool enabled,
+    PrefilterStats &stats);
 
 } // namespace detail
 

@@ -31,8 +31,12 @@ struct ParallelOfflineAnalyzer::WindowResult {
 
 ParallelOfflineAnalyzer::ParallelOfflineAnalyzer(
     const asmkit::Program &program, const OfflineOptions &options)
-    : program_(program), options_(options)
+    : program_(program), options_(options),
+      analysis_(std::make_unique<analysis::ProgramAnalysis>(program))
 {
+    // Hand the precomputed fact tables to the replay layer; replay and
+    // alignment results are bit-identical with or without them.
+    options_.replay.analysis = analysis_.get();
 }
 
 std::map<uint32_t, pmu::ThreadPath>
@@ -213,7 +217,11 @@ ParallelOfflineAnalyzer::analyzeOnceParallel(
     result.extended_trace_events = accesses.size();
     result.reconstruct_seconds += timer.lap();
 
-    // --- detection (serial: vector clocks are order-dependent) ---
+    // --- detection (serial: vector clocks are order-dependent; the
+    // prefilter cost counts as detection cost) ---
+    detail::applyStaticPrefilter(accesses, analysis_.get(),
+                                 options_.static_prefilter,
+                                 result.prefilter);
     detail::detectRaces(run, alignments, accesses, result.report,
                         result.detect_stats);
     result.detect_seconds += timer.lap();
@@ -241,7 +249,8 @@ ParallelOfflineAnalyzer::analyze(const trace::RunTrace &run)
     result.decode_seconds = timer.lap();
 
     std::map<uint32_t, replay::ThreadAlignment> alignments =
-        replay::alignTrace(program_, paths, run, &result.align_stats);
+        replay::alignTrace(program_, paths, run, &result.align_stats,
+                           analysis_.get());
     result.reconstruct_seconds += timer.lap();
 
     replay::ReplayConfig replay_config = options_.replay;

@@ -84,6 +84,8 @@ class ParallelOfflineAnalyzer
 
     const asmkit::Program &program_;
     OfflineOptions options_;
+    /** Static facts shared by the aligner, replayer and prefilter. */
+    std::unique_ptr<analysis::ProgramAnalysis> analysis_;
     exec::ExecutorStats exec_stats_;
 };
 

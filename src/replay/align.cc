@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/analysis.hh"
 #include "replay/static_info.hh"
 #include "support/log.hh"
 
@@ -79,7 +80,8 @@ canonicalizeAnchors(std::vector<PathAnchor> &anchors)
 std::map<uint32_t, ThreadAlignment>
 alignTrace(const asmkit::Program &program,
            const std::map<uint32_t, pmu::ThreadPath> &paths,
-           const trace::RunTrace &run, AlignStats *stats)
+           const trace::RunTrace &run, AlignStats *stats,
+           const analysis::ProgramAnalysis *analysis)
 {
     std::map<uint32_t, ThreadAlignment> out;
 
@@ -173,7 +175,9 @@ alignTrace(const asmkit::Program &program,
         for (uint64_t i = 0; i < path.insns.size(); ++i) {
             const uint32_t pi = path.insns[i];
             memop_prefix[i + 1] = memop_prefix[i] +
-                (pi == kPathGap ? 0 : memOpCount(program.insnAt(pi)));
+                (pi == kPathGap ? 0
+                 : analysis    ? analysis->facts(pi).mem_ops
+                               : memOpCount(program.insnAt(pi)));
             gap_prefix[i + 1] = gap_prefix[i] + (pi == kPathGap ? 1 : 0);
         }
         const uint64_t period = run.meta.pebs_period;
@@ -252,9 +256,9 @@ alignTrace(const asmkit::Program &program,
                 if (prev_rec && mask_pos <= pos) {
                     while (mask_pos < pos) {
                         const uint32_t pi = path.insns[mask_pos];
-                        written |= (pi == kPathGap)
-                            ? kGapWriteMask
-                            : regWriteMask(program.insnAt(pi));
+                        written |= (pi == kPathGap) ? kGapWriteMask
+                            : analysis ? analysis->facts(pi).kill
+                                       : regWriteMask(program.insnAt(pi));
                         ++mask_pos;
                     }
                 }

@@ -23,6 +23,10 @@
 #include "pmu/pt_decode.hh"
 #include "trace/records.hh"
 
+namespace prorace::analysis {
+class ProgramAnalysis;
+} // namespace prorace::analysis
+
 namespace prorace::replay {
 
 /** A PEBS record located on its thread's path. */
@@ -57,12 +61,15 @@ struct AlignStats {
 
 /**
  * Align every thread's samples and sync records against its decoded
- * path.
+ * path. When @p analysis is set, per-instruction fact lookups come
+ * from its precomputed flat table instead of being re-derived per
+ * call; the alignment is bit-identical either way.
  */
 std::map<uint32_t, ThreadAlignment>
 alignTrace(const asmkit::Program &program,
            const std::map<uint32_t, pmu::ThreadPath> &paths,
-           const trace::RunTrace &run, AlignStats *stats = nullptr);
+           const trace::RunTrace &run, AlignStats *stats = nullptr,
+           const analysis::ProgramAnalysis *analysis = nullptr);
 
 } // namespace prorace::replay
 

@@ -6,6 +6,7 @@
 #include <array>
 #include <optional>
 
+#include "analysis/analysis.hh"
 #include "isa/semantics.hh"
 #include "replay/static_info.hh"
 #include "support/log.hh"
@@ -594,6 +595,32 @@ Replayer::backwardScan(const Window &win, const pmu::ThreadPath &path,
         facts_out.push_back({pos, reg, value});
     };
 
+    // Fast path over straight-line block runs: run_start[rel] is the
+    // lowest position of the maximal same-block consecutive-index run
+    // containing position win.start + rel. When the whole block's kill
+    // mask misses every known register, no instruction of the run can
+    // record a fact, invert, learn, or contradict anything — the scan
+    // state is provably unchanged across the run, so it is skipped in
+    // one step (down to the nearest forward hint, which still must be
+    // merged).
+    const analysis::ProgramAnalysis *pa = config_.analysis;
+    std::vector<uint64_t> run_start;
+    if (pa && win.end > win.start) {
+        run_start.resize(win.end - win.start);
+        for (uint64_t rel = 0; rel < run_start.size(); ++rel) {
+            const uint64_t p = win.start + rel;
+            const uint32_t i = path.insns[p];
+            run_start[rel] = p;
+            if (rel == 0 || i == kPathGap)
+                continue;
+            const uint32_t prev = path.insns[p - 1];
+            if (prev != kPathGap && prev + 1 == i &&
+                program_.blockOf(prev) == program_.blockOf(i)) {
+                run_start[rel] = run_start[rel - 1];
+            }
+        }
+    }
+
     // Registers that survive all the way to the window end are injected
     // wherever their validity begins; writes terminate validity.
     for (uint64_t pp = win.end; pp-- > win.start;) {
@@ -609,8 +636,33 @@ Replayer::backwardScan(const Window &win, const pmu::ThreadPath &path,
             }
             continue;
         }
+        if (pa) {
+            const uint64_t run_lo = run_start[pp - win.start];
+            uint16_t known_mask = 0;
+            for (unsigned r = 0; r < isa::kNumGprs; ++r) {
+                if (know[r])
+                    known_mask |= static_cast<uint16_t>(1u << r);
+            }
+            if (run_lo < pp &&
+                (known_mask & pa->blockKill(program_.blockOf(idx))) == 0) {
+                // Stop early at the highest pending hint in the run so
+                // its merge into the known set is not lost.
+                size_t c = hint_cursor;
+                while (c > 0 && hints[c - 1].pos > pp)
+                    --c;
+                uint64_t stop = run_lo;
+                if (c > 0 && hints[c - 1].pos >= run_lo)
+                    stop = hints[c - 1].pos;
+                if (stop < pp) {
+                    hint_cursor = c;
+                    pp = stop + 1; // loop decrement lands on stop
+                    continue;
+                }
+            }
+        }
         const Insn &insn = program_.insnAt(idx);
-        const uint16_t wmask = regWriteMask(insn);
+        const uint16_t wmask = pa ? pa->facts(idx).kill
+                                  : regWriteMask(insn);
 
         std::array<std::optional<uint64_t>, isa::kNumGprs> next = know;
         // Default: a write makes the pre-state unknown; the surviving
@@ -844,11 +896,14 @@ Replayer::replayBasicBlock(const trace::PebsRecord &rec, EmitMap &emit)
     // block position and the sample hold their sampled values there
     // (RaceZ's single-basic-block scheme).
     if (sample_pos > 0) {
+        const analysis::ProgramAnalysis *pa = config_.analysis;
         FactList facts;
         uint16_t written = 0;
         std::vector<uint16_t> mask_from(sample_pos);
         for (uint64_t p = sample_pos; p-- > 0;) {
-            written |= regWriteMask(program_.insnAt(bb_path.insns[p]));
+            const uint32_t i = bb_path.insns[p];
+            written |= pa ? pa->facts(i).kill
+                          : regWriteMask(program_.insnAt(i));
             mask_from[p] = written;
         }
         for (uint64_t p = 0; p < sample_pos; ++p) {

@@ -36,6 +36,10 @@
 #include "replay/program_map.hh"
 #include "trace/records.hh"
 
+namespace prorace::analysis {
+class ProgramAnalysis;
+} // namespace prorace::analysis
+
 namespace prorace::replay {
 
 /** Reconstruction scope. */
@@ -135,6 +139,16 @@ struct ReplayConfig {
     int max_backward_rounds = 3;
     /** Address ranges never emulated (racy-location regeneration). */
     std::vector<std::pair<uint64_t, uint64_t>> mem_blacklist;
+    /**
+     * Precomputed static analysis of the program being replayed, or
+     * nullptr to fall back to per-instruction fact derivation. When
+     * set, the backward scan skips whole basic-block runs via the
+     * block kill masks and the aligner indexes the flat fact table;
+     * results are bit-identical either way. The analysis (owned by the
+     * offline analyzer) must outlive every replayer holding this
+     * config.
+     */
+    const analysis::ProgramAnalysis *analysis = nullptr;
 };
 
 /**

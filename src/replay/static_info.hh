@@ -1,6 +1,11 @@
 /**
  * @file
  * Static per-instruction facts shared by the aligner and the replayer.
+ *
+ * Thin forwarding layer: the facts themselves live in
+ * `analysis/insn_facts.hh`, the single source of truth also used by
+ * the CFG/dataflow/escape passes, so the replay layer can never drift
+ * from what the analysis layer believes an opcode may touch.
  */
 
 #ifndef PRORACE_REPLAY_STATIC_INFO_HH
@@ -8,6 +13,7 @@
 
 #include <cstdint>
 
+#include "analysis/insn_facts.hh"
 #include "isa/insn.hh"
 
 namespace prorace::replay {
@@ -20,30 +26,11 @@ namespace prorace::replay {
 inline uint16_t
 regWriteMask(const isa::Insn &insn)
 {
-    using isa::Op;
-    using isa::Reg;
-    uint16_t mask = 0;
-    if (isa::writesDst(insn.op) && isa::isGpr(insn.dst))
-        mask |= static_cast<uint16_t>(1u << isa::gprIndex(insn.dst));
-    switch (insn.op) {
-      case Op::kPush:
-      case Op::kPop:
-      case Op::kCall:
-      case Op::kCallInd:
-      case Op::kRet:
-        mask |= static_cast<uint16_t>(1u << isa::gprIndex(Reg::rsp));
-        break;
-      case Op::kSyscall:
-        mask |= static_cast<uint16_t>(1u << isa::gprIndex(Reg::rax));
-        break;
-      default:
-        break;
-    }
-    return mask;
+    return analysis::regWriteMask(insn);
 }
 
 /** The write mask of a path gap: untraced code may clobber anything. */
-inline constexpr uint16_t kGapWriteMask = 0xffff;
+inline constexpr uint16_t kGapWriteMask = analysis::kGapWriteMask;
 
 /**
  * Number of PEBS-countable memory events one instruction retires.
@@ -53,23 +40,7 @@ inline constexpr uint16_t kGapWriteMask = 0xffff;
 inline unsigned
 memOpCount(const isa::Insn &insn)
 {
-    using isa::Op;
-    switch (insn.op) {
-      case Op::kLoad:
-      case Op::kStore:
-      case Op::kStoreI:
-      case Op::kPush:
-      case Op::kPop:
-      case Op::kCall:
-      case Op::kCallInd:
-      case Op::kRet:
-        return 1;
-      case Op::kAtomicRmw:
-      case Op::kCas:
-        return 2;
-      default:
-        return 0;
-    }
+    return analysis::memOpCount(insn);
 }
 
 } // namespace prorace::replay
