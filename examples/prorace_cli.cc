@@ -25,6 +25,21 @@
  *       escape passes over the workload binary and dump the results
  *       as JSONL on stdout (one summary record, one site-class
  *       record) with a human-readable digest on stderr.
+ *   prorace_cli serve [--producers N] [--sessions N] [--workers N]
+ *               [--slots N] [--credit BYTES] [--shed] [--chunk BYTES]
+ *               [--subjects a,b,c] [--scale X] [--period N] [--seed N]
+ *               [--stats]
+ *       Fleet-service mode (also spelled --serve): run the streaming
+ *       multi-tenant analysis service against a simulated fleet of
+ *       producers and dump the deduplicated cross-tenant race store
+ *       as JSONL on stdout, with throughput and per-tenant counters
+ *       on stderr.
+ *   prorace_cli submit <workload> <trace-file> [--tenant NAME]
+ *               [--chunk BYTES] [--scale X]
+ *       Producer side of the service (also spelled --submit): stream
+ *       an existing trace file into an in-process service session in
+ *       chunks and print the analysis outcome — what a production
+ *       machine's uploader does against a real service endpoint.
  *
  * The <workload> program must be identical between trace and analyze
  * (same name and --scale), exactly as the offline phase needs the
@@ -36,6 +51,8 @@
 #include <cstring>
 #include <string>
 
+#include <fstream>
+
 #include "analysis/analysis.hh"
 #include "baseline/racez.hh"
 #include "core/parallel_offline.hh"
@@ -44,6 +61,8 @@
 #include "oracle/generator.hh"
 #include "oracle/scorer.hh"
 #include "replay/program_map.hh"
+#include "service/fleet.hh"
+#include "service/service.hh"
 #include "trace/trace_file.hh"
 #include "workload/registry.hh"
 
@@ -64,6 +83,17 @@ struct Args {
     bool vanilla = false;
     bool stats = false;        ///< dump shadow-structure counters
     bool no_prefilter = false; ///< disable the static access prefilter
+
+    // Fleet-service knobs (serve / submit commands).
+    unsigned producers = 4;
+    unsigned sessions = 2;     ///< sessions per producer
+    unsigned workers = 2;      ///< analysis pool threads
+    unsigned slots = 2;        ///< resident sessions per tenant
+    uint64_t credit = 1u << 20;///< ingest credit bytes per tenant
+    size_t chunk = 4096;       ///< submission chunk size
+    bool shed = false;         ///< shed instead of stalling producers
+    std::string subjects;      ///< comma-separated workload names
+    std::string tenant = "cli";
 };
 
 /**
@@ -150,6 +180,12 @@ usage()
                  " [--seed N] [--jobs N]\n"
                  "       prorace_cli static-report <workload>"
                  " [--scale X]\n"
+                 "       prorace_cli serve [--producers N] [--sessions "
+                 "N] [--workers N] [--slots N] [--credit BYTES] "
+                 "[--shed] [--chunk BYTES] [--subjects a,b,c]"
+                 " [--scale X] [--period N] [--seed N] [--stats]\n"
+                 "       prorace_cli submit <workload> <trace-file>"
+                 " [--tenant NAME] [--chunk BYTES] [--scale X]\n"
                  "\n"
                  "--jobs N runs the offline analysis on N worker threads"
                  " (0 = serial; results are identical either way)\n"
@@ -207,6 +243,52 @@ parseFlags(int argc, char **argv, int first, Args &args)
             if (!v)
                 return false;
             args.vanilla = std::strcmp(v, "vanilla") == 0;
+        } else if (flag == "--producers") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.producers =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (flag == "--sessions") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.sessions =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (flag == "--workers") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.workers =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (flag == "--slots") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.slots =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (flag == "--credit") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.credit = std::strtoull(v, nullptr, 10);
+        } else if (flag == "--chunk") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.chunk = std::strtoul(v, nullptr, 10);
+        } else if (flag == "--shed") {
+            args.shed = true;
+        } else if (flag == "--subjects") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.subjects = v;
+        } else if (flag == "--tenant") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.tenant = v;
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
             return false;
@@ -461,6 +543,206 @@ cmdStaticReport(const Args &args)
     return 0;
 }
 
+/** One tenant's row in the serve/stats dump. */
+void
+printTenantRow(const std::string &name,
+               const service::TenantServiceStats &ts)
+{
+    std::fprintf(stderr,
+                 "  %-12s %3llu opened, %3llu completed, %llu failed, "
+                 "%llu events, %llu gc sweeps (%llu granules, "
+                 "%llu clocks reclaimed), latency %.1fms mean / "
+                 "%.1fms max\n",
+                 name.c_str(),
+                 static_cast<unsigned long long>(ts.sessions_opened),
+                 static_cast<unsigned long long>(ts.sessions_completed),
+                 static_cast<unsigned long long>(ts.sessions_failed),
+                 static_cast<unsigned long long>(ts.incremental.events),
+                 static_cast<unsigned long long>(
+                     ts.incremental.gc_sweeps),
+                 static_cast<unsigned long long>(
+                     ts.incremental.granules_reclaimed),
+                 static_cast<unsigned long long>(
+                     ts.incremental.clocks_reclaimed),
+                 ts.latency_seconds.mean() * 1e3,
+                 ts.latency_seconds.max() * 1e3);
+}
+
+int
+cmdServe(const Args &args)
+{
+    service::FleetConfig cfg;
+    cfg.producers = args.producers;
+    cfg.sessions_per_producer = args.sessions;
+    cfg.scale = args.scale;
+    cfg.period = args.period;
+    cfg.seed = args.seed;
+    cfg.chunk_bytes = args.chunk;
+    cfg.service.num_workers = args.workers;
+    cfg.service.session_slots = args.slots;
+    cfg.service.ingest.credit_bytes = args.credit;
+    cfg.service.ingest.shed_on_full = args.shed;
+    if (!args.subjects.empty()) {
+        cfg.subjects.clear();
+        std::string rest = args.subjects;
+        while (!rest.empty()) {
+            const size_t comma = rest.find(',');
+            cfg.subjects.push_back(rest.substr(0, comma));
+            rest = comma == std::string::npos ? ""
+                                              : rest.substr(comma + 1);
+        }
+    }
+
+    const service::FleetResult result = service::runFleet(cfg);
+    const service::TenantServiceStats &roll = result.stats.rollup;
+    std::fprintf(stderr,
+                 "fleet: %llu sessions over %u tenants in %.2fs "
+                 "(%llu shed), %.1f MB streamed, %llu events "
+                 "analyzed (%.0f events/s)\n",
+                 static_cast<unsigned long long>(
+                     result.sessions_opened),
+                 cfg.producers, result.wall_seconds,
+                 static_cast<unsigned long long>(
+                     result.sessions_rejected),
+                 static_cast<double>(result.bytes_submitted) / 1.0e6,
+                 static_cast<unsigned long long>(
+                     roll.incremental.events),
+                 result.wall_seconds > 0
+                     ? static_cast<double>(roll.incremental.events) /
+                         result.wall_seconds
+                     : 0.0);
+    std::fprintf(stderr,
+                 "ingest: peak buffered %.1f KB (credit %.1f KB/tenant),"
+                 " %llu stalls, %llu chunks shed, open stalls %llu\n",
+                 static_cast<double>(
+                     result.stats.ingest.peak_buffered_bytes) / 1024.0,
+                 static_cast<double>(cfg.service.ingest.credit_bytes) /
+                     1024.0,
+                 static_cast<unsigned long long>(
+                     result.stats.ingest.total().stalls),
+                 static_cast<unsigned long long>(
+                     result.stats.ingest.total().shed_chunks),
+                 static_cast<unsigned long long>(
+                     result.stats.open_stalls));
+    std::fprintf(stderr,
+                 "store: %llu distinct races from %llu session reports; "
+                 "detector peak residency %llu granules\n",
+                 static_cast<unsigned long long>(
+                     result.stats.distinct_races),
+                 static_cast<unsigned long long>(
+                     result.stats.report_observations),
+                 static_cast<unsigned long long>(
+                     roll.incremental.peak_live_granules));
+    if (args.stats) {
+        for (const auto &[name, ts] : result.tenants)
+            printTenantRow(name, ts);
+        service::TenantServiceStats check;
+        for (const auto &[name, ts] : result.tenants)
+            check.merge(ts);
+        std::fprintf(stderr,
+                     "  %-12s %3llu opened, %3llu completed "
+                     "(rollup check: %s)\n",
+                     "ALL",
+                     static_cast<unsigned long long>(
+                         roll.sessions_opened),
+                     static_cast<unsigned long long>(
+                         roll.sessions_completed),
+                     check.sessions_completed ==
+                             roll.sessions_completed
+                         ? "consistent"
+                         : "MISMATCH");
+    }
+    std::printf("%s", result.report_jsonl.c_str());
+
+    // Health gate for CI soak runs: structural invariants only (race
+    // presence depends on the subjects chosen, so it is the caller's
+    // business). Under the default stall policy no session may be
+    // shed; failed sessions and a rollup that disagrees with the
+    // per-tenant sum are always bugs.
+    service::TenantServiceStats sum;
+    for (const auto &[name, ts] : result.tenants)
+        sum.merge(ts);
+    bool healthy = roll.sessions_failed == 0 &&
+                   sum.sessions_completed == roll.sessions_completed &&
+                   sum.incremental.events == roll.incremental.events;
+    if (!args.shed)
+        healthy = healthy && result.sessions_rejected == 0;
+    if (!healthy) {
+        std::fprintf(stderr, "serve: health check FAILED\n");
+        return 1;
+    }
+    return 0;
+}
+
+int
+cmdSubmit(const Args &args)
+{
+    auto w = workload::findWorkload(args.workload, args.scale);
+    if (!w) {
+        std::fprintf(stderr, "unknown workload: %s\n",
+                     args.workload.c_str());
+        return 1;
+    }
+    std::ifstream in(args.trace_file, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n",
+                     args.trace_file.c_str());
+        return 1;
+    }
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+
+    service::ServiceOptions options;
+    options.offline.pt_filter = w->pt_filter;
+    service::AnalysisService svc(options);
+    svc.registerProgram(args.workload, w->program);
+    const uint64_t id = svc.openSession(args.tenant, args.workload);
+    for (size_t off = 0; off < bytes.size(); off += args.chunk) {
+        const size_t len =
+            std::min(args.chunk, bytes.size() - off);
+        svc.submit(id, bytes.data() + off, len);
+    }
+    svc.closeSession(id);
+    svc.drain();
+
+    const std::vector<service::SessionOutcome> outcomes =
+        svc.outcomes();
+    if (outcomes.empty()) {
+        std::fprintf(stderr, "no session completed\n");
+        return 1;
+    }
+    const service::SessionOutcome &outcome = outcomes.front();
+    if (!outcome.ok) {
+        std::fprintf(stderr, "cannot analyze trace: %s\n",
+                     outcome.error.c_str());
+        return 1;
+    }
+    if (outcome.loss.hasLoss()) {
+        std::printf("trace damaged; analyzed what survives (%s)\n",
+                    outcome.loss.summary().c_str());
+    }
+    std::printf("session %llu (%s): %llu events, %llu batches, "
+                "%llu gc sweeps, %.1fms ingest-to-report\n",
+                static_cast<unsigned long long>(outcome.session_id),
+                args.tenant.c_str(),
+                static_cast<unsigned long long>(
+                    outcome.incremental.events),
+                static_cast<unsigned long long>(
+                    outcome.incremental.batches),
+                static_cast<unsigned long long>(
+                    outcome.incremental.gc_sweeps),
+                outcome.ingest_to_report_seconds * 1e3);
+    std::printf("%s", outcome.report.format(w->program.get()).c_str());
+    for (const workload::RacyBug &bug : w->bugs) {
+        std::printf("ground truth %s: %s\n", bug.id.c_str(),
+                    workload::bugDetected(bug, outcome.report)
+                        ? "DETECTED"
+                        : "not detected in this trace");
+    }
+    return outcome.report.empty() ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -470,9 +752,20 @@ main(int argc, char **argv)
         return usage();
     Args args;
     args.command = argv[1];
+    // The service commands are also spelled as flags (--serve,
+    // --submit), matching how deployments typically invoke daemons.
+    if (args.command == "--serve")
+        args.command = "serve";
+    if (args.command == "--submit")
+        args.command = "submit";
 
     if (args.command == "list")
         return cmdList();
+    if (args.command == "serve") {
+        if (!parseFlags(argc, argv, 2, args))
+            return usage();
+        return cmdServe(args);
+    }
     if (args.command == "oracle") {
         if (!parseFlags(argc, argv, 2, args))
             return usage();
@@ -482,12 +775,15 @@ main(int argc, char **argv)
         return usage();
     args.workload = argv[2];
 
-    if (args.command == "trace" || args.command == "analyze") {
+    if (args.command == "trace" || args.command == "analyze" ||
+        args.command == "submit") {
         if (argc < 4)
             return usage();
         args.trace_file = argv[3];
         if (!parseFlags(argc, argv, 4, args))
             return usage();
+        if (args.command == "submit")
+            return cmdSubmit(args);
         return args.command == "trace" ? cmdTrace(args)
                                        : cmdAnalyze(args);
     }

@@ -52,15 +52,16 @@ syncSubrank(SyncKind kind)
     }
 }
 
-} // namespace
-
-namespace detail {
-
-void
-detectRaces(const trace::RunTrace &run,
-            const std::map<uint32_t, replay::ThreadAlignment> &alignments,
-            const std::vector<replay::ReconstructedAccess> &accesses,
-            detect::RaceReport &report, detect::FastTrackStats &stats)
+/**
+ * Merge the reconstructed accesses and the sync trace into the
+ * TSC-ordered detector feed with the release < access < acquire
+ * tie-break. Both detection paths (one-shot and streaming) consume the
+ * identical feed, which is what makes their reports byte-identical.
+ */
+std::vector<FeedEvent>
+buildFeed(const trace::RunTrace &run,
+          const std::map<uint32_t, replay::ThreadAlignment> &alignments,
+          const std::vector<replay::ReconstructedAccess> &accesses)
 {
     // Per-thread positions of sync records (exact program order) let the
     // merge tie-break same-TSC events correctly.
@@ -93,72 +94,120 @@ detectRaces(const trace::RunTrace &run,
                              return a.tid < b.tid;
                          return a.position < b.position;
                      });
+    return feed;
+}
 
-    detect::FastTrack ft;
-    for (const FeedEvent &ev : feed) {
-        if (!ev.is_sync) {
-            const replay::ReconstructedAccess &a = accesses[ev.index];
-            detect::MemAccess ma;
-            ma.tid = a.tid;
-            ma.addr = a.addr;
-            ma.width = a.width;
-            ma.is_write = a.is_write;
-            ma.is_atomic = a.is_atomic;
-            ma.insn_index = a.insn_index;
-            ma.tsc = a.tsc;
-            ma.origin = a.origin;
-            ft.access(ma);
-            continue;
-        }
-        const trace::SyncRecord &s = run.sync[ev.index];
-        switch (s.kind) {
-          case SyncKind::kLock:
-            ft.acquire(s.tid, s.object);
-            break;
-          case SyncKind::kUnlock:
-            ft.release(s.tid, s.object);
-            break;
-          case SyncKind::kCondWaitBegin:
-            // Releases the associated mutex (aux) before blocking.
-            ft.release(s.tid, s.aux);
-            break;
-          case SyncKind::kCondWake:
-            // Reacquires the mutex and inherits the signaler's clock.
-            ft.acquire(s.tid, s.aux);
-            ft.acquire(s.tid, s.object);
-            break;
-          case SyncKind::kCondSignal:
-          case SyncKind::kCondBroadcast:
-            ft.release(s.tid, s.object);
-            break;
-          case SyncKind::kBarrierEnter:
-            ft.barrierEnter(s.tid, s.object);
-            break;
-          case SyncKind::kBarrierExit:
-            ft.barrierExit(s.tid, s.object);
-            break;
-          case SyncKind::kSpawn:
-            ft.fork(s.tid, static_cast<uint32_t>(s.aux));
-            break;
-          case SyncKind::kThreadStart:
-            break; // the fork edge already transferred the clock
-          case SyncKind::kThreadExit:
-            ft.threadExit(s.tid);
-            break;
-          case SyncKind::kJoin:
-            ft.join(s.tid, static_cast<uint32_t>(s.aux));
-            break;
-          case SyncKind::kMalloc:
-            ft.allocate(s.tid, s.object, s.aux);
-            break;
-          case SyncKind::kFree:
-            ft.deallocate(s.tid, s.object);
-            break;
-        }
+/** Dispatch one feed event into either detector flavor. */
+template <typename Detector>
+void
+dispatchEvent(Detector &ft, const FeedEvent &ev,
+              const trace::RunTrace &run,
+              const std::vector<replay::ReconstructedAccess> &accesses)
+{
+    if (!ev.is_sync) {
+        const replay::ReconstructedAccess &a = accesses[ev.index];
+        detect::MemAccess ma;
+        ma.tid = a.tid;
+        ma.addr = a.addr;
+        ma.width = a.width;
+        ma.is_write = a.is_write;
+        ma.is_atomic = a.is_atomic;
+        ma.insn_index = a.insn_index;
+        ma.tsc = a.tsc;
+        ma.origin = a.origin;
+        ft.access(ma);
+        return;
     }
+    const trace::SyncRecord &s = run.sync[ev.index];
+    switch (s.kind) {
+      case SyncKind::kLock:
+        ft.acquire(s.tid, s.object);
+        break;
+      case SyncKind::kUnlock:
+        ft.release(s.tid, s.object);
+        break;
+      case SyncKind::kCondWaitBegin:
+        // Releases the associated mutex (aux) before blocking.
+        ft.release(s.tid, s.aux);
+        break;
+      case SyncKind::kCondWake:
+        // Reacquires the mutex and inherits the signaler's clock.
+        ft.acquire(s.tid, s.aux);
+        ft.acquire(s.tid, s.object);
+        break;
+      case SyncKind::kCondSignal:
+      case SyncKind::kCondBroadcast:
+        ft.release(s.tid, s.object);
+        break;
+      case SyncKind::kBarrierEnter:
+        ft.barrierEnter(s.tid, s.object);
+        break;
+      case SyncKind::kBarrierExit:
+        ft.barrierExit(s.tid, s.object);
+        break;
+      case SyncKind::kSpawn:
+        ft.fork(s.tid, static_cast<uint32_t>(s.aux));
+        break;
+      case SyncKind::kThreadStart:
+        break; // the fork edge already transferred the clock
+      case SyncKind::kThreadExit:
+        ft.threadExit(s.tid, s.tsc);
+        break;
+      case SyncKind::kJoin:
+        ft.join(s.tid, static_cast<uint32_t>(s.aux));
+        break;
+      case SyncKind::kMalloc:
+        ft.allocate(s.tid, s.object, s.aux);
+        break;
+      case SyncKind::kFree:
+        ft.deallocate(s.tid, s.object);
+        break;
+    }
+}
 
+} // namespace
+
+namespace detail {
+
+void
+detectRaces(const trace::RunTrace &run,
+            const std::map<uint32_t, replay::ThreadAlignment> &alignments,
+            const std::vector<replay::ReconstructedAccess> &accesses,
+            detect::RaceReport &report, detect::FastTrackStats &stats)
+{
+    const std::vector<FeedEvent> feed =
+        buildFeed(run, alignments, accesses);
+    detect::FastTrack ft;
+    for (const FeedEvent &ev : feed)
+        dispatchEvent(ft, ev, run, accesses);
     report = ft.report();
     stats = ft.stats();
+}
+
+void
+detectRacesIncremental(
+    const trace::RunTrace &run,
+    const std::map<uint32_t, replay::ThreadAlignment> &alignments,
+    const std::vector<replay::ReconstructedAccess> &accesses,
+    detect::IncrementalFastTrack &detector)
+{
+    const std::vector<FeedEvent> feed =
+        buildFeed(run, alignments, accesses);
+    const uint64_t batch =
+        detector.options().batch_events ? detector.options().batch_events
+                                        : 1;
+    uint64_t in_batch = 0;
+    for (const FeedEvent &ev : feed) {
+        dispatchEvent(detector, ev, run, accesses);
+        if (++in_batch >= batch) {
+            // Every later event has tsc >= this one (the feed is
+            // sorted), so this event's TSC is a valid retirement
+            // frontier.
+            detector.batchBoundary(ev.tsc);
+            in_batch = 0;
+        }
+    }
+    detector.finish();
 }
 
 void
@@ -258,8 +307,21 @@ OfflineAnalyzer::analyzeOnce(
     detail::applyStaticPrefilter(accesses, analysis_.get(),
                                  options_.static_prefilter,
                                  result.prefilter);
-    detail::detectRaces(run, alignments, accesses, result.report,
-                        result.detect_stats);
+    if (options_.incremental.enabled) {
+        detect::IncrementalFastTrack detector(options_.incremental);
+        // GC is gated until every thread of the run has appeared in the
+        // feed; the meta thread table is the authoritative population.
+        for (const trace::ThreadMeta &tm : run.meta.threads)
+            detector.requireThread(tm.tid);
+        detail::detectRacesIncremental(run, alignments, accesses,
+                                       detector);
+        result.report = detector.report();
+        result.detect_stats = detector.stats();
+        result.incremental.merge(detector.incrementalStats());
+    } else {
+        detail::detectRaces(run, alignments, accesses, result.report,
+                            result.detect_stats);
+    }
     result.detect_seconds += timer.lap();
 }
 
@@ -312,7 +374,14 @@ OfflineAnalyzer::analyzeFile(const std::string &path)
     auto loaded = trace::readTraceFile(path);
     if (!loaded.ok())
         return loaded.error();
+    // Lost sync segments can hide fork edges, and the GC soundness
+    // argument leans on observing every fork; keep the streaming
+    // batching but fall back to an unswept table for this damaged run.
+    const bool saved_gc = options_.incremental.enable_gc;
+    if (loaded.value().loss.sync_dropped > 0)
+        options_.incremental.enable_gc = false;
     OfflineResult result = analyze(loaded.value().trace);
+    options_.incremental.enable_gc = saved_gc;
     result.ingest_loss = loaded.value().loss;
     return result;
 }

@@ -14,6 +14,7 @@
 #include "analysis/analysis.hh"
 #include "asmkit/program.hh"
 #include "detect/fasttrack.hh"
+#include "detect/incremental.hh"
 #include "detect/report.hh"
 #include "pmu/pt.hh"
 #include "pmu/pt_decode.hh"
@@ -49,6 +50,15 @@ struct OfflineOptions {
      * analysis cannot certify its stack invariants for the program.
      */
     bool static_prefilter = true;
+    /**
+     * Streaming detection (detect::IncrementalFastTrack): process the
+     * merged detector feed in batches with epoch-GC of quiescent shadow
+     * state between batches, bounding detector memory on long traces.
+     * The race report is byte-identical to one-shot detection; only
+     * resident state and statistics differ. The analysis service runs
+     * every session this way.
+     */
+    detect::IncrementalOptions incremental;
 };
 
 /**
@@ -69,6 +79,25 @@ struct PrefilterStats {
     {
         return pruned_stack_implicit + pruned_stack_direct;
     }
+
+    /** Rollup across analyzer instances (service-wide --stats). */
+    void
+    merge(const PrefilterStats &other)
+    {
+        enabled = enabled || other.enabled;
+        analysis_sound = analysis_sound || other.analysis_sound;
+        // Site counts are per-program facts, identical across instances
+        // analyzing the same binary: keep the larger, don't sum.
+        sites_total = sites_total > other.sites_total
+            ? sites_total
+            : other.sites_total;
+        sites_thread_local = sites_thread_local > other.sites_thread_local
+            ? sites_thread_local
+            : other.sites_thread_local;
+        events_seen += other.events_seen;
+        pruned_stack_implicit += other.pruned_stack_implicit;
+        pruned_stack_direct += other.pruned_stack_direct;
+    }
 };
 
 /**
@@ -81,6 +110,13 @@ struct PrefilterStats {
 struct QuarantineStats {
     uint64_t window_retries = 0;      ///< failed tasks retried inline
     uint64_t windows_quarantined = 0; ///< windows dropped after retry
+
+    void
+    merge(const QuarantineStats &other)
+    {
+        window_retries += other.window_retries;
+        windows_quarantined += other.windows_quarantined;
+    }
 };
 
 /** Everything the offline phase produces. */
@@ -90,6 +126,8 @@ struct OfflineResult {
     pmu::PtDecodeStats decode_stats;
     replay::AlignStats align_stats;
     detect::FastTrackStats detect_stats;
+    /** Streaming-detector counters (OfflineOptions::incremental). */
+    detect::IncrementalStats incremental;
     /** What trace ingestion discarded (analyzeFile() path only). */
     trace::SegmentLoss ingest_loss;
     QuarantineStats quarantine;
@@ -162,6 +200,20 @@ void detectRaces(const trace::RunTrace &run,
                  const std::vector<replay::ReconstructedAccess> &accesses,
                  detect::RaceReport &report,
                  detect::FastTrackStats &stats);
+
+/**
+ * The streaming variant of detectRaces: the identical merged feed is
+ * dispatched into an IncrementalFastTrack in batches of
+ * options.batch_events events, with a batch boundary (thread
+ * retirement + epoch GC) between batches. The caller pre-seeds
+ * @p detector with requireThread() for every expected thread; the race
+ * report is byte-identical to the one-shot path.
+ */
+void detectRacesIncremental(
+    const trace::RunTrace &run,
+    const std::map<uint32_t, replay::ThreadAlignment> &alignments,
+    const std::vector<replay::ReconstructedAccess> &accesses,
+    detect::IncrementalFastTrack &detector);
 
 /**
  * Paper §5.1: races on locations whose emulated values the replay

@@ -222,8 +222,19 @@ ParallelOfflineAnalyzer::analyzeOnceParallel(
     detail::applyStaticPrefilter(accesses, analysis_.get(),
                                  options_.static_prefilter,
                                  result.prefilter);
-    detail::detectRaces(run, alignments, accesses, result.report,
-                        result.detect_stats);
+    if (options_.incremental.enabled) {
+        detect::IncrementalFastTrack detector(options_.incremental);
+        for (const trace::ThreadMeta &tm : run.meta.threads)
+            detector.requireThread(tm.tid);
+        detail::detectRacesIncremental(run, alignments, accesses,
+                                       detector);
+        result.report = detector.report();
+        result.detect_stats = detector.stats();
+        result.incremental.merge(detector.incrementalStats());
+    } else {
+        detail::detectRaces(run, alignments, accesses, result.report,
+                            result.detect_stats);
+    }
     result.detect_seconds += timer.lap();
 }
 
@@ -286,7 +297,12 @@ ParallelOfflineAnalyzer::analyzeFile(const std::string &path)
     auto loaded = trace::readTraceFile(path);
     if (!loaded.ok())
         return loaded.error();
+    // Same damaged-sync fallback as the serial analyzeFile.
+    const bool saved_gc = options_.incremental.enable_gc;
+    if (loaded.value().loss.sync_dropped > 0)
+        options_.incremental.enable_gc = false;
     OfflineResult result = analyze(loaded.value().trace);
+    options_.incremental.enable_gc = saved_gc;
     result.ingest_loss = loaded.value().loss;
     return result;
 }

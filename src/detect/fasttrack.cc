@@ -107,10 +107,90 @@ FastTrack::join(uint32_t parent, uint32_t child)
     ++stats_.sync_ops;
     const VectorClock *exit_clock = exited_.find(child);
     if (!exit_clock) {
+        if (child < exit_reclaimed_.size() && exit_reclaimed_[child]) {
+            // The exit clock was GC'd, which is only legal once it was
+            // dominated by every live clock — this join is a no-op.
+            return;
+        }
         warn("join of thread ", child, " with no recorded exit");
         return;
     }
     threadState(parent).clock.join(*exit_clock);
+}
+
+bool
+FastTrack::threadClockFloor(const std::vector<bool> &retired,
+                            VectorClock &floor) const
+{
+    bool any = false;
+    const uint32_t width = static_cast<uint32_t>(threads_.size());
+    for (const auto &th : threads_) {
+        if (!th)
+            continue;
+        if (th->tid < retired.size() && retired[th->tid])
+            continue;
+        if (!any) {
+            for (uint32_t t = 0; t < width; ++t)
+                floor.set(t, th->clock.get(t));
+            any = true;
+            continue;
+        }
+        for (uint32_t t = 0; t < width; ++t) {
+            const uint64_t v = th->clock.get(t);
+            if (v < floor.get(t))
+                floor.set(t, v);
+        }
+    }
+    return any;
+}
+
+void
+FastTrack::infiniteClockFloor(VectorClock &floor) const
+{
+    for (uint32_t t = 0; t < threads_.size(); ++t)
+        floor.set(t, UINT64_MAX);
+}
+
+uint64_t
+FastTrack::sweepQuiescentShadow(const VectorClock &floor)
+{
+    // forEach is const and erase() may shuffle probe chains, so collect
+    // the dead keys first and erase in a second pass.
+    std::vector<uint64_t> dead;
+    shadow_.forEach([&](uint64_t granule, const VarState &var) {
+        const bool write_done = var.write_epoch.isZero() ||
+            var.write_epoch.happensBefore(floor);
+        if (!write_done)
+            return;
+        const bool read_done = var.read_is_shared
+            ? var.read_vc.lessOrEqual(floor)
+            : (var.read_epoch.isZero() ||
+               var.read_epoch.happensBefore(floor));
+        if (read_done)
+            dead.push_back(granule);
+    });
+    for (uint64_t granule : dead)
+        shadow_.erase(granule);
+    stats_.gc_granules_reclaimed += dead.size();
+    return dead.size();
+}
+
+uint64_t
+FastTrack::sweepExitedClocks(const VectorClock &floor)
+{
+    std::vector<uint64_t> dead;
+    exited_.forEach([&](uint64_t tid, const VectorClock &clock) {
+        if (clock.lessOrEqual(floor))
+            dead.push_back(tid);
+    });
+    for (uint64_t tid : dead) {
+        exited_.erase(tid);
+        if (tid >= exit_reclaimed_.size())
+            exit_reclaimed_.resize(tid + 1, false);
+        exit_reclaimed_[tid] = true;
+    }
+    stats_.gc_clocks_reclaimed += dead.size();
+    return dead.size();
 }
 
 void

@@ -54,11 +54,39 @@ struct FastTrackStats {
     uint64_t read_shares = 0;     ///< epoch -> vector-clock inflations
     uint64_t vc_spills = 0;       ///< read clocks spilled past inline storage
 
+    // Streaming-GC reclamation (zero outside incremental mode).
+    uint64_t gc_granules_reclaimed = 0; ///< quiescent shadow entries erased
+    uint64_t gc_clocks_reclaimed = 0;   ///< exited-thread clocks erased
+
     // Flat shadow-table probe behavior (filled by FastTrack::stats()).
     uint64_t shadow_slots = 0;       ///< live granules in the shadow table
     uint64_t shadow_capacity = 0;    ///< shadow-table slot count
     uint64_t shadow_lookups = 0;
     uint64_t shadow_probe_steps = 0;
+
+    /**
+     * Fold another detector's counters into this one. Every field sums,
+     * including the resident-size fields, so a rollup over N analyzer
+     * instances reads as fleet totals (total events checked, total live
+     * granules resident) rather than the counters of whichever instance
+     * happened to run last.
+     */
+    void
+    merge(const FastTrackStats &other)
+    {
+        reads += other.reads;
+        writes += other.writes;
+        sync_ops += other.sync_ops;
+        epoch_fast_path += other.epoch_fast_path;
+        read_shares += other.read_shares;
+        vc_spills += other.vc_spills;
+        gc_granules_reclaimed += other.gc_granules_reclaimed;
+        gc_clocks_reclaimed += other.gc_clocks_reclaimed;
+        shadow_slots += other.shadow_slots;
+        shadow_capacity += other.shadow_capacity;
+        shadow_lookups += other.shadow_lookups;
+        shadow_probe_steps += other.shadow_probe_steps;
+    }
 };
 
 /**
@@ -94,6 +122,19 @@ class FastTrack
     /** Thread exit: publishes the final clock for joiners. */
     void threadExit(uint32_t tid);
 
+    /**
+     * Timestamped variant with the same detector semantics; the TSC is
+     * meaningful only to streaming wrappers (IncrementalFastTrack uses
+     * it to decide when the thread has retired from the event feed), so
+     * serial and streaming detection can share one dispatch routine.
+     */
+    void
+    threadExit(uint32_t tid, uint64_t tsc)
+    {
+        (void)tsc;
+        threadExit(tid);
+    }
+
     /** pthread_join edge child-exit -> parent. */
     void join(uint32_t parent, uint32_t child);
 
@@ -114,6 +155,52 @@ class FastTrack
 
     /** Statistics, including flat-table probe counters. */
     FastTrackStats stats() const;
+
+    /** Live shadow granules right now (cheap; no counter snapshot). */
+    uint64_t liveGranuleCount() const { return shadow_.size(); }
+
+    /** Exited-thread clocks currently held for joiners. */
+    uint64_t exitedClockCount() const { return exited_.size(); }
+
+    // --- streaming garbage collection (detect/incremental.hh) ---
+    //
+    // Shadow state whose epochs are at or below the pointwise minimum
+    // of every live thread's clock can never race again: clocks only
+    // grow, new threads inherit a live parent's clock at fork, so any
+    // future access happens-after the candidate state. Sweeping such
+    // state therefore changes no report (DESIGN.md §13.2); the wrapper
+    // is responsible for calling this only when the live-thread set is
+    // fully known (see IncrementalFastTrack's initial-thread gating).
+
+    /**
+     * Pointwise minimum of the clocks of every started thread not
+     * flagged in @p retired (indexed by tid; short vectors mean "not
+     * retired"). Returns false — leaving @p floor untouched as the
+     * all-zero clock — when no live thread exists.
+     */
+    bool threadClockFloor(const std::vector<bool> &retired,
+                          VectorClock &floor) const;
+
+    /**
+     * Fill @p floor with a component above every epoch any known
+     * thread can have issued: the "everything is quiescent" floor for
+     * the no-live-threads-remain case (no legal future event exists).
+     */
+    void infiniteClockFloor(VectorClock &floor) const;
+
+    /**
+     * Erase shadow granules whose write epoch and read state are both
+     * at or below @p floor. Returns the number of granules reclaimed.
+     */
+    uint64_t sweepQuiescentShadow(const VectorClock &floor);
+
+    /**
+     * Erase exited-thread clocks at or below @p floor. A later join of
+     * a reclaimed thread is a silent no-op (its clock was already
+     * dominated by the joiner's, so the join could not have changed
+     * anything). Returns the number of clocks reclaimed.
+     */
+    uint64_t sweepExitedClocks(const VectorClock &floor);
 
   private:
     /** Shadow state of one 8-byte granule, stored inline in the table. */
@@ -163,6 +250,8 @@ class FastTrack
     std::vector<std::unique_ptr<ThreadState>> threads_;
     FlatMap<VectorClock> locks_;
     FlatMap<VectorClock> exited_;
+    /** Tids whose exit clock was GC'd; joins of these silently no-op. */
+    std::vector<bool> exit_reclaimed_;
     FlatMap<VarState> shadow_;    ///< keyed by granule index
     FlatMap<uint64_t> alloc_sizes_;
     RaceReport report_;

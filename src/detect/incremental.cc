@@ -1,0 +1,87 @@
+#include "detect/incremental.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace prorace::detect {
+
+IncrementalFastTrack::IncrementalFastTrack(const IncrementalOptions &options)
+    : options_(options)
+{
+}
+
+void
+IncrementalFastTrack::requireThread(uint32_t tid)
+{
+    if (tid >= required_.size())
+        required_.resize(tid + 1, false);
+    if (required_[tid])
+        return;
+    required_[tid] = true;
+    if (!(tid < seen_.size() && seen_[tid]))
+        ++required_unseen_;
+}
+
+void
+IncrementalFastTrack::batchBoundary(uint64_t frontier_tsc)
+{
+    ++inc_.batches;
+
+    // Retire exited threads the feed has moved strictly past: ties at
+    // the frontier TSC may still have unprocessed same-TSC events of
+    // that thread in the next batch, so they stay live until then.
+    if (exited_pending_) {
+        bool still_pending = false;
+        if (retired_.size() < exit_tsc_.size())
+            retired_.resize(exit_tsc_.size(), false);
+        for (uint32_t tid = 0; tid < exit_tsc_.size(); ++tid) {
+            if (retired_[tid] || exit_tsc_[tid] == 0)
+                continue;
+            if (exit_tsc_[tid] < frontier_tsc)
+                retired_[tid] = true;
+            else
+                still_pending = true;
+        }
+        exited_pending_ = still_pending;
+    }
+
+    inc_.peak_live_granules =
+        std::max(inc_.peak_live_granules, ft_.liveGranuleCount());
+    inc_.peak_live_clocks =
+        std::max(inc_.peak_live_clocks, ft_.exitedClockCount());
+
+    if (!options_.enable_gc)
+        return;
+    if (inc_.events - events_at_last_gc_ < options_.gc_min_events)
+        return;
+    if (required_unseen_ != 0) {
+        ++inc_.gc_gated;
+        return;
+    }
+    sweep();
+    events_at_last_gc_ = inc_.events;
+}
+
+void
+IncrementalFastTrack::sweep()
+{
+    // No live thread left means no legal future event at all (any new
+    // thread would need a fork edge from a live one, and the required
+    // initial threads have all been seen): everything is quiescent.
+    // Model that as an infinite floor rather than skipping the sweep.
+    VectorClock floor;
+    const bool any_live = ft_.threadClockFloor(retired_, floor);
+    if (!any_live)
+        ft_.infiniteClockFloor(floor);
+    ++inc_.gc_sweeps;
+    inc_.granules_reclaimed += ft_.sweepQuiescentShadow(floor);
+    inc_.clocks_reclaimed += ft_.sweepExitedClocks(floor);
+}
+
+void
+IncrementalFastTrack::finish()
+{
+    batchBoundary(std::numeric_limits<uint64_t>::max());
+}
+
+} // namespace prorace::detect

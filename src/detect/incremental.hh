@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Streaming FastTrack with epoch-based garbage collection.
+ *
+ * The one-shot detector's shadow table grows with the number of
+ * distinct granules ever touched and its exited-clock table with the
+ * number of threads ever created — fine for a single trace, fatal for
+ * a long-running analysis service that replays an unbounded stream of
+ * windows. IncrementalFastTrack wraps the flat-table FastTrack with
+ * the bookkeeping needed to reclaim state that can provably never race
+ * again:
+ *
+ *   - The *floor* is the pointwise minimum of every live thread's
+ *     vector clock. Shadow state (write epoch + read epoch/clock) at
+ *     or below the floor happens-before every possible future access,
+ *     because clocks only grow and a new thread inherits a live
+ *     parent's clock at its fork edge. Sweeping such state cannot
+ *     change any future race check, so the report is byte-identical
+ *     with GC on or off.
+ *   - A thread leaves the floor only once it is *retired*: its exit
+ *     event has been processed and the feed frontier has advanced
+ *     strictly past the exit's timestamp, so no same-TSC stragglers of
+ *     that thread can still arrive.
+ *   - GC is *gated* until every expected initial thread (declared via
+ *     requireThread(), typically from the trace meta's thread table)
+ *     has produced an event or been forked: a thread that has not yet
+ *     appeared would start with a fresh low clock and could still race
+ *     with arbitrarily old state, so nothing may be swept before the
+ *     thread population is fully known. If an expected thread never
+ *     appears (e.g. its records were lost), GC simply never runs and
+ *     the wrapper degrades to plain unbounded FastTrack — conservative
+ *     and still report-identical.
+ *
+ * Callers drive it exactly like FastTrack (it exposes the same event
+ * methods, so core's dispatch routine is shared) plus one extra call:
+ * batchBoundary(frontier_tsc) after each completed batch of feed
+ * events, which is where retirement and sweeping happen.
+ */
+
+#ifndef PRORACE_DETECT_INCREMENTAL_HH
+#define PRORACE_DETECT_INCREMENTAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/fasttrack.hh"
+
+namespace prorace::detect {
+
+/** Streaming-detection knobs (core::OfflineOptions embeds one). */
+struct IncrementalOptions {
+    /** Use the streaming detector in the offline pipeline at all. */
+    bool enabled = false;
+
+    /**
+     * Sweep quiescent state at batch boundaries. Disable (keeping the
+     * batching) when the sync stream is known lossy: a lost spawn
+     * record could make a thread appear without a fork edge, and only
+     * an unswept table reproduces the one-shot report then.
+     */
+    bool enable_gc = true;
+
+    /** Feed events per batch between batchBoundary() calls. */
+    uint64_t batch_events = 8192;
+
+    /** Minimum events between sweeps (bounds the O(table) scan cost). */
+    uint64_t gc_min_events = 2048;
+};
+
+/** Streaming-detector observability counters. */
+struct IncrementalStats {
+    uint64_t events = 0;          ///< accesses + sync ops dispatched
+    uint64_t batches = 0;         ///< batchBoundary() calls
+    uint64_t gc_sweeps = 0;       ///< sweeps actually run
+    uint64_t gc_gated = 0;        ///< sweeps skipped: initial tids unseen
+    uint64_t granules_reclaimed = 0;
+    uint64_t clocks_reclaimed = 0;
+    uint64_t peak_live_granules = 0; ///< max shadow size at any boundary
+    uint64_t peak_live_clocks = 0;   ///< max exited-clock count likewise
+
+    void
+    merge(const IncrementalStats &other)
+    {
+        events += other.events;
+        batches += other.batches;
+        gc_sweeps += other.gc_sweeps;
+        gc_gated += other.gc_gated;
+        granules_reclaimed += other.granules_reclaimed;
+        clocks_reclaimed += other.clocks_reclaimed;
+        // Peaks are resident-memory bounds: the fleet-wide bound is the
+        // sum of the per-instance bounds (instances coexist).
+        peak_live_granules += other.peak_live_granules;
+        peak_live_clocks += other.peak_live_clocks;
+    }
+};
+
+/** FastTrack over an unbounded stream, with bounded resident state. */
+class IncrementalFastTrack
+{
+  public:
+    explicit IncrementalFastTrack(const IncrementalOptions &options = {});
+
+    /**
+     * Declare a thread that must be seen before any GC: the gating
+     * described above. Call once per tid in the trace meta before
+     * feeding events.
+     */
+    void requireThread(uint32_t tid);
+
+    // --- the FastTrack event surface (shared dispatch) ---
+
+    void
+    acquire(uint32_t tid, uint64_t object)
+    {
+        note(tid);
+        ft_.acquire(tid, object);
+    }
+
+    void
+    release(uint32_t tid, uint64_t object)
+    {
+        note(tid);
+        ft_.release(tid, object);
+    }
+
+    void
+    barrierEnter(uint32_t tid, uint64_t object)
+    {
+        note(tid);
+        ft_.barrierEnter(tid, object);
+    }
+
+    void
+    barrierExit(uint32_t tid, uint64_t object)
+    {
+        note(tid);
+        ft_.barrierExit(tid, object);
+    }
+
+    void
+    fork(uint32_t parent, uint32_t child)
+    {
+        note(parent);
+        note(child);
+        ft_.fork(parent, child);
+    }
+
+    void
+    threadExit(uint32_t tid, uint64_t tsc)
+    {
+        note(tid);
+        if (tid >= exit_tsc_.size())
+            exit_tsc_.resize(tid + 1, 0);
+        exit_tsc_[tid] = tsc;
+        exited_pending_ = true;
+        ft_.threadExit(tid);
+    }
+
+    void
+    join(uint32_t parent, uint32_t child)
+    {
+        note(parent);
+        ft_.join(parent, child);
+    }
+
+    void
+    allocate(uint32_t tid, uint64_t addr, uint64_t size)
+    {
+        note(tid);
+        ft_.allocate(tid, addr, size);
+    }
+
+    void
+    deallocate(uint32_t tid, uint64_t addr)
+    {
+        note(tid);
+        ft_.deallocate(tid, addr);
+    }
+
+    void
+    access(const MemAccess &ma)
+    {
+        note(ma.tid);
+        ft_.access(ma);
+    }
+
+    // --- streaming control ---
+
+    /**
+     * A batch of feed events is complete and every later event has
+     * tsc >= @p frontier_tsc: retire threads whose exit is strictly
+     * before the frontier, then sweep quiescent state if GC is
+     * enabled, ungated, and due.
+     */
+    void batchBoundary(uint64_t frontier_tsc);
+
+    /**
+     * End of stream: a final unconditional boundary (with an infinite
+     * frontier, so every exited thread retires) that settles the peak
+     * counters. The report is valid without calling this; it only
+     * completes the statistics.
+     */
+    void finish();
+
+    const RaceReport &report() const { return ft_.report(); }
+    RaceReport &report() { return ft_.report(); }
+    FastTrackStats stats() const { return ft_.stats(); }
+    const IncrementalStats &incrementalStats() const { return inc_; }
+    const IncrementalOptions &options() const { return options_; }
+
+    /** Live shadow granules right now (memory-bound assertions). */
+    uint64_t liveGranules() const { return ft_.liveGranuleCount(); }
+
+    /** All required initial threads have appeared; GC may run. */
+    bool
+    gcUngated() const
+    {
+        return required_unseen_ == 0;
+    }
+
+  private:
+    /** Record that @p tid produced an event (gating + liveness). */
+    void
+    note(uint32_t tid)
+    {
+        ++inc_.events;
+        if (tid >= seen_.size())
+            seen_.resize(tid + 1, false);
+        if (!seen_[tid]) {
+            seen_[tid] = true;
+            if (tid < required_.size() && required_[tid])
+                --required_unseen_;
+        }
+    }
+
+    void sweep();
+
+    FastTrack ft_;
+    IncrementalOptions options_;
+    IncrementalStats inc_;
+    std::vector<bool> seen_;     ///< tid has produced any event
+    std::vector<bool> required_; ///< tids gating GC
+    std::vector<bool> retired_;  ///< exited and past the feed frontier
+    std::vector<uint64_t> exit_tsc_; ///< 0 = not exited
+    uint64_t required_unseen_ = 0;
+    uint64_t events_at_last_gc_ = 0;
+    bool exited_pending_ = false; ///< exits not yet retired exist
+};
+
+} // namespace prorace::detect
+
+#endif // PRORACE_DETECT_INCREMENTAL_HH

@@ -1,0 +1,122 @@
+#include "service/fleet.hh"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/pipeline.hh"
+#include "core/session.hh"
+#include "support/log.hh"
+#include "trace/trace_file.hh"
+#include "workload/registry.hh"
+
+namespace prorace::service {
+
+namespace {
+
+/** One subject, recorded once, streamed many times. */
+struct RecordedSubject {
+    std::string name;
+    std::shared_ptr<const asmkit::Program> program;
+    std::vector<uint8_t> bytes; ///< serialized v4 trace
+};
+
+RecordedSubject
+recordSubject(const std::string &name, const FleetConfig &config,
+              uint64_t seed)
+{
+    auto workload = workload::findWorkload(name, config.scale);
+    if (!workload)
+        PRORACE_FATAL("fleet: unknown workload '", name, "'");
+    core::PipelineConfig pipeline =
+        core::proRaceConfig(config.period, seed, workload->pt_filter);
+    pipeline.session.run_baseline = false; // overhead is not the point
+    core::RunArtifacts artifacts = core::Session::run(
+        *workload->program, workload->setup, pipeline.session);
+
+    RecordedSubject subject;
+    subject.name = name;
+    subject.program = workload->program;
+    subject.bytes = trace::serializeTrace(artifacts.trace);
+    return subject;
+}
+
+} // namespace
+
+FleetResult
+runFleet(const FleetConfig &config)
+{
+    if (config.subjects.empty())
+        PRORACE_FATAL("fleet: no subjects configured");
+
+    // Phase 1 (untimed): record every subject once.
+    std::vector<RecordedSubject> subjects;
+    subjects.reserve(config.subjects.size());
+    for (size_t i = 0; i < config.subjects.size(); ++i)
+        subjects.push_back(recordSubject(config.subjects[i], config,
+                                         config.seed + i));
+
+    FleetResult result;
+    for (const RecordedSubject &subject : subjects)
+        result.trace_bytes_per_session += subject.bytes.size();
+
+    // Phase 2 (timed): producers flood the service.
+    AnalysisService service(config.service);
+    for (const RecordedSubject &subject : subjects)
+        service.registerProgram(subject.name, subject.program);
+
+    std::atomic<uint64_t> opened{0}, rejected{0}, bytes{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> producers;
+    producers.reserve(config.producers);
+    for (unsigned p = 0; p < config.producers; ++p) {
+        producers.emplace_back([&, p] {
+            const RecordedSubject &subject =
+                subjects[p % subjects.size()];
+            const std::string tenant =
+                "tenant-" + std::to_string(p);
+            for (unsigned s = 0; s < config.sessions_per_producer;
+                 ++s) {
+                const uint64_t id =
+                    service.openSession(tenant, subject.name);
+                if (id == 0) {
+                    ++rejected;
+                    continue;
+                }
+                ++opened;
+                const std::vector<uint8_t> &stream = subject.bytes;
+                for (size_t off = 0; off < stream.size();
+                     off += config.chunk_bytes) {
+                    const size_t len = std::min(config.chunk_bytes,
+                                                stream.size() - off);
+                    if (service.submit(id, stream.data() + off, len))
+                        bytes += len;
+                }
+                service.closeSession(id);
+            }
+        });
+    }
+    for (std::thread &producer : producers)
+        producer.join();
+    service.drain();
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    result.sessions_opened = opened;
+    result.sessions_rejected = rejected;
+    result.bytes_submitted = bytes;
+    result.latencies = service.latencies();
+    for (const SessionOutcome &outcome : service.outcomes())
+        result.session_peak_granules =
+            std::max(result.session_peak_granules,
+                     outcome.incremental.peak_live_granules);
+    result.tenants = service.tenantStats();
+    result.stats = service.stats();
+    result.report_jsonl = service.store().toJsonl();
+    service.shutdown();
+    return result;
+}
+
+} // namespace prorace::service

@@ -1,0 +1,104 @@
+#include "service/ingest.hh"
+
+#include <algorithm>
+
+namespace prorace::service {
+
+IngestQueue::IngestQueue(const IngestPolicy &policy) : policy_(policy) {}
+
+IngestQueue::PushResult
+IngestQueue::push(Chunk chunk)
+{
+    const uint64_t size = chunk.bytes.size();
+    std::unique_lock<std::mutex> lock(mu_);
+    TenantState &tenant = tenants_[chunk.tenant];
+    if (closed_)
+        return PushResult::kClosed;
+
+    if (!chunk.close) {
+        // Admission control: a chunk needs credit for its full size.
+        // An oversized chunk (> the whole budget) is admitted when the
+        // tenant is otherwise idle instead of deadlocking.
+        auto admissible = [&] {
+            if (tenant.outstanding == 0)
+                return true;
+            return tenant.outstanding + size <= policy_.credit_bytes;
+        };
+        if (!admissible()) {
+            if (policy_.shed_on_full) {
+                ++tenant.stats.shed_chunks;
+                tenant.stats.shed_bytes += size;
+                return PushResult::kShed;
+            }
+            ++tenant.stats.stalls;
+            producer_cv_.wait(lock, [&] { return closed_ || admissible(); });
+            if (closed_)
+                return PushResult::kClosed;
+        }
+        tenant.outstanding += size;
+        tenant.stats.peak_outstanding =
+            std::max(tenant.stats.peak_outstanding, tenant.outstanding);
+        ++tenant.stats.chunks;
+        tenant.stats.bytes += size;
+        buffered_bytes_ += size;
+        peak_buffered_bytes_ =
+            std::max(peak_buffered_bytes_, buffered_bytes_);
+    }
+
+    queue_.push_back(std::move(chunk));
+    consumer_cv_.notify_one();
+    return PushResult::kAccepted;
+}
+
+bool
+IngestQueue::pop(Chunk &out)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    consumer_cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty())
+        return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    buffered_bytes_ -= out.bytes.size();
+    return true;
+}
+
+void
+IngestQueue::credit(const std::string &tenant, uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end())
+        return;
+    it->second.outstanding -= std::min(it->second.outstanding, bytes);
+    producer_cv_.notify_all();
+}
+
+void
+IngestQueue::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    producer_cv_.notify_all();
+    consumer_cv_.notify_all();
+}
+
+uint64_t
+IngestQueue::bufferedBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return buffered_bytes_;
+}
+
+IngestStats
+IngestQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    IngestStats stats;
+    stats.peak_buffered_bytes = peak_buffered_bytes_;
+    for (const auto &[name, state] : tenants_)
+        stats.tenants[name] = state.stats;
+    return stats;
+}
+
+} // namespace prorace::service

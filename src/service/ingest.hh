@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Ingest frontend: per-tenant bounded queues with credit-based
+ * backpressure.
+ *
+ * Producers (instrumented machines submitting trace chunks) are
+ * decoupled from the analysis backend by one multiplexed queue. Memory
+ * is bounded by *credits*: each tenant has a fixed byte budget, a push
+ * consumes credit for the chunk's size, and credit returns only when
+ * the consumer has disposed of the chunk (parsed it into the session's
+ * trace cursor). A tenant that outruns the backend therefore runs out
+ * of credit and — per policy — either *stalls* (push blocks until
+ * credit returns; lossless, for cooperating producers) or *sheds* (push
+ * fails immediately; the producer drops the chunk, which downstream is
+ * indistinguishable from segment loss and handled by the fault-tolerant
+ * trace reader). Either way the service's resident ingest memory never
+ * exceeds  sum over tenants of credit_bytes,  no matter how fast
+ * producers flood.
+ *
+ * A chunk larger than the whole budget is admitted alone (when the
+ * tenant has zero outstanding bytes) rather than deadlocking a stalled
+ * producer; the high-water statistics expose such oversized chunks.
+ */
+
+#ifndef PRORACE_SERVICE_INGEST_HH
+#define PRORACE_SERVICE_INGEST_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace prorace::service {
+
+/** Backpressure policy (service-wide; credits are per tenant). */
+struct IngestPolicy {
+    /** Outstanding (pushed, not yet consumed) bytes allowed per tenant. */
+    uint64_t credit_bytes = 1u << 20;
+    /** Out of credit: true = shed the chunk, false = stall the push. */
+    bool shed_on_full = false;
+};
+
+/** Per-tenant ingest accounting. */
+struct TenantIngestStats {
+    uint64_t chunks = 0;
+    uint64_t bytes = 0;
+    uint64_t shed_chunks = 0;
+    uint64_t shed_bytes = 0;
+    uint64_t stalls = 0;            ///< pushes that had to wait
+    uint64_t peak_outstanding = 0;  ///< high-water of un-credited bytes
+
+    void
+    merge(const TenantIngestStats &other)
+    {
+        chunks += other.chunks;
+        bytes += other.bytes;
+        shed_chunks += other.shed_chunks;
+        shed_bytes += other.shed_bytes;
+        stalls += other.stalls;
+        peak_outstanding += other.peak_outstanding;
+    }
+};
+
+/** Queue-wide ingest accounting. */
+struct IngestStats {
+    std::map<std::string, TenantIngestStats> tenants;
+    uint64_t peak_buffered_bytes = 0; ///< high-water of queued bytes
+
+    /** Service-wide rollup of the per-tenant rows. */
+    TenantIngestStats
+    total() const
+    {
+        TenantIngestStats t;
+        for (const auto &[name, s] : tenants)
+            t.merge(s);
+        return t;
+    }
+};
+
+/** The bounded, multiplexed producer -> analysis queue. */
+class IngestQueue
+{
+  public:
+    /** One submission. close=true marks end-of-session (zero bytes). */
+    struct Chunk {
+        std::string tenant;
+        uint64_t session = 0;
+        std::vector<uint8_t> bytes;
+        bool close = false;
+    };
+
+    explicit IngestQueue(const IngestPolicy &policy);
+
+    enum class PushResult : uint8_t {
+        kAccepted,
+        kShed,    ///< out of credit under the shedding policy
+        kClosed,  ///< queue shut down
+    };
+
+    /**
+     * Submit a chunk on behalf of chunk.tenant. May block (stalling
+     * policy) until credit is available. Close markers are exempt from
+     * credit (they carry no payload and must always get through).
+     */
+    PushResult push(Chunk chunk);
+
+    /**
+     * Dequeue the next chunk; blocks until one arrives or the queue is
+     * closed and drained (then returns false). Single-consumer.
+     */
+    bool pop(Chunk &out);
+
+    /**
+     * Return @p bytes of credit to @p tenant once its chunk has been
+     * consumed. Wakes stalled producers.
+     */
+    void credit(const std::string &tenant, uint64_t bytes);
+
+    /** Shut down: pushes fail, pop drains the remainder. */
+    void close();
+
+    /** Queued-but-unpopped payload bytes right now. */
+    uint64_t bufferedBytes() const;
+
+    IngestStats stats() const;
+
+  private:
+    struct TenantState {
+        uint64_t outstanding = 0; ///< pushed, credit not yet returned
+        TenantIngestStats stats;
+    };
+
+    IngestPolicy policy_;
+    mutable std::mutex mu_;
+    std::condition_variable producer_cv_; ///< credit returned
+    std::condition_variable consumer_cv_; ///< chunk available
+    std::deque<Chunk> queue_;
+    std::map<std::string, TenantState> tenants_;
+    uint64_t buffered_bytes_ = 0;
+    uint64_t peak_buffered_bytes_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace prorace::service
+
+#endif // PRORACE_SERVICE_INGEST_HH

@@ -1,0 +1,133 @@
+#include "service/report_store.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace prorace::service {
+
+std::string
+rwSignatureName(uint8_t signature)
+{
+    std::string name;
+    name += (signature & 1) ? 'W' : 'R';
+    name += (signature & 2) ? 'W' : 'R';
+    return name;
+}
+
+uint64_t
+programFingerprint(const std::string &program_id)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : program_id) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+RaceSiteKey
+raceSiteKey(uint64_t program_fp, const detect::DataRace &race)
+{
+    RaceSiteKey key;
+    key.program_fp = program_fp;
+    // Normalize by instruction order so the key does not depend on
+    // which side the detector happened to see first.
+    const bool prior_is_min =
+        race.prior.insn_index <= race.current.insn_index;
+    const detect::RaceAccess &lo =
+        prior_is_min ? race.prior : race.current;
+    const detect::RaceAccess &hi =
+        prior_is_min ? race.current : race.prior;
+    key.min_insn = lo.insn_index;
+    key.max_insn = hi.insn_index;
+    key.rw_signature = static_cast<uint8_t>((lo.is_write ? 1 : 0) |
+                                            (hi.is_write ? 2 : 0));
+    return key;
+}
+
+void
+ReportStore::ingest(const std::string &tenant,
+                    const std::string &program_id,
+                    const detect::RaceReport &report, uint64_t sequence)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++observations_;
+    const uint64_t fp = programFingerprint(program_id);
+    for (const detect::DataRace &race : report.races()) {
+        const RaceSiteKey key = raceSiteKey(fp, race);
+        auto [it, inserted] = races_.try_emplace(key);
+        StoredRace &entry = it->second;
+        if (inserted) {
+            entry.key = key;
+            entry.program_id = program_id;
+            entry.first_seen = sequence;
+            entry.example_addr = race.addr;
+            entry.example = race;
+        }
+        // Completions can fold in out of sequence order (the analysis
+        // pool finishes sessions in any order): min/max, not first/last
+        // arrival.
+        entry.first_seen = std::min(entry.first_seen, sequence);
+        entry.last_seen = std::max(entry.last_seen, sequence);
+        ++entry.observations;
+        entry.tenants.insert(tenant);
+    }
+}
+
+std::vector<StoredRace>
+ReportStore::query(const std::string &program_id,
+                   const std::string &tenant) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<StoredRace> out;
+    out.reserve(races_.size());
+    for (const auto &[key, entry] : races_) {
+        if (!program_id.empty() && entry.program_id != program_id)
+            continue;
+        if (!tenant.empty() && !entry.tenants.count(tenant))
+            continue;
+        out.push_back(entry);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const StoredRace &a, const StoredRace &b) {
+                  if (a.program_id != b.program_id)
+                      return a.program_id < b.program_id;
+                  return a.key < b.key;
+              });
+    return out;
+}
+
+size_t
+ReportStore::distinctRaces() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return races_.size();
+}
+
+uint64_t
+ReportStore::totalObservations() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return observations_;
+}
+
+std::string
+ReportStore::toJsonl() const
+{
+    std::ostringstream out;
+    for (const StoredRace &entry : query()) {
+        out << "{\"program\":\"" << entry.program_id << "\""
+            << ",\"insn_pair\":[" << entry.key.min_insn << ","
+            << entry.key.max_insn << "]"
+            << ",\"rw\":\"" << rwSignatureName(entry.key.rw_signature)
+            << "\""
+            << ",\"observations\":" << entry.observations
+            << ",\"tenants\":" << entry.tenants.size()
+            << ",\"first_seen\":" << entry.first_seen
+            << ",\"last_seen\":" << entry.last_seen << ",\"addr\":\"0x"
+            << std::hex << entry.example_addr << std::dec << "\"}\n";
+    }
+    return out.str();
+}
+
+} // namespace prorace::service

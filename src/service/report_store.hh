@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Cross-tenant race report store.
+ *
+ * A fleet service sees the same static race over and over: every
+ * session of every tenant running the same binary rediscovers it. The
+ * store aggregates per-session RaceReports into one deduplicated,
+ * queryable structure keyed by
+ *
+ *   (program fingerprint, normalized instruction pair, r/w signature)
+ *
+ * — the site identity of a race, stable across sessions, tenants, and
+ * address-space differences (the racy *address* varies run to run for
+ * heap objects; the racing instruction pair does not). Each entry
+ * carries fleet-level evidence: when the race was first and last
+ * observed (service-assigned arrival sequence numbers, so ordering is
+ * deterministic), how many sessions reported it, and how many distinct
+ * tenants — the paper's deployment argument is exactly that aggregating
+ * cheap per-machine samples across a fleet accumulates confidence.
+ *
+ * Everything is serializable to JSONL (one entry per line) for the
+ * bench/CI tooling, matching the figure harness conventions.
+ */
+
+#ifndef PRORACE_SERVICE_REPORT_STORE_HH
+#define PRORACE_SERVICE_REPORT_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "detect/report.hh"
+
+namespace prorace::service {
+
+/** Stable identity of one race site (the dedup key). */
+struct RaceSiteKey {
+    uint64_t program_fp = 0;  ///< FNV-1a of the program id
+    uint32_t min_insn = 0;    ///< smaller instruction index of the pair
+    uint32_t max_insn = 0;
+    /** 2-bit r/w pattern, insn-order normalized: bit0 = min side
+     *  wrote, bit1 = max side wrote. */
+    uint8_t rw_signature = 0;
+
+    auto
+    tie() const
+    {
+        return std::tie(program_fp, min_insn, max_insn, rw_signature);
+    }
+
+    bool operator<(const RaceSiteKey &o) const { return tie() < o.tie(); }
+    bool operator==(const RaceSiteKey &o) const { return tie() == o.tie(); }
+};
+
+/** Aggregated evidence for one race site. */
+struct StoredRace {
+    RaceSiteKey key;
+    std::string program_id;
+    uint64_t first_seen = 0;   ///< arrival sequence of first report
+    uint64_t last_seen = 0;    ///< arrival sequence of latest report
+    uint64_t observations = 0; ///< session reports containing the site
+    std::set<std::string> tenants;
+    uint64_t example_addr = 0; ///< racy granule from the first report
+    detect::DataRace example;  ///< full example for human rendering
+};
+
+/** Printable r/w signature ("RW", "WW", ...; min side first). */
+std::string rwSignatureName(uint8_t signature);
+
+/** FNV-1a fingerprint of a program id string. */
+uint64_t programFingerprint(const std::string &program_id);
+
+/** The dedup key of one detected race under @p program_fp. */
+RaceSiteKey raceSiteKey(uint64_t program_fp, const detect::DataRace &race);
+
+/**
+ * Thread-safe aggregation of session reports. ingest() is called from
+ * analysis completion (executor threads); queries snapshot under the
+ * same lock.
+ */
+class ReportStore
+{
+  public:
+    /**
+     * Fold one session's report in. @p sequence is the service's
+     * arrival sequence number for the session (drives first/last-seen).
+     */
+    void ingest(const std::string &tenant, const std::string &program_id,
+                const detect::RaceReport &report, uint64_t sequence);
+
+    /**
+     * All entries, sorted by (program id, key) — deterministic
+     * regardless of ingest interleaving. @p program_id / @p tenant
+     * filter when non-empty (tenant filter = races that tenant saw).
+     */
+    std::vector<StoredRace> query(const std::string &program_id = "",
+                                  const std::string &tenant = "") const;
+
+    /** Distinct race sites across the fleet. */
+    size_t distinctRaces() const;
+
+    /** Total session-report observations folded in. */
+    uint64_t totalObservations() const;
+
+    /** One JSON object per entry, one entry per line. */
+    std::string toJsonl() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<RaceSiteKey, StoredRace> races_;
+    uint64_t observations_ = 0;
+};
+
+} // namespace prorace::service
+
+#endif // PRORACE_SERVICE_REPORT_STORE_HH

@@ -1,0 +1,295 @@
+#include "service/service.hh"
+
+#include <algorithm>
+
+#include "support/log.hh"
+
+namespace prorace::service {
+
+AnalysisService::AnalysisService(const ServiceOptions &options)
+    : options_(options), queue_(options.ingest)
+{
+    // The whole point of the service tier is bounded-memory streaming
+    // detection; the one-shot detector is not an option here.
+    options_.offline.incremental.enabled = true;
+    executor_ = std::make_unique<exec::Executor>(options_.num_workers);
+    pump_ = std::thread([this] { pumpLoop(); });
+}
+
+AnalysisService::~AnalysisService()
+{
+    shutdown();
+}
+
+void
+AnalysisService::registerProgram(
+    const std::string &program_id,
+    std::shared_ptr<const asmkit::Program> program)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    programs_[program_id] = std::move(program);
+}
+
+uint64_t
+AnalysisService::openSession(const std::string &tenant,
+                             const std::string &program_id)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shut_down_)
+        return 0;
+    auto pit = programs_.find(program_id);
+    if (pit == programs_.end()) {
+        warn("service: open of unregistered program '", program_id, "'");
+        return 0;
+    }
+
+    // Session-slot backpressure: a saturated pool delays completions,
+    // completions release slots, so producers block (or shed) here.
+    auto slot_free = [&] {
+        return active_per_tenant_[tenant] < options_.session_slots;
+    };
+    if (!slot_free()) {
+        if (options_.ingest.shed_on_full) {
+            ++sessions_shed_;
+            return 0;
+        }
+        ++open_stalls_;
+        slot_cv_.wait(lock, [&] { return shut_down_ || slot_free(); });
+        if (shut_down_)
+            return 0;
+    }
+
+    const uint64_t id = next_session_id_++;
+    auto session = std::make_shared<SessionState>();
+    session->id = id;
+    session->tenant = tenant;
+    session->program_id = program_id;
+    session->program = pit->second;
+    session->reader = trace::TraceReader(
+        tenant + "/session-" + std::to_string(id));
+    session->opened = std::chrono::steady_clock::now();
+    sessions_[id] = session;
+    ++active_per_tenant_[tenant];
+    ++active_sessions_;
+    peak_active_sessions_ =
+        std::max(peak_active_sessions_, active_sessions_);
+    ++tenant_stats_[tenant].sessions_opened;
+    return id;
+}
+
+bool
+AnalysisService::submit(uint64_t session_id, const uint8_t *data,
+                        size_t size)
+{
+    IngestQueue::Chunk chunk;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = sessions_.find(session_id);
+        if (it == sessions_.end() || it->second->close_submitted)
+            return false;
+        chunk.tenant = it->second->tenant;
+    }
+    chunk.session = session_id;
+    chunk.bytes.assign(data, data + size);
+    // push() may block for credit; never under mu_.
+    return queue_.push(std::move(chunk)) ==
+        IngestQueue::PushResult::kAccepted;
+}
+
+void
+AnalysisService::closeSession(uint64_t session_id)
+{
+    IngestQueue::Chunk chunk;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = sessions_.find(session_id);
+        if (it == sessions_.end() || it->second->close_submitted)
+            return;
+        it->second->close_submitted = true;
+        chunk.tenant = it->second->tenant;
+        ++closed_pending_;
+    }
+    chunk.session = session_id;
+    chunk.close = true;
+    queue_.push(std::move(chunk));
+}
+
+void
+AnalysisService::pumpLoop()
+{
+    IngestQueue::Chunk chunk;
+    while (queue_.pop(chunk)) {
+        std::shared_ptr<SessionState> session;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = sessions_.find(chunk.session);
+            if (it != sessions_.end())
+                session = it->second;
+        }
+        if (!session) {
+            // Session already dispatched (late chunk); just return the
+            // credit so the producer is not charged for a lost chunk.
+            if (!chunk.bytes.empty())
+                queue_.credit(chunk.tenant, chunk.bytes.size());
+            continue;
+        }
+        if (!chunk.close) {
+            session->reader.feed(chunk.bytes);
+            session->reader.poll();
+            queue_.credit(chunk.tenant, chunk.bytes.size());
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            sessions_.erase(chunk.session);
+        }
+        executor_->submit(
+            [this, session] { analyzeSession(session); });
+    }
+}
+
+void
+AnalysisService::analyzeSession(std::shared_ptr<SessionState> session)
+{
+    SessionOutcome outcome;
+    outcome.session_id = session->id;
+    outcome.tenant = session->tenant;
+    outcome.program_id = session->program_id;
+
+    auto finished = session->reader.finish();
+    if (!finished.ok()) {
+        outcome.ok = false;
+        outcome.error = finished.error().format();
+    } else {
+        trace::LoadedTrace &loaded = finished.value();
+        outcome.loss = loaded.loss;
+        core::OfflineOptions opts = options_.offline;
+        // GC soundness gate: a lossy sync stream may hide fork edges,
+        // so this session runs batched but unswept (still identical).
+        if (loaded.loss.sync_dropped > 0)
+            opts.incremental.enable_gc = false;
+        core::OfflineAnalyzer analyzer(*session->program, opts);
+        core::OfflineResult result = analyzer.analyze(loaded.trace);
+        outcome.ok = true;
+        outcome.report = std::move(result.report);
+        outcome.detect_stats = result.detect_stats;
+        outcome.incremental = result.incremental;
+        outcome.prefilter = result.prefilter;
+        outcome.quarantine = result.quarantine;
+        outcome.extended_trace_events = result.extended_trace_events;
+    }
+    completeSession(session, std::move(outcome));
+}
+
+void
+AnalysisService::completeSession(
+    const std::shared_ptr<SessionState> &session, SessionOutcome outcome)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    outcome.sequence = ++completion_sequence_;
+    outcome.ingest_to_report_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      session->opened)
+            .count();
+
+    // The store lock nests inside mu_ (never the other way around), so
+    // folding here keeps sequence numbers and store content consistent.
+    if (outcome.ok) {
+        store_.ingest(outcome.tenant, outcome.program_id, outcome.report,
+                      outcome.sequence);
+    }
+
+    TenantServiceStats &ts = tenant_stats_[outcome.tenant];
+    if (outcome.ok)
+        ++ts.sessions_completed;
+    else
+        ++ts.sessions_failed;
+    ts.extended_trace_events += outcome.extended_trace_events;
+    ts.detect.merge(outcome.detect_stats);
+    ts.incremental.merge(outcome.incremental);
+    ts.prefilter.merge(outcome.prefilter);
+    ts.quarantine.merge(outcome.quarantine);
+    ts.segments_dropped += outcome.loss.segments_dropped;
+    ts.sync_dropped += outcome.loss.sync_dropped;
+    ts.latency_seconds.add(outcome.ingest_to_report_seconds);
+    latencies_.push_back(outcome.ingest_to_report_seconds);
+    outcomes_.push_back(std::move(outcome));
+
+    auto it = active_per_tenant_.find(session->tenant);
+    if (it != active_per_tenant_.end() && it->second > 0)
+        --it->second;
+    --active_sessions_;
+    --closed_pending_;
+    slot_cv_.notify_all();
+    drain_cv_.notify_all();
+}
+
+void
+AnalysisService::drain()
+{
+    // Waits for closed sessions only: a producer that opened a session
+    // and is still streaming does not block other tenants' drains.
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] { return closed_pending_ == 0; });
+}
+
+void
+AnalysisService::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (shut_down_)
+            return;
+        shut_down_ = true;
+        slot_cv_.notify_all();
+    }
+    queue_.close();
+    if (pump_.joinable())
+        pump_.join();
+    // Sessions never closed by their producer can't complete; wait only
+    // for the analyses the pump actually dispatched.
+    executor_.reset(); // waits for in-flight tasks
+}
+
+std::map<std::string, TenantServiceStats>
+AnalysisService::tenantStats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return tenant_stats_;
+}
+
+ServiceStats
+AnalysisService::stats() const
+{
+    ServiceStats stats;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &[tenant, ts] : tenant_stats_)
+            stats.rollup.merge(ts);
+        stats.sessions_shed = sessions_shed_;
+        stats.open_stalls = open_stalls_;
+        stats.peak_active_sessions = peak_active_sessions_;
+    }
+    stats.distinct_races = store_.distinctRaces();
+    stats.report_observations = store_.totalObservations();
+    stats.ingest = queue_.stats();
+    if (executor_)
+        stats.executor = executor_->stats();
+    return stats;
+}
+
+std::vector<SessionOutcome>
+AnalysisService::outcomes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return outcomes_;
+}
+
+std::vector<double>
+AnalysisService::latencies() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return latencies_;
+}
+
+} // namespace prorace::service

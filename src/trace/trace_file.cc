@@ -364,225 +364,334 @@ serializeTrace(const RunTrace &trace)
     return out.take();
 }
 
-Result<LoadedTrace, TraceError>
-readTrace(const std::vector<uint8_t> &bytes, const std::string &context)
+TraceReader::TraceReader(std::string context)
+    : context_(std::move(context))
 {
-    auto err = [&](TraceErrorKind kind, std::string msg, uint64_t offset) {
-        return TraceError{kind, std::move(msg), offset, context};
-    };
+}
 
-    Reader header(bytes);
-    const uint32_t magic = header.u32();
-    const uint32_t version = header.u32();
-    if (header.failed() || magic != kTraceMagic)
-        return err(TraceErrorKind::kBadMagic,
-                   "not a ProRace trace file (bad magic)", 0);
-    if (version != kTraceVersion)
-        return err(TraceErrorKind::kBadVersion,
-                   detail::concat("unsupported trace format version ",
-                                  version, " (current ", kTraceVersion,
-                                  "); re-trace the workload"),
-                   4);
+TraceError
+TraceReader::makeError(TraceErrorKind kind, std::string msg,
+                       uint64_t offset) const
+{
+    return TraceError{kind, std::move(msg), offset, context_};
+}
 
-    LoadedTrace loaded;
-    RunTrace &trace = loaded.trace;
-    SegmentLoss &loss = loaded.loss;
-    bool have_meta = false;
-    bool saw_end = false;
-    uint64_t expected_pebs = 0, expected_sync = 0;
-    uint32_t expected_pt = 0;
-    std::vector<bool> pt_assigned;
+void
+TraceReader::feed(const uint8_t *data, size_t size)
+{
+    // A hard-failed stream is uninterpretable; buffering more of it
+    // would only grow memory without ever parsing anything.
+    if (error_ || finished_)
+        return;
+    buf_.insert(buf_.end(), data, data + size);
+}
 
-    size_t pos = 8;
-    while (pos < bytes.size()) {
-        if (bytes.size() - pos < kSegmentHeaderSize) {
-            loss.truncated = true;
-            loss.bytes_skipped += bytes.size() - pos;
+void
+TraceReader::compact()
+{
+    // Drop the consumed prefix once it dominates the buffer, so a
+    // tailing reader's resident memory is bounded by the largest
+    // in-flight segment, not the stream length.
+    if (pos_ >= (64u << 10) && pos_ * 2 >= buf_.size()) {
+        origin_ += pos_;
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+}
+
+void
+TraceReader::resync()
+{
+    // Damaged header or a payload byte pattern that happened to look
+    // like the magic: scan forward for the next segment magic. The
+    // last 3 bytes can hold a partial magic that the next feed()
+    // completes, so they stay pending rather than being skipped.
+    const size_t found = scanForSegmentMagic(buf_, pos_);
+    if (found < buf_.size()) {
+        loaded_.loss.bytes_skipped += found - pos_;
+        pos_ = found;
+        resyncing_ = false;
+        return;
+    }
+    const size_t keep = buf_.size() >= 3 ? buf_.size() - 3 : 0;
+    if (keep > pos_) {
+        loaded_.loss.bytes_skipped += keep - pos_;
+        pos_ = keep;
+    }
+}
+
+bool
+TraceReader::consumeOne()
+{
+    RunTrace &trace = loaded_.trace;
+    SegmentLoss &loss = loaded_.loss;
+
+    const size_t avail = buf_.size() - pos_;
+    if (avail < kSegmentHeaderSize)
+        return false;
+    {
+        uint32_t seg_magic = 0;
+        for (int i = 0; i < 4; ++i)
+            seg_magic |= static_cast<uint32_t>(buf_[pos_ + i]) << (8 * i);
+        if (seg_magic != kSegmentMagic) {
+            ++loss.bytes_skipped;
+            ++pos_;
+            resyncing_ = true;
+            return true;
+        }
+    }
+    Reader r(buf_.data() + pos_ + 4, kSegmentHeaderSize - 4);
+    const uint8_t kind = r.u8();
+    r.u32(); // seq (diagnostic only)
+    const uint64_t payload_size = r.u64();
+    const uint32_t header_crc = r.u32();
+    const uint32_t payload_crc = r.u32();
+    if (crc32(buf_.data() + pos_ + 4, kSegmentHeaderCrcSpan) !=
+        header_crc) {
+        ++loss.bytes_skipped;
+        ++pos_;
+        resyncing_ = true;
+        return true;
+    }
+    if (payload_size > avail - kSegmentHeaderSize) {
+        // Authentic header whose payload has not fully arrived yet:
+        // wait. finish() turns a still-pending segment into the
+        // truncation/salvage outcome.
+        return false;
+    }
+
+    const size_t payload_pos = pos_ + kSegmentHeaderSize;
+    ++loss.segments_seen;
+    const uint8_t *payload_data = buf_.data() + payload_pos;
+    const bool crc_ok = crc32(payload_data, payload_size) == payload_crc;
+    pos_ = payload_pos + static_cast<size_t>(payload_size);
+
+    switch (kind) {
+    case kSegMeta: {
+        if (have_meta_) {
+            ++loss.segments_dropped;
             break;
         }
-        {
-            uint32_t seg_magic = 0;
-            for (int i = 0; i < 4; ++i)
-                seg_magic |= static_cast<uint32_t>(bytes[pos + i])
-                             << (8 * i);
-            if (seg_magic != kSegmentMagic) {
-                const size_t next = scanForSegmentMagic(bytes, pos + 1);
-                loss.bytes_skipped += next - pos;
-                if (next >= bytes.size())
-                    loss.truncated = true;
-                pos = next;
-                continue;
-            }
+        std::vector<uint8_t> payload(payload_data,
+                                     payload_data + payload_size);
+        if (!crc_ok ||
+            !parseMeta(payload, trace.meta, expected_pebs_,
+                       expected_sync_, expected_pt_)) {
+            error_ = makeError(TraceErrorKind::kCorruptMeta,
+                               "trace meta segment is corrupt",
+                               origin_ + payload_pos);
+            return false;
         }
-        Reader r(bytes.data() + pos + 4, kSegmentHeaderSize - 4);
-        const uint8_t kind = r.u8();
-        r.u32(); // seq (diagnostic only)
-        const uint64_t payload_size = r.u64();
-        const uint32_t header_crc = r.u32();
-        const uint32_t payload_crc = r.u32();
-        if (crc32(bytes.data() + pos + 4, kSegmentHeaderCrcSpan) !=
-            header_crc) {
-            // Damaged header or a payload byte pattern that happens to
-            // look like the magic: resynchronize one byte further on.
-            const size_t next = scanForSegmentMagic(bytes, pos + 1);
-            loss.bytes_skipped += next - pos;
-            if (next >= bytes.size())
-                loss.truncated = true;
-            pos = next;
+        trace.pt.resize(expected_pt_);
+        pt_assigned_.assign(expected_pt_, false);
+        have_meta_ = true;
+        break;
+    }
+    case kSegPebs: {
+        if (!crc_ok || !have_meta_) {
+            ++loss.segments_dropped;
+            break;
+        }
+        Reader pr(payload_data, payload_size);
+        pr.u64(); // first record index (diagnostic only)
+        const uint32_t count = pr.u32();
+        std::vector<PebsRecord> records;
+        records.reserve(count);
+        for (uint32_t i = 0; i < count && !pr.failed(); ++i)
+            records.push_back(readPebs(pr));
+        if (pr.failed()) {
+            ++loss.segments_dropped;
+            break;
+        }
+        trace.pebs.insert(trace.pebs.end(), records.begin(),
+                          records.end());
+        break;
+    }
+    case kSegSync: {
+        if (!crc_ok || !have_meta_) {
+            ++loss.segments_dropped;
+            break;
+        }
+        Reader sr(payload_data, payload_size);
+        sr.u64(); // first record index (diagnostic only)
+        const uint32_t count = sr.u32();
+        std::vector<SyncRecord> records;
+        records.reserve(count);
+        for (uint32_t i = 0; i < count && !sr.failed(); ++i)
+            records.push_back(readSync(sr));
+        if (sr.failed()) {
+            ++loss.segments_dropped;
+            break;
+        }
+        trace.sync.insert(trace.sync.end(), records.begin(),
+                          records.end());
+        break;
+    }
+    case kSegPt: {
+        if (!have_meta_) {
+            ++loss.segments_dropped;
+            break;
+        }
+        Reader tr(payload_data, payload_size);
+        const uint32_t core = tr.u32();
+        uint64_t bit_count = tr.u64();
+        uint64_t nbytes = tr.u64();
+        if (tr.failed() || core >= trace.pt.size() ||
+            pt_assigned_[core]) {
+            ++loss.segments_dropped;
+            break;
+        }
+        if (!crc_ok) {
+            // Salvage: clamp the length fields to what is actually
+            // present and hand the damaged stream to the PT decoder,
+            // whose PSB resynchronization recovers the intact packet
+            // runs.
+            ++loss.pt_streams_damaged;
+            nbytes = std::min<uint64_t>(nbytes, tr.remaining());
+        } else if (nbytes > tr.remaining()) {
+            ++loss.segments_dropped;
+            break;
+        }
+        PtCoreStream &stream = trace.pt[core];
+        stream.bytes = tr.bytes(static_cast<size_t>(nbytes));
+        stream.bit_count =
+            std::min<uint64_t>(bit_count, stream.bytes.size() * 8);
+        pt_assigned_[core] = true;
+        break;
+    }
+    case kSegEnd:
+        saw_end_ = crc_ok;
+        if (!crc_ok)
+            ++loss.segments_dropped;
+        break;
+    default:
+        // Unknown kind: written by a newer minor revision; skip.
+        ++loss.segments_dropped;
+        break;
+    }
+    return true;
+}
+
+size_t
+TraceReader::poll()
+{
+    if (error_ || finished_)
+        return 0;
+    if (!header_done_) {
+        if (buf_.size() < 8)
+            return 0;
+        Reader header(buf_.data(), 8);
+        const uint32_t magic = header.u32();
+        const uint32_t version = header.u32();
+        if (magic != kTraceMagic) {
+            error_ = makeError(TraceErrorKind::kBadMagic,
+                               "not a ProRace trace file (bad magic)", 0);
+            return 0;
+        }
+        if (version != kTraceVersion) {
+            error_ = makeError(
+                TraceErrorKind::kBadVersion,
+                detail::concat("unsupported trace format version ",
+                               version, " (current ", kTraceVersion,
+                               "); re-trace the workload"),
+                4);
+            return 0;
+        }
+        header_done_ = true;
+        pos_ = 8;
+    }
+
+    const uint64_t seen_before = loaded_.loss.segments_seen;
+    while (!error_) {
+        if (resyncing_) {
+            resync();
+            if (resyncing_)
+                break;
             continue;
         }
-        const size_t payload_pos = pos + kSegmentHeaderSize;
-        if (payload_size > bytes.size() - payload_pos) {
-            // Authentic header (CRC passed) whose payload runs past the
-            // end of the file: collection was clipped mid-segment. A
-            // clipped PT stream is still worth salvaging — the decoder
-            // handles mid-packet truncation — so hand over whatever
-            // bytes remain; anything else is dropped.
-            loss.truncated = true;
+        if (!consumeOne())
+            break;
+    }
+    compact();
+    return static_cast<size_t>(loaded_.loss.segments_seen - seen_before);
+}
+
+Result<LoadedTrace, TraceError>
+TraceReader::finish()
+{
+    poll();
+    finished_ = true;
+    if (error_)
+        return *error_;
+    if (!header_done_)
+        return makeError(TraceErrorKind::kBadMagic,
+                         "not a ProRace trace file (bad magic)", 0);
+
+    RunTrace &trace = loaded_.trace;
+    SegmentLoss &loss = loaded_.loss;
+    const size_t avail = buf_.size() - pos_;
+    if (avail > 0) {
+        loss.truncated = true;
+        if (resyncing_ || avail < kSegmentHeaderSize) {
+            loss.bytes_skipped += avail;
+        } else {
+            // poll() leaves a full, CRC-valid header behind only when
+            // its payload ran past the end of the stream: collection
+            // was clipped mid-segment. A clipped PT stream is still
+            // worth salvaging — the decoder handles mid-packet
+            // truncation — so hand over whatever bytes remain;
+            // anything else is dropped.
+            Reader r(buf_.data() + pos_ + 4, kSegmentHeaderSize - 4);
+            const uint8_t kind = r.u8();
             ++loss.segments_seen;
-            if (kind == kSegPt && have_meta) {
-                Reader tr(bytes.data() + payload_pos,
-                          bytes.size() - payload_pos);
+            bool salvaged = false;
+            if (kind == kSegPt && have_meta_) {
+                const size_t payload_pos = pos_ + kSegmentHeaderSize;
+                Reader tr(buf_.data() + payload_pos,
+                          buf_.size() - payload_pos);
                 const uint32_t core = tr.u32();
                 const uint64_t bit_count = tr.u64();
                 uint64_t nbytes = tr.u64();
                 if (!tr.failed() && core < trace.pt.size() &&
-                    !pt_assigned[core]) {
+                    !pt_assigned_[core]) {
                     ++loss.pt_streams_damaged;
                     nbytes = std::min<uint64_t>(nbytes, tr.remaining());
                     PtCoreStream &stream = trace.pt[core];
                     stream.bytes = tr.bytes(static_cast<size_t>(nbytes));
                     stream.bit_count = std::min<uint64_t>(
                         bit_count, stream.bytes.size() * 8);
-                    pt_assigned[core] = true;
-                    break;
+                    pt_assigned_[core] = true;
+                    salvaged = true;
                 }
             }
-            ++loss.segments_dropped;
-            break;
-        }
-        ++loss.segments_seen;
-        const uint8_t *payload_data = bytes.data() + payload_pos;
-        const bool crc_ok =
-            crc32(payload_data, payload_size) == payload_crc;
-        pos = payload_pos + static_cast<size_t>(payload_size);
-
-        switch (kind) {
-        case kSegMeta: {
-            if (have_meta) {
+            if (!salvaged)
                 ++loss.segments_dropped;
-                break;
-            }
-            std::vector<uint8_t> payload(payload_data,
-                                         payload_data + payload_size);
-            if (!crc_ok ||
-                !parseMeta(payload, trace.meta, expected_pebs,
-                           expected_sync, expected_pt)) {
-                return err(TraceErrorKind::kCorruptMeta,
-                           "trace meta segment is corrupt",
-                           payload_pos);
-            }
-            trace.pt.resize(expected_pt);
-            pt_assigned.assign(expected_pt, false);
-            have_meta = true;
-            break;
-        }
-        case kSegPebs: {
-            if (!crc_ok || !have_meta) {
-                ++loss.segments_dropped;
-                break;
-            }
-            Reader pr(payload_data, payload_size);
-            pr.u64(); // first record index (diagnostic only)
-            const uint32_t count = pr.u32();
-            std::vector<PebsRecord> records;
-            records.reserve(count);
-            for (uint32_t i = 0; i < count && !pr.failed(); ++i)
-                records.push_back(readPebs(pr));
-            if (pr.failed()) {
-                ++loss.segments_dropped;
-                break;
-            }
-            trace.pebs.insert(trace.pebs.end(), records.begin(),
-                              records.end());
-            break;
-        }
-        case kSegSync: {
-            if (!crc_ok || !have_meta) {
-                ++loss.segments_dropped;
-                break;
-            }
-            Reader sr(payload_data, payload_size);
-            sr.u64(); // first record index (diagnostic only)
-            const uint32_t count = sr.u32();
-            std::vector<SyncRecord> records;
-            records.reserve(count);
-            for (uint32_t i = 0; i < count && !sr.failed(); ++i)
-                records.push_back(readSync(sr));
-            if (sr.failed()) {
-                ++loss.segments_dropped;
-                break;
-            }
-            trace.sync.insert(trace.sync.end(), records.begin(),
-                              records.end());
-            break;
-        }
-        case kSegPt: {
-            if (!have_meta) {
-                ++loss.segments_dropped;
-                break;
-            }
-            Reader tr(payload_data, payload_size);
-            const uint32_t core = tr.u32();
-            uint64_t bit_count = tr.u64();
-            uint64_t nbytes = tr.u64();
-            if (tr.failed() || core >= trace.pt.size() ||
-                pt_assigned[core]) {
-                ++loss.segments_dropped;
-                break;
-            }
-            if (!crc_ok) {
-                // Salvage: clamp the length fields to what is actually
-                // present and hand the damaged stream to the PT
-                // decoder, whose PSB resynchronization recovers the
-                // intact packet runs.
-                ++loss.pt_streams_damaged;
-                nbytes = std::min<uint64_t>(nbytes, tr.remaining());
-            } else if (nbytes > tr.remaining()) {
-                ++loss.segments_dropped;
-                break;
-            }
-            PtCoreStream &stream = trace.pt[core];
-            stream.bytes = tr.bytes(static_cast<size_t>(nbytes));
-            stream.bit_count =
-                std::min<uint64_t>(bit_count, stream.bytes.size() * 8);
-            pt_assigned[core] = true;
-            break;
-        }
-        case kSegEnd:
-            saw_end = crc_ok;
-            if (!crc_ok)
-                ++loss.segments_dropped;
-            break;
-        default:
-            // Unknown kind: written by a newer minor revision; skip.
-            ++loss.segments_dropped;
-            break;
         }
     }
 
-    if (!have_meta)
-        return err(TraceErrorKind::kCorruptMeta,
-                   "no readable meta segment", bytes.size());
-    if (!saw_end)
+    if (!have_meta_)
+        return makeError(TraceErrorKind::kCorruptMeta,
+                         "no readable meta segment",
+                         origin_ + buf_.size());
+    if (!saw_end_)
         loss.truncated = true;
-    loss.pebs_dropped = saturatingLoss(expected_pebs, trace.pebs.size());
-    loss.sync_dropped = saturatingLoss(expected_sync, trace.sync.size());
-    for (uint32_t core = 0; core < expected_pt; ++core) {
-        if (!pt_assigned[core])
+    loss.pebs_dropped = saturatingLoss(expected_pebs_, trace.pebs.size());
+    loss.sync_dropped = saturatingLoss(expected_sync_, trace.sync.size());
+    for (uint32_t core = 0; core < expected_pt_; ++core) {
+        if (!pt_assigned_[core])
             ++loss.pt_streams_dropped;
     }
-    return loaded;
+    buf_.clear();
+    return std::move(loaded_);
+}
+
+Result<LoadedTrace, TraceError>
+readTrace(const std::vector<uint8_t> &bytes, const std::string &context)
+{
+    TraceReader reader(context);
+    reader.feed(bytes);
+    return reader.finish();
 }
 
 Result<LoadedTrace, TraceError>

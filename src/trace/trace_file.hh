@@ -26,6 +26,7 @@
 #ifndef PRORACE_TRACE_TRACE_FILE_HH
 #define PRORACE_TRACE_TRACE_FILE_HH
 
+#include <optional>
 #include <string>
 
 #include "support/expected.hh"
@@ -57,6 +58,111 @@ inline constexpr uint32_t kSyncChunkRecords = 1024;
 struct LoadedTrace {
     RunTrace trace;
     SegmentLoss loss;
+};
+
+/**
+ * Incremental, resumable reader over a segmented trace stream.
+ *
+ * A long-running analysis service tails traces that are still being
+ * written: bytes arrive in arbitrary chunks, and segments must be
+ * parsed as soon as they are complete without re-scanning the stream
+ * from byte 0. TraceReader keeps a cursor: feed() appends bytes,
+ * poll() consumes every complete segment currently buffered (the
+ * consumed prefix is compacted away, so resident memory is bounded by
+ * the largest in-flight segment), and finish() applies the end-of-
+ * stream rules — truncation accounting, clipped-PT salvage,
+ * record-count reconciliation — and yields the LoadedTrace.
+ *
+ * The incremental path is semantics-identical to the one-shot
+ * readTrace(): feeding a buffer in any chunking (including one byte at
+ * a time) produces the same trace, the same SegmentLoss, and the same
+ * hard errors as handing the whole buffer over at once. readTrace()
+ * itself is implemented on top of this class.
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(std::string context = "<stream>");
+
+    /** Append @p size bytes of the stream; parses nothing by itself. */
+    void feed(const uint8_t *data, size_t size);
+
+    void
+    feed(const std::vector<uint8_t> &bytes)
+    {
+        feed(bytes.data(), bytes.size());
+    }
+
+    /**
+     * Parse every segment that is now complete. Returns the number of
+     * segments consumed by this call (damaged segments that were
+     * skipped count too). Cheap when nothing new is parseable.
+     */
+    size_t poll();
+
+    /**
+     * The stream is uninterpretable (bad magic, bad version, destroyed
+     * meta). Once set, further bytes are ignored and finish() returns
+     * this error.
+     */
+    bool hardFailed() const { return error_.has_value(); }
+
+    /** The latched hard error, if any. */
+    const TraceError *error() const
+    {
+        return error_ ? &*error_ : nullptr;
+    }
+
+    /** True once the end-marker segment has been parsed. */
+    bool sawEnd() const { return saw_end_; }
+
+    /** Segments consumed so far (parsed or skipped as damaged). */
+    uint64_t segmentsParsed() const { return loaded_.loss.segments_seen; }
+
+    /** Total stream bytes the cursor has advanced past. */
+    uint64_t bytesConsumed() const { return origin_ + pos_; }
+
+    /** Bytes buffered but not yet consumed (in-flight segment tail). */
+    size_t bytesBuffered() const { return buf_.size() - pos_; }
+
+    /** Loss accounting so far (finish() adds the reconciliation). */
+    const SegmentLoss &loss() const { return loaded_.loss; }
+
+    /**
+     * Declare end-of-stream: handle any truncated tail, reconcile
+     * salvaged record counts against the meta expectations, and return
+     * the trace. The reader must not be fed or polled afterwards.
+     */
+    Result<LoadedTrace, TraceError> finish();
+
+  private:
+    /** Parse one complete segment at the cursor; false = need bytes. */
+    bool consumeOne();
+
+    /** Enter/continue resync: scan forward for the next segment magic. */
+    void resync();
+
+    /** Drop the consumed prefix once it dominates the buffer. */
+    void compact();
+
+    TraceError makeError(TraceErrorKind kind, std::string msg,
+                         uint64_t offset) const;
+
+    std::string context_;
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0;       ///< cursor into buf_
+    uint64_t origin_ = 0;  ///< stream offset of buf_[0] (compaction)
+    bool header_done_ = false;
+    bool resyncing_ = false;
+    bool have_meta_ = false;
+    bool saw_end_ = false;
+    bool finished_ = false;
+    std::optional<TraceError> error_;
+    LoadedTrace loaded_;
+    uint64_t expected_pebs_ = 0;
+    uint64_t expected_sync_ = 0;
+    uint32_t expected_pt_ = 0;
+    std::vector<bool> pt_assigned_;
 };
 
 /**

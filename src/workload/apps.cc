@@ -24,8 +24,13 @@ makeAppWorkload(AppProfile p)
     b.globalU64("shared_counter", 0);
     b.global("bar", 8);
     b.global("ring", ring_nodes * 8);
-    b.global("arrays", static_cast<uint64_t>(p.threads) *
-                           std::max<uint32_t>(p.sweep_elems, 1) * 8);
+    // Streaming subjects get a fresh window per item; everything else
+    // revisits one fixed window, so the arena is just that window.
+    const uint32_t window = std::max<uint32_t>(p.sweep_elems, 1);
+    const uint64_t arena_elems =
+        p.streaming_sweep ? static_cast<uint64_t>(window) * items : window;
+    b.global("arrays",
+             static_cast<uint64_t>(p.threads) * arena_elems * 8);
 
     // main: initialize shared structures, spawn workers, join.
     b.label("main");
@@ -38,6 +43,21 @@ makeAppWorkload(AppProfile p)
     b.addri(Reg::rcx, 1);
     b.cmpri(Reg::rcx, p.threads);
     b.jcc(CondCode::kLt, "main_spawn");
+    // Streaming subjects: main joins the periodic barriers too.
+    // Otherwise it would sit in join() with its fork-time clock for
+    // the whole run, and no worker write could ever become provably
+    // quiescent (main might still read it unsynchronized) — the
+    // epoch GC's clock floor would be pinned at zero. A service main
+    // loop that checkpoints with its workers is also the realistic
+    // shape for a long-running daemon.
+    if (p.streaming_sweep && barrier_every && items / barrier_every) {
+        b.movri(Reg::rcx, 0);
+        b.label("main_bar");
+        b.barrier(b.symRef("bar"), p.threads + 1);
+        b.addri(Reg::rcx, 1);
+        b.cmpri(Reg::rcx, items / barrier_every);
+        b.jcc(CondCode::kLt, "main_bar");
+    }
     b.movri(Reg::rcx, 0);
     b.label("main_join");
     b.pop(Reg::rax);
@@ -50,9 +70,9 @@ makeAppWorkload(AppProfile p)
     // worker(tid in rdi)
     b.beginFunction("worker");
     b.movrr(Reg::r14, Reg::rdi);          // tid
-    // r15 = arrays + tid * sweep_elems * 8 (private region)
+    // r15 = arrays + tid * arena_elems * 8 (private region)
     b.lea(Reg::r15, b.symRef("arrays"));
-    b.movri(Reg::rax, std::max<uint32_t>(p.sweep_elems, 1) * 8);
+    b.movri(Reg::rax, arena_elems * 8);
     b.alurr(AluOp::kMul, Reg::rax, Reg::r14);
     b.alurr(AluOp::kAdd, Reg::r15, Reg::rax);
     b.movri(Reg::r13, 0);                 // item counter
@@ -99,7 +119,8 @@ makeAppWorkload(AppProfile p)
         b.aluri(AluOp::kAnd, Reg::rax, barrier_every - 1);
         b.cmpri(Reg::rax, barrier_every - 1);
         b.jcc(CondCode::kNe, "worker_nobar");
-        b.barrier(b.symRef("bar"), p.threads);
+        b.barrier(b.symRef("bar"),
+                  p.threads + (p.streaming_sweep ? 1 : 0));
         b.label("worker_nobar");
     }
     if (p.net_send_cycles)
@@ -107,6 +128,8 @@ makeAppWorkload(AppProfile p)
     if (p.file_write_cycles)
         b.syscall(SyscallNo::kWrite, p.file_write_cycles);
 
+    if (p.streaming_sweep)
+        b.addri(Reg::r15, window * 8); // next item gets a fresh window
     b.addri(Reg::r13, 1);
     b.cmpri(Reg::r13, items);
     b.jcc(CondCode::kLt, "worker_item");
@@ -238,6 +261,23 @@ realAppProfiles()
     return ps;
 }
 
+std::vector<AppProfile>
+streamingProfiles()
+{
+    // Fleet-service shapes (beyond the paper): every item touches a
+    // fresh slice of a large arena, so the live footprint grows
+    // linearly with run length. Barriers retire old slices under the
+    // happens-before order, which is what lets the incremental
+    // detector's epoch GC keep residency flat (fig16 Part B).
+    std::vector<AppProfile> ps;
+    ps.push_back({.name = "kvchurn",
+                  .description = "KV service with growing live set",
+                  .items = 192, .compute_iters = 20, .sweep_elems = 24,
+                  .chase_steps = 0, .barrier_every = 16, .lib_every = 4,
+                  .streaming_sweep = true});
+    return ps;
+}
+
 namespace {
 
 std::vector<Workload>
@@ -263,6 +303,12 @@ std::vector<Workload>
 realAppWorkloads(double scale)
 {
     return buildAll(realAppProfiles(), scale);
+}
+
+std::vector<Workload>
+streamingWorkloads(double scale)
+{
+    return buildAll(streamingProfiles(), scale);
 }
 
 } // namespace prorace::workload

@@ -35,6 +35,15 @@ struct AppProfile {
     uint32_t file_write_cycles = 0;
     /** Scale factor applied to items (used to shrink test runs). */
     double scale = 1.0;
+    /**
+     * Advance the private sweep window by sweep_elems each item
+     * instead of revisiting one fixed region, so the touched footprint
+     * grows with run length (the arena is sized items x sweep_elems
+     * per thread). Models allocation churn in a long-running service:
+     * exactly the shape whose shadow state an analyzer must retire to
+     * keep residency bounded (fig16).
+     */
+    bool streaming_sweep = false;
 };
 
 /** Build a runnable workload from a profile. */
@@ -46,11 +55,20 @@ std::vector<AppProfile> parsecProfiles();
 /** The real-application profiles of Table 1. */
 std::vector<AppProfile> realAppProfiles();
 
+/**
+ * Long-running service shapes (beyond the paper): growing live sets
+ * that exercise the streaming detector's shadow-state GC.
+ */
+std::vector<AppProfile> streamingProfiles();
+
 /** Convenience: build every PARSEC workload, scaled by @p scale. */
 std::vector<Workload> parsecWorkloads(double scale = 1.0);
 
 /** Convenience: build every real-app workload, scaled by @p scale. */
 std::vector<Workload> realAppWorkloads(double scale = 1.0);
+
+/** Convenience: build every streaming workload, scaled by @p scale. */
+std::vector<Workload> streamingWorkloads(double scale = 1.0);
 
 } // namespace prorace::workload
 

@@ -13,6 +13,8 @@ allWorkloadNames()
         names.emplace_back(p.name);
     for (const AppProfile &p : realAppProfiles())
         names.emplace_back(p.name);
+    for (const AppProfile &p : streamingProfiles())
+        names.emplace_back(p.name);
     for (const std::string &id : racyBugIds())
         names.push_back(id);
     return names;
@@ -28,6 +30,12 @@ findWorkload(const std::string &name, double scale)
         }
     }
     for (AppProfile p : realAppProfiles()) {
+        if (name == p.name) {
+            p.scale = scale;
+            return makeAppWorkload(p);
+        }
+    }
+    for (AppProfile p : streamingProfiles()) {
         if (name == p.name) {
             p.scale = scale;
             return makeAppWorkload(p);

@@ -57,6 +57,31 @@ TEST(Workloads, AllRacyBugsRunToCompletion)
     }
 }
 
+TEST(Workloads, StreamingSweepGrowsItsFootprint)
+{
+    // kvchurn advances its sweep window per item: the set of distinct
+    // granules touched must be far larger than one fixed window
+    // (threads x sweep_elems = 96 at any scale), and a longer run must
+    // touch more than a shorter one.
+    auto footprint = [](double scale) {
+        Workload w = streamingWorkloads(scale).front();
+        vm::MachineConfig cfg;
+        cfg.seed = 2;
+        cfg.record_memory_log = true;
+        vm::Machine m(*w.program, cfg);
+        w.setup(m);
+        EXPECT_EQ(m.run(), vm::RunStatus::kFinished) << w.name;
+        std::set<uint64_t> granules;
+        for (const auto &e : m.memoryLog())
+            granules.insert(e.addr & ~7ull);
+        return granules.size();
+    };
+    const size_t small = footprint(0.1);
+    const size_t large = footprint(0.3);
+    EXPECT_GT(small, 500u);
+    EXPECT_GT(large, small * 2);
+}
+
 TEST(Workloads, DeterministicPerSeed)
 {
     Workload w = makeRacyBug("pfscan", 0.2);
@@ -152,7 +177,7 @@ TEST(Workloads, AddressKindsMatchTableTwo)
 TEST(Workloads, RegistryFindsEverySuite)
 {
     const auto names = allWorkloadNames();
-    EXPECT_EQ(names.size(), 13u + 8u + 12u);
+    EXPECT_EQ(names.size(), 13u + 8u + 1u + 12u);
     for (const std::string &name : names)
         EXPECT_TRUE(findWorkload(name, 0.05).has_value()) << name;
     EXPECT_FALSE(findWorkload("no-such-app").has_value());
