@@ -83,6 +83,7 @@ struct Args {
     bool vanilla = false;
     bool stats = false;        ///< dump shadow-structure counters
     bool no_prefilter = false; ///< disable the static access prefilter
+    bool no_run_summary = false; ///< dispatch folded runs one by one
 
     // Fleet-service knobs (serve / submit commands).
     unsigned producers = 4;
@@ -162,6 +163,28 @@ printShadowStats(const core::OfflineResult &result)
                 static_cast<unsigned long long>(ft.epoch_fast_path),
                 static_cast<unsigned long long>(ft.read_shares),
                 static_cast<unsigned long long>(ft.vc_spills));
+    std::printf("run summary: %llu blocks folded, %llu iterations "
+                "folded\n",
+                static_cast<unsigned long long>(ft.run_blocks_folded),
+                static_cast<unsigned long long>(
+                    ft.run_iterations_folded));
+
+    const trace::CompressionStats &cm = result.compression;
+    if (cm.pebs_raw_bytes || cm.sync_raw_bytes) {
+        std::printf("compression: pebs %llu -> %llu bytes (%.2fx), "
+                    "sync %llu -> %llu bytes, %llu run blocks "
+                    "(%llu iterations elided)\n",
+                    static_cast<unsigned long long>(cm.pebs_raw_bytes),
+                    static_cast<unsigned long long>(
+                        cm.pebs_encoded_bytes),
+                    cm.pebsRatio(),
+                    static_cast<unsigned long long>(cm.sync_raw_bytes),
+                    static_cast<unsigned long long>(
+                        cm.sync_encoded_bytes),
+                    static_cast<unsigned long long>(cm.run_blocks),
+                    static_cast<unsigned long long>(
+                        cm.run_iterations_folded));
+    }
 }
 
 int
@@ -172,18 +195,20 @@ usage()
                  "       prorace_cli trace <workload> <file> [--period N]"
                  " [--seed N] [--driver prorace|vanilla] [--scale X]\n"
                  "       prorace_cli analyze <workload> <file> [--racez]"
-                 " [--scale X] [--jobs N] [--stats] [--no-prefilter]\n"
+                 " [--scale X] [--jobs N] [--stats] [--no-prefilter]"
+                 " [--no-run-summary]\n"
                  "       prorace_cli run <workload> [--period N]"
                  " [--seed N] [--scale X] [--jobs N] [--stats]"
-                 " [--no-prefilter]\n"
+                 " [--no-prefilter] [--no-run-summary]\n"
                  "       prorace_cli oracle [--count K] [--period N]"
-                 " [--seed N] [--jobs N]\n"
+                 " [--seed N] [--jobs N] [--no-run-summary]\n"
                  "       prorace_cli static-report <workload>"
                  " [--scale X]\n"
                  "       prorace_cli serve [--producers N] [--sessions "
                  "N] [--workers N] [--slots N] [--credit BYTES] "
                  "[--shed] [--chunk BYTES] [--subjects a,b,c]"
-                 " [--scale X] [--period N] [--seed N] [--stats]\n"
+                 " [--scale X] [--period N] [--seed N] [--stats]"
+                 " [--no-run-summary]\n"
                  "       prorace_cli submit <workload> <trace-file>"
                  " [--tenant NAME] [--chunk BYTES] [--scale X]\n"
                  "\n"
@@ -194,7 +219,11 @@ usage()
                  "and the static-prefilter event counters\n"
                  "--no-prefilter keeps definitely-thread-local accesses "
                  "in the detector feed (the race report is identical; "
-                 "detection just costs more)\n");
+                 "detection just costs more)\n"
+                 "--no-run-summary dispatches every iteration of a "
+                 "compressed run block through the detector instead of "
+                 "folding proven-absorbed repeats (the race report is "
+                 "identical; detection just costs more)\n");
     return 2;
 }
 
@@ -238,6 +267,8 @@ parseFlags(int argc, char **argv, int first, Args &args)
             args.stats = true;
         } else if (flag == "--no-prefilter") {
             args.no_prefilter = true;
+        } else if (flag == "--no-run-summary") {
+            args.no_run_summary = true;
         } else if (flag == "--driver") {
             const char *v = next();
             if (!v)
@@ -351,6 +382,7 @@ cmdAnalyze(const Args &args)
     opt.pt_filter = w->pt_filter;
     opt.num_threads = args.jobs;
     opt.static_prefilter = !args.no_prefilter;
+    opt.run_summary = !args.no_run_summary;
     if (args.racez)
         opt.replay.mode = replay::ReplayMode::kBasicBlock;
     core::ParallelOfflineAnalyzer analyzer(*w->program, opt);
@@ -417,6 +449,7 @@ cmdRun(const Args &args)
         : core::proRaceConfig(args.period, args.seed, w->pt_filter);
     cfg.offline.num_threads = args.jobs;
     cfg.offline.static_prefilter = !args.no_prefilter;
+    cfg.offline.run_summary = !args.no_run_summary;
     core::PipelineResult result =
         core::runPipeline(*w->program, w->setup, cfg);
     if (args.stats)
@@ -444,6 +477,7 @@ cmdOracle(const Args &args)
         core::PipelineConfig pc = core::proRaceConfig(
             args.period, args.seed + 7, gw.workload.pt_filter);
         pc.offline.num_threads = args.jobs;
+        pc.offline.run_summary = !args.no_run_summary;
         core::PipelineResult result = core::runPipeline(
             *gw.workload.program, gw.workload.setup, pc);
         const oracle::OracleScore score =
@@ -566,6 +600,26 @@ printTenantRow(const std::string &name,
                      ts.incremental.clocks_reclaimed),
                  ts.latency_seconds.mean() * 1e3,
                  ts.latency_seconds.max() * 1e3);
+    const trace::CompressionStats &cm = ts.compression;
+    if (cm.pebs_raw_bytes || cm.sync_raw_bytes) {
+        std::fprintf(stderr,
+                     "  %-12s pebs %llu -> %llu bytes (%.2fx), sync "
+                     "%llu -> %llu bytes, %llu run blocks (%llu "
+                     "iterations), %llu folded by detector\n",
+                     "",
+                     static_cast<unsigned long long>(cm.pebs_raw_bytes),
+                     static_cast<unsigned long long>(
+                         cm.pebs_encoded_bytes),
+                     cm.pebsRatio(),
+                     static_cast<unsigned long long>(cm.sync_raw_bytes),
+                     static_cast<unsigned long long>(
+                         cm.sync_encoded_bytes),
+                     static_cast<unsigned long long>(cm.run_blocks),
+                     static_cast<unsigned long long>(
+                         cm.run_iterations_folded),
+                     static_cast<unsigned long long>(
+                         ts.detect.run_iterations_folded));
+    }
 }
 
 int
@@ -582,6 +636,7 @@ cmdServe(const Args &args)
     cfg.service.session_slots = args.slots;
     cfg.service.ingest.credit_bytes = args.credit;
     cfg.service.ingest.shed_on_full = args.shed;
+    cfg.service.offline.run_summary = !args.no_run_summary;
     if (!args.subjects.empty()) {
         cfg.subjects.clear();
         std::string rest = args.subjects;

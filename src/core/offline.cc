@@ -97,6 +97,21 @@ buildFeed(const trace::RunTrace &run,
     return feed;
 }
 
+detect::MemAccess
+toMemAccess(const replay::ReconstructedAccess &a)
+{
+    detect::MemAccess ma;
+    ma.tid = a.tid;
+    ma.addr = a.addr;
+    ma.width = a.width;
+    ma.is_write = a.is_write;
+    ma.is_atomic = a.is_atomic;
+    ma.insn_index = a.insn_index;
+    ma.tsc = a.tsc;
+    ma.origin = a.origin;
+    return ma;
+}
+
 /** Dispatch one feed event into either detector flavor. */
 template <typename Detector>
 void
@@ -105,17 +120,7 @@ dispatchEvent(Detector &ft, const FeedEvent &ev,
               const std::vector<replay::ReconstructedAccess> &accesses)
 {
     if (!ev.is_sync) {
-        const replay::ReconstructedAccess &a = accesses[ev.index];
-        detect::MemAccess ma;
-        ma.tid = a.tid;
-        ma.addr = a.addr;
-        ma.width = a.width;
-        ma.is_write = a.is_write;
-        ma.is_atomic = a.is_atomic;
-        ma.insn_index = a.insn_index;
-        ma.tsc = a.tsc;
-        ma.origin = a.origin;
-        ft.access(ma);
+        ft.access(toMemAccess(accesses[ev.index]));
         return;
     }
     const trace::SyncRecord &s = run.sync[ev.index];
@@ -165,6 +170,66 @@ dispatchEvent(Detector &ft, const FeedEvent &ev,
     }
 }
 
+/**
+ * End of the maximal run starting at feed position @p i: the first
+ * position whose event is a sync op or an access differing from
+ * feed[i]'s in anything but the TSC. Only such runs — identical
+ * accesses with no intervening event of any thread — are candidates for
+ * detector-side folding.
+ */
+size_t
+runExtent(const std::vector<FeedEvent> &feed,
+          const std::vector<replay::ReconstructedAccess> &accesses,
+          size_t i)
+{
+    const replay::ReconstructedAccess &a = accesses[feed[i].index];
+    size_t j = i + 1;
+    while (j < feed.size() && !feed[j].is_sync) {
+        const replay::ReconstructedAccess &b = accesses[feed[j].index];
+        if (b.tid != a.tid || b.addr != a.addr || b.width != a.width ||
+            b.is_write != a.is_write || b.is_atomic != a.is_atomic ||
+            b.insn_index != a.insn_index || b.origin != a.origin)
+            break;
+        ++j;
+    }
+    return j;
+}
+
+/**
+ * Dispatch the whole feed with optional run-level folding: the first
+ * iteration of a run of identical accesses is dispatched normally, then
+ * the detector is asked to absorb the repeats in one step; if it
+ * declines (shared-read state, where repeat TSCs matter), the repeats
+ * are dispatched individually from the original events. @p on_events is
+ * called once per run/event with the number of feed events covered and
+ * the TSC of the last one — the hook streaming detection paces its
+ * batch boundaries with.
+ */
+template <typename Detector, typename OnEvents>
+void
+dispatchFeed(Detector &ft, const std::vector<FeedEvent> &feed,
+             const trace::RunTrace &run,
+             const std::vector<replay::ReconstructedAccess> &accesses,
+             bool run_summary, OnEvents &&on_events)
+{
+    size_t i = 0;
+    while (i < feed.size()) {
+        const FeedEvent &ev = feed[i];
+        size_t j = i + 1;
+        if (run_summary && !ev.is_sync)
+            j = runExtent(feed, accesses, i);
+        dispatchEvent(ft, ev, run, accesses);
+        if (j - i > 1 &&
+            !ft.foldRepeats(toMemAccess(accesses[ev.index]),
+                            j - i - 1)) {
+            for (size_t k = i + 1; k < j; ++k)
+                dispatchEvent(ft, feed[k], run, accesses);
+        }
+        on_events(j - i, feed[j - 1].tsc);
+        i = j;
+    }
+}
+
 } // namespace
 
 namespace detail {
@@ -173,13 +238,14 @@ void
 detectRaces(const trace::RunTrace &run,
             const std::map<uint32_t, replay::ThreadAlignment> &alignments,
             const std::vector<replay::ReconstructedAccess> &accesses,
-            detect::RaceReport &report, detect::FastTrackStats &stats)
+            detect::RaceReport &report, detect::FastTrackStats &stats,
+            bool run_summary)
 {
     const std::vector<FeedEvent> feed =
         buildFeed(run, alignments, accesses);
     detect::FastTrack ft;
-    for (const FeedEvent &ev : feed)
-        dispatchEvent(ft, ev, run, accesses);
+    dispatchFeed(ft, feed, run, accesses, run_summary,
+                 [](uint64_t, uint64_t) {});
     report = ft.report();
     stats = ft.stats();
 }
@@ -189,7 +255,7 @@ detectRacesIncremental(
     const trace::RunTrace &run,
     const std::map<uint32_t, replay::ThreadAlignment> &alignments,
     const std::vector<replay::ReconstructedAccess> &accesses,
-    detect::IncrementalFastTrack &detector)
+    detect::IncrementalFastTrack &detector, bool run_summary)
 {
     const std::vector<FeedEvent> feed =
         buildFeed(run, alignments, accesses);
@@ -197,16 +263,18 @@ detectRacesIncremental(
         detector.options().batch_events ? detector.options().batch_events
                                         : 1;
     uint64_t in_batch = 0;
-    for (const FeedEvent &ev : feed) {
-        dispatchEvent(detector, ev, run, accesses);
-        if (++in_batch >= batch) {
-            // Every later event has tsc >= this one (the feed is
-            // sorted), so this event's TSC is a valid retirement
-            // frontier.
-            detector.batchBoundary(ev.tsc);
-            in_batch = 0;
-        }
-    }
+    dispatchFeed(
+        detector, feed, run, accesses, run_summary,
+        [&](uint64_t events, uint64_t frontier_tsc) {
+            in_batch += events;
+            if (in_batch >= batch) {
+                // Every later event has tsc >= this one (the feed is
+                // sorted), so this event's TSC is a valid retirement
+                // frontier.
+                detector.batchBoundary(frontier_tsc);
+                in_batch = 0;
+            }
+        });
     detector.finish();
 }
 
@@ -314,13 +382,13 @@ OfflineAnalyzer::analyzeOnce(
         for (const trace::ThreadMeta &tm : run.meta.threads)
             detector.requireThread(tm.tid);
         detail::detectRacesIncremental(run, alignments, accesses,
-                                       detector);
+                                       detector, options_.run_summary);
         result.report = detector.report();
         result.detect_stats = detector.stats();
         result.incremental.merge(detector.incrementalStats());
     } else {
         detail::detectRaces(run, alignments, accesses, result.report,
-                            result.detect_stats);
+                            result.detect_stats, options_.run_summary);
     }
     result.detect_seconds += timer.lap();
 }
@@ -383,6 +451,7 @@ OfflineAnalyzer::analyzeFile(const std::string &path)
     OfflineResult result = analyze(loaded.value().trace);
     options_.incremental.enable_gc = saved_gc;
     result.ingest_loss = loaded.value().loss;
+    result.compression = loaded.value().trace.meta.compression;
     return result;
 }
 

@@ -51,6 +51,17 @@ struct OfflineOptions {
      */
     bool static_prefilter = true;
     /**
+     * Fold consecutive identical accesses in the detector feed — runs
+     * the v5 trace compressor stores as strided blocks — into a single
+     * dispatched iteration plus one absorption check, instead of
+     * re-running the FastTrack fast path per iteration. Folding only
+     * happens when the detector proves the repeats are no-ops
+     * (FastTrack::foldRepeats), so the race report is byte-identical
+     * with the summary on or off; only detection cost changes.
+     * `--no-run-summary` in the CLI maps here.
+     */
+    bool run_summary = true;
+    /**
      * Streaming detection (detect::IncrementalFastTrack): process the
      * merged detector feed in batches with epoch-GC of quiescent shadow
      * state between batches, bounding detector memory on long traces.
@@ -130,6 +141,9 @@ struct OfflineResult {
     detect::IncrementalStats incremental;
     /** What trace ingestion discarded (analyzeFile() path only). */
     trace::SegmentLoss ingest_loss;
+    /** v5 columnar compression counters of the ingested trace
+     *  (analyzeFile() path only; zero for in-memory analysis). */
+    trace::CompressionStats compression;
     QuarantineStats quarantine;
     PrefilterStats prefilter;
     uint64_t extended_trace_events = 0; ///< counted before the prefilter
@@ -192,14 +206,17 @@ namespace detail {
  * The detection stage shared by the serial and parallel analyzers:
  * merge the reconstructed accesses and the sync trace into one
  * TSC-ordered feed (with the release < access < acquire tie-break at
- * equal timestamps) and run FastTrack over it.
+ * equal timestamps) and run FastTrack over it. With @p run_summary set,
+ * consecutive identical accesses are folded through
+ * FastTrack::foldRepeats (per-iteration fallback when the detector
+ * cannot prove absorption); the report is byte-identical either way.
  */
 void detectRaces(const trace::RunTrace &run,
                  const std::map<uint32_t,
                                 replay::ThreadAlignment> &alignments,
                  const std::vector<replay::ReconstructedAccess> &accesses,
                  detect::RaceReport &report,
-                 detect::FastTrackStats &stats);
+                 detect::FastTrackStats &stats, bool run_summary = true);
 
 /**
  * The streaming variant of detectRaces: the identical merged feed is
@@ -213,7 +230,7 @@ void detectRacesIncremental(
     const trace::RunTrace &run,
     const std::map<uint32_t, replay::ThreadAlignment> &alignments,
     const std::vector<replay::ReconstructedAccess> &accesses,
-    detect::IncrementalFastTrack &detector);
+    detect::IncrementalFastTrack &detector, bool run_summary = true);
 
 /**
  * Paper §5.1: races on locations whose emulated values the replay

@@ -227,13 +227,13 @@ ParallelOfflineAnalyzer::analyzeOnceParallel(
         for (const trace::ThreadMeta &tm : run.meta.threads)
             detector.requireThread(tm.tid);
         detail::detectRacesIncremental(run, alignments, accesses,
-                                       detector);
+                                       detector, options_.run_summary);
         result.report = detector.report();
         result.detect_stats = detector.stats();
         result.incremental.merge(detector.incrementalStats());
     } else {
         detail::detectRaces(run, alignments, accesses, result.report,
-                            result.detect_stats);
+                            result.detect_stats, options_.run_summary);
     }
     result.detect_seconds += timer.lap();
 }
@@ -304,6 +304,7 @@ ParallelOfflineAnalyzer::analyzeFile(const std::string &path)
     OfflineResult result = analyze(loaded.value().trace);
     options_.incremental.enable_gc = saved_gc;
     result.ingest_loss = loaded.value().loss;
+    result.compression = loaded.value().trace.meta.compression;
     return result;
 }
 

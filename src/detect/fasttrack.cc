@@ -325,6 +325,39 @@ FastTrack::checkWrite(VarState &var, const MemAccess &ma, ThreadState &th)
     var.write_atomic = ma.is_atomic;
 }
 
+bool
+FastTrack::foldRepeats(const MemAccess &ma, uint64_t n)
+{
+    if (n == 0)
+        return true;
+    ThreadState &th = threadState(ma.tid);
+    const uint64_t first = granuleOf(ma.addr);
+    const uint64_t last = granuleOf(ma.addr + (ma.width ? ma.width - 1 : 0));
+    // Check every granule before committing: a straddling access whose
+    // granules disagree (one absorbed, one shared) falls back entirely,
+    // which is always safe — re-dispatching an absorbed granule is the
+    // no-op fast path.
+    for (uint64_t g = first; g <= last; ++g) {
+        const VarState *var = shadow_.find(g);
+        const bool absorbed = var &&
+            (ma.is_write
+                 ? var->write_epoch == th.epoch()
+                 : (!var->read_is_shared &&
+                    var->read_epoch == th.epoch()));
+        if (!absorbed)
+            return false;
+    }
+    const uint64_t checks = n * (last - first + 1);
+    if (ma.is_write)
+        stats_.writes += checks;
+    else
+        stats_.reads += checks;
+    stats_.epoch_fast_path += checks;
+    ++stats_.run_blocks_folded;
+    stats_.run_iterations_folded += n;
+    return true;
+}
+
 void
 FastTrack::access(const MemAccess &ma)
 {

@@ -184,6 +184,22 @@ class IncrementalFastTrack
         ft_.access(ma);
     }
 
+    /**
+     * FastTrack::foldRepeats with streaming bookkeeping: folded
+     * iterations count toward the event total (and thus batch pacing)
+     * exactly as if they had been dispatched one by one. The thread was
+     * already noted by the preceding dispatched iteration, so gating
+     * and liveness need no update.
+     */
+    bool
+    foldRepeats(const MemAccess &ma, uint64_t n)
+    {
+        if (!ft_.foldRepeats(ma, n))
+            return false;
+        inc_.events += n;
+        return true;
+    }
+
     // --- streaming control ---
 
     /**

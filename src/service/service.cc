@@ -163,6 +163,7 @@ AnalysisService::analyzeSession(std::shared_ptr<SessionState> session)
     } else {
         trace::LoadedTrace &loaded = finished.value();
         outcome.loss = loaded.loss;
+        outcome.compression = loaded.trace.meta.compression;
         core::OfflineOptions opts = options_.offline;
         // GC soundness gate: a lossy sync stream may hide fork edges,
         // so this session runs batched but unswept (still identical).
@@ -206,6 +207,7 @@ AnalysisService::completeSession(
         ++ts.sessions_failed;
     ts.extended_trace_events += outcome.extended_trace_events;
     ts.detect.merge(outcome.detect_stats);
+    ts.compression.merge(outcome.compression);
     ts.incremental.merge(outcome.incremental);
     ts.prefilter.merge(outcome.prefilter);
     ts.quarantine.merge(outcome.quarantine);

@@ -78,6 +78,8 @@ struct SessionOutcome {
     std::string error; ///< TraceError message when !ok
     detect::RaceReport report;
     trace::SegmentLoss loss;
+    /** v5 columnar compression counters of the streamed trace. */
+    trace::CompressionStats compression;
     detect::FastTrackStats detect_stats;
     detect::IncrementalStats incremental;
     core::PrefilterStats prefilter;
@@ -93,6 +95,8 @@ struct TenantServiceStats {
     uint64_t sessions_failed = 0; ///< uninterpretable streams
     uint64_t extended_trace_events = 0;
     detect::FastTrackStats detect;
+    /** v5 compression counters summed over the tenant's traces. */
+    trace::CompressionStats compression;
     detect::IncrementalStats incremental;
     core::PrefilterStats prefilter;
     core::QuarantineStats quarantine;
@@ -108,6 +112,7 @@ struct TenantServiceStats {
         sessions_failed += other.sessions_failed;
         extended_trace_events += other.extended_trace_events;
         detect.merge(other.detect);
+        compression.merge(other.compression);
         incremental.merge(other.incremental);
         prefilter.merge(other.prefilter);
         quarantine.merge(other.quarantine);

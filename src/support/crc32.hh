@@ -15,6 +15,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace prorace {
 
@@ -52,6 +53,17 @@ crc32(const void *data, size_t size, uint32_t seed = 0)
     for (size_t i = 0; i < size; ++i)
         c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
     return c ^ 0xFFFFFFFFu;
+}
+
+/**
+ * CRC-32 of a whole byte buffer. Convenience overload so every segment
+ * checksummer goes through this one implementation instead of re-rolling
+ * the data/size plumbing.
+ */
+inline uint32_t
+crc32(const std::vector<uint8_t> &bytes, uint32_t seed = 0)
+{
+    return crc32(bytes.data(), bytes.size(), seed);
 }
 
 } // namespace prorace

@@ -45,6 +45,44 @@ struct PtCoreStream {
     uint64_t bit_count = 0;
 };
 
+/**
+ * Compression accounting computed by the v5 columnar encoder and
+ * embedded in the meta segment. "Raw" bytes are the v4 fixed-width
+ * equivalents (what a decompress-then-scan pipeline would have stored);
+ * "encoded" bytes are the columnar payload sizes actually written. Run
+ * blocks are repeated record blocks stored once with an iteration
+ * count; folded iterations are the records they elide.
+ */
+struct CompressionStats {
+    uint64_t pebs_raw_bytes = 0;
+    uint64_t pebs_encoded_bytes = 0;
+    uint64_t sync_raw_bytes = 0;
+    uint64_t sync_encoded_bytes = 0;
+    uint64_t run_blocks = 0;            ///< repeated blocks stored once
+    uint64_t run_iterations_folded = 0; ///< records elided by run blocks
+
+    /** Raw/encoded ratio of the PEBS columns (0 when nothing encoded). */
+    double
+    pebsRatio() const
+    {
+        return pebs_encoded_bytes
+                   ? static_cast<double>(pebs_raw_bytes) /
+                         static_cast<double>(pebs_encoded_bytes)
+                   : 0.0;
+    }
+
+    void
+    merge(const CompressionStats &o)
+    {
+        pebs_raw_bytes += o.pebs_raw_bytes;
+        pebs_encoded_bytes += o.pebs_encoded_bytes;
+        sync_raw_bytes += o.sync_raw_bytes;
+        sync_encoded_bytes += o.sync_encoded_bytes;
+        run_blocks += o.run_blocks;
+        run_iterations_folded += o.run_iterations_folded;
+    }
+};
+
 /** Per-thread metadata the offline phase needs. */
 struct ThreadMeta {
     uint32_t tid = 0;
@@ -69,6 +107,9 @@ struct TraceMeta {
      *  first sample). */
     std::vector<uint64_t> first_periods;
     std::vector<ThreadMeta> threads;
+    /** Filled by the v5 encoder at serialization time; on a decoded
+     *  trace it reflects what the file's encoder measured. */
+    CompressionStats compression;
 };
 
 /** Everything the online phase hands to the offline phase. */

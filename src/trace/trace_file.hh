@@ -14,13 +14,29 @@
  *             u32 header_crc, u32 payload_crc, payload
  *
  * Segment kinds: one meta segment (run counters + expected record
- * counts), PEBS records in chunks, sync records in chunks, one PT
- * segment per core, and an end marker whose absence flags truncation.
- * PEBS/sync segments failing their CRC are dropped (a garbage sample
- * would poison replay); PT segments failing their CRC are salvaged with
- * clamped bounds, because the PT decoder has its own packet-level
- * resynchronization (pmu/pt_decode) and can mine intact packets out of
- * a damaged stream.
+ * counts + compression accounting), PEBS records in chunks, sync
+ * records in chunks, one PT segment per core, and an end marker whose
+ * absence flags truncation. PEBS/sync segments failing their CRC are
+ * dropped (a garbage sample would poison replay); PT segments failing
+ * their CRC are salvaged with clamped bounds, because the PT decoder
+ * has its own packet-level resynchronization (pmu/pt_decode) and can
+ * mine intact packets out of a damaged stream.
+ *
+ * Version 5 keeps the v4 framing byte-for-byte (same header layout,
+ * CRC spans, and salvage rules) but replaces the fixed-width PEBS/sync
+ * payloads with per-field *columns*: each record field is delta-encoded
+ * against a predictor (global previous record for tid/core/tsc,
+ * previous same-tid record for insn_index/addr/regs) and written as a
+ * LEB128 varint of the zigzagged delta; register files are
+ * dictionary-coded as a 16-bit changed-register mask plus one delta per
+ * set bit. On top of the columns, the encoder detects *run blocks* —
+ * consecutive record blocks that repeat modulo a per-position stride on
+ * addr/tsc/regs (a sampled loop) — and stores the block once with an
+ * iteration count and strides. All predictor state resets at segment
+ * boundaries so every segment still decodes standalone, which is what
+ * keeps the v4 salvage semantics: a damaged segment is dropped without
+ * poisoning its neighbours. v4 traces are rejected with a version error
+ * naming both versions, exactly as v4 did to v3.
  */
 
 #ifndef PRORACE_TRACE_TRACE_FILE_HH
@@ -39,20 +55,29 @@ namespace prorace::trace {
 inline constexpr uint32_t kTraceMagic = 0x50524354; // "PRCT"
 
 /**
- * Current format version. Bumped to 4 for the segmented format; older
- * flat-format traces are rejected with a clear error (re-trace the
- * workload — the production side always writes the current version).
+ * Current format version. Bumped to 5 for the columnar compressed
+ * payloads; older fixed-width traces are rejected with a clear error
+ * (re-trace the workload — the production side always writes the
+ * current version).
  */
-inline constexpr uint32_t kTraceVersion = 4;
+inline constexpr uint32_t kTraceVersion = 5;
 
 /** Magic introducing every segment; the resync scan target. */
-inline constexpr uint32_t kSegmentMagic = 0x34474553; // "SEG4"
+inline constexpr uint32_t kSegmentMagic = 0x35474553; // "SEG5"
 
 /** PEBS records per segment; the unit of loss under corruption. */
 inline constexpr uint32_t kPebsChunkRecords = 256;
 
 /** Sync records per segment. */
 inline constexpr uint32_t kSyncChunkRecords = 1024;
+
+/**
+ * Longest repeated block the run detector considers. Short on purpose:
+ * the PEBS stream samples loops at a period much larger than the loop
+ * body, so observed repeats are short tuples; quadratic detection cost
+ * stays bounded per chunk.
+ */
+inline constexpr uint32_t kMaxRunBlockLen = 4;
 
 /** A successfully ingested trace plus whatever the reader discarded. */
 struct LoadedTrace {

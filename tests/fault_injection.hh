@@ -6,7 +6,8 @@
  * Every corruption is a pure function of the input bytes and a seeded
  * support/rng stream, so a (seed, rate) pair names one exact damage
  * pattern — CI reruns the same patterns every time. The segment-aware
- * helpers parse the v4 segment framing of an *intact* trace first and
+ * helpers parse the segment framing (unchanged from v4 through the v5
+ * columnar payloads) of an *intact* trace first and
  * then damage whole segments, which is the unit production loss
  * actually comes in (a dropped aux-buffer chunk, a clipped file); the
  * raw helpers damage arbitrary bytes to exercise the resync scan.
