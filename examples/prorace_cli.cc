@@ -35,11 +35,17 @@
  *       as JSONL on stdout, with throughput and per-tenant counters
  *       on stderr.
  *   prorace_cli submit <workload> <trace-file> [--tenant NAME]
- *               [--chunk BYTES] [--scale X]
+ *               [--chunk BYTES] [--scale X] [--state-dir DIR]
  *       Producer side of the service (also spelled --submit): stream
  *       an existing trace file into an in-process service session in
  *       chunks and print the analysis outcome — what a production
  *       machine's uploader does against a real service endpoint.
+ *       With --state-dir, resubmitting the identical trace warm-starts
+ *       from the saved detector checkpoint.
+ *   prorace_cli store <state-dir> [--verify]
+ *       Replay the report journal in <state-dir> offline and dump the
+ *       rebuilt store as JSONL — the crash-recovery inspection tool.
+ *       --verify exits nonzero when a CRC-valid record fails to apply.
  *
  * The <workload> program must be identical between trace and analyze
  * (same name and --scale), exactly as the offline phase needs the
@@ -51,6 +57,7 @@
 #include <cstring>
 #include <string>
 
+#include <filesystem>
 #include <fstream>
 
 #include "analysis/analysis.hh"
@@ -63,6 +70,7 @@
 #include "replay/program_map.hh"
 #include "service/fleet.hh"
 #include "service/service.hh"
+#include "support/journal.hh"
 #include "trace/trace_file.hh"
 #include "workload/registry.hh"
 
@@ -95,6 +103,10 @@ struct Args {
     bool shed = false;         ///< shed instead of stalling producers
     std::string subjects;      ///< comma-separated workload names
     std::string tenant = "cli";
+    std::string state_dir;     ///< durable-state dir (serve / submit)
+    unsigned poison = 0;       ///< poison producers (serve)
+    double deadline = 0;       ///< per-session analysis deadline (s)
+    bool verify = false;       ///< store command: verify the journal
 };
 
 /**
@@ -208,10 +220,20 @@ usage()
                  "N] [--workers N] [--slots N] [--credit BYTES] "
                  "[--shed] [--chunk BYTES] [--subjects a,b,c]"
                  " [--scale X] [--period N] [--seed N] [--stats]"
-                 " [--no-run-summary]\n"
+                 " [--no-run-summary] [--state-dir DIR] [--poison N]"
+                 " [--deadline SECS]\n"
                  "       prorace_cli submit <workload> <trace-file>"
-                 " [--tenant NAME] [--chunk BYTES] [--scale X]\n"
+                 " [--tenant NAME] [--chunk BYTES] [--scale X]"
+                 " [--state-dir DIR]\n"
+                 "       prorace_cli store <state-dir> [--verify]\n"
                  "\n"
+                 "--state-dir DIR makes the service durable: the report "
+                 "store rides a write-ahead journal in DIR and detector "
+                 "checkpoints enable warm starts; `store` replays that "
+                 "journal offline (--verify checks every record)\n"
+                 "--poison N adds N garbage-streaming tenants to the "
+                 "fleet (chaos soak; their failures are expected and "
+                 "exempt from the health gate)\n"
                  "--jobs N runs the offline analysis on N worker threads"
                  " (0 = serial; results are identical either way)\n"
                  "--stats dumps the shadow-structure counters (program-"
@@ -320,6 +342,24 @@ parseFlags(int argc, char **argv, int first, Args &args)
             if (!v)
                 return false;
             args.tenant = v;
+        } else if (flag == "--state-dir") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.state_dir = v;
+        } else if (flag == "--poison") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.poison =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (flag == "--deadline") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.deadline = std::atof(v);
+        } else if (flag == "--verify") {
+            args.verify = true;
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
             return false;
@@ -620,6 +660,49 @@ printTenantRow(const std::string &name,
                      static_cast<unsigned long long>(
                          ts.detect.run_iterations_folded));
     }
+    // Salvage/loss accounting: what this tenant's streams lost to
+    // damage. Only printed when there was any, so clean runs stay
+    // clean.
+    if (ts.segments_dropped || ts.bytes_skipped || ts.pebs_dropped ||
+        ts.sync_dropped || ts.pt_streams_dropped ||
+        ts.pt_streams_damaged || ts.truncated_streams) {
+        std::fprintf(stderr,
+                     "  %-12s loss: %llu/%llu segments dropped, %llu "
+                     "bytes skipped, %llu samples, %llu sync events "
+                     "lost, %llu PT streams lost, %llu damaged, %llu "
+                     "truncated streams\n",
+                     "",
+                     static_cast<unsigned long long>(ts.segments_dropped),
+                     static_cast<unsigned long long>(ts.segments_seen),
+                     static_cast<unsigned long long>(ts.bytes_skipped),
+                     static_cast<unsigned long long>(ts.pebs_dropped),
+                     static_cast<unsigned long long>(ts.sync_dropped),
+                     static_cast<unsigned long long>(
+                         ts.pt_streams_dropped),
+                     static_cast<unsigned long long>(
+                         ts.pt_streams_damaged),
+                     static_cast<unsigned long long>(
+                         ts.truncated_streams));
+    }
+    // Supervision: retries, deadline kills, quarantine, warm starts.
+    if (ts.sessions_quarantined || ts.analysis_retries ||
+        ts.deadline_timeouts || ts.warm_starts ||
+        ts.checkpoints_written || ts.quarantined) {
+        std::fprintf(stderr,
+                     "  %-12s supervision: %llu quarantined%s, %llu "
+                     "retries, %llu deadline timeouts, %llu warm "
+                     "starts, %llu checkpoints\n",
+                     "",
+                     static_cast<unsigned long long>(
+                         ts.sessions_quarantined),
+                     ts.quarantined ? " (TENANT QUARANTINED)" : "",
+                     static_cast<unsigned long long>(ts.analysis_retries),
+                     static_cast<unsigned long long>(
+                         ts.deadline_timeouts),
+                     static_cast<unsigned long long>(ts.warm_starts),
+                     static_cast<unsigned long long>(
+                         ts.checkpoints_written));
+    }
 }
 
 int
@@ -637,6 +720,9 @@ cmdServe(const Args &args)
     cfg.service.ingest.credit_bytes = args.credit;
     cfg.service.ingest.shed_on_full = args.shed;
     cfg.service.offline.run_summary = !args.no_run_summary;
+    cfg.service.state_dir = args.state_dir;
+    cfg.service.supervision.session_deadline_seconds = args.deadline;
+    cfg.poison_producers = args.poison;
     if (!args.subjects.empty()) {
         cfg.subjects.clear();
         std::string rest = args.subjects;
@@ -688,6 +774,37 @@ cmdServe(const Args &args)
                      result.stats.report_observations),
                  static_cast<unsigned long long>(
                      roll.incremental.peak_live_granules));
+    if (result.stats.durable) {
+        std::fprintf(
+            stderr,
+            "durability: %llu reports recovered at boot, %llu journal "
+            "records appended (%llu bytes, %llu syncs), %llu "
+            "checkpoints, %llu warm starts\n",
+            static_cast<unsigned long long>(
+                result.stats.recovered_reports),
+            static_cast<unsigned long long>(
+                result.stats.journal.appended_records),
+            static_cast<unsigned long long>(
+                result.stats.journal.appended_bytes),
+            static_cast<unsigned long long>(result.stats.journal.syncs),
+            static_cast<unsigned long long>(roll.checkpoints_written),
+            static_cast<unsigned long long>(roll.warm_starts));
+    }
+    if (result.stats.tenants_quarantined ||
+        result.stats.quarantine_rejected_opens || result.poison_sessions) {
+        std::fprintf(
+            stderr,
+            "quarantine: %llu poison sessions streamed, %llu tenants "
+            "quarantined, %llu opens rejected, %llu open sessions "
+            "aborted\n",
+            static_cast<unsigned long long>(result.poison_sessions),
+            static_cast<unsigned long long>(
+                result.stats.tenants_quarantined),
+            static_cast<unsigned long long>(
+                result.stats.quarantine_rejected_opens),
+            static_cast<unsigned long long>(
+                result.stats.quarantine_aborted_sessions));
+    }
     if (args.stats) {
         for (const auto &[name, ts] : result.tenants)
             printTenantRow(name, ts);
@@ -713,11 +830,18 @@ cmdServe(const Args &args)
     // presence depends on the subjects chosen, so it is the caller's
     // business). Under the default stall policy no session may be
     // shed; failed sessions and a rollup that disagrees with the
-    // per-tenant sum are always bugs.
+    // per-tenant sum are always bugs. Poison tenants are *expected* to
+    // fail — their job is proving the healthy ones don't — so their
+    // failures are exempt; a failure on a healthy tenant still trips
+    // the gate.
     service::TenantServiceStats sum;
-    for (const auto &[name, ts] : result.tenants)
+    uint64_t healthy_failed = 0;
+    for (const auto &[name, ts] : result.tenants) {
         sum.merge(ts);
-    bool healthy = roll.sessions_failed == 0 &&
+        if (name.rfind("poison-", 0) != 0)
+            healthy_failed += ts.sessions_failed;
+    }
+    bool healthy = healthy_failed == 0 &&
                    sum.sessions_completed == roll.sessions_completed &&
                    sum.incremental.events == roll.incremental.events;
     if (!args.shed)
@@ -738,18 +862,42 @@ cmdSubmit(const Args &args)
                      args.workload.c_str());
         return 1;
     }
+    // Pre-flight the path before any service machinery spins up, so a
+    // bad invocation gets a precise diagnostic instead of a misleading
+    // "not a ProRace trace file" from an empty stream.
+    std::error_code ec;
+    const auto status = std::filesystem::status(args.trace_file, ec);
+    if (ec || !std::filesystem::exists(status)) {
+        std::fprintf(stderr, "cannot read %s: no such file\n",
+                     args.trace_file.c_str());
+        return 1;
+    }
+    if (std::filesystem::is_directory(status)) {
+        std::fprintf(stderr, "cannot read %s: is a directory\n",
+                     args.trace_file.c_str());
+        return 1;
+    }
     std::ifstream in(args.trace_file, std::ios::binary);
     if (!in) {
-        std::fprintf(stderr, "cannot read %s\n",
+        std::fprintf(stderr,
+                     "cannot read %s: permission denied or unreadable\n",
                      args.trace_file.c_str());
         return 1;
     }
     std::vector<uint8_t> bytes(
         (std::istreambuf_iterator<char>(in)),
         std::istreambuf_iterator<char>());
+    if (bytes.empty()) {
+        std::fprintf(stderr,
+                     "cannot read %s: empty file (zero bytes) — not a "
+                     "recorded trace\n",
+                     args.trace_file.c_str());
+        return 1;
+    }
 
     service::ServiceOptions options;
     options.offline.pt_filter = w->pt_filter;
+    options.state_dir = args.state_dir;
     service::AnalysisService svc(options);
     svc.registerProgram(args.workload, w->program);
     const uint64_t id = svc.openSession(args.tenant, args.workload);
@@ -777,6 +925,12 @@ cmdSubmit(const Args &args)
         std::printf("trace damaged; analyzed what survives (%s)\n",
                     outcome.loss.summary().c_str());
     }
+    if (outcome.warm_started) {
+        std::printf("warm start: resumed from a saved detector "
+                    "checkpoint (%llu checkpoints written)\n",
+                    static_cast<unsigned long long>(
+                        outcome.checkpoints_written));
+    }
     std::printf("session %llu (%s): %llu events, %llu batches, "
                 "%llu gc sweeps, %.1fms ingest-to-report\n",
                 static_cast<unsigned long long>(outcome.session_id),
@@ -796,6 +950,58 @@ cmdSubmit(const Args &args)
                         : "not detected in this trace");
     }
     return outcome.report.empty() ? 1 : 0;
+}
+
+/**
+ * Offline journal inspection: rebuild the report store by replaying
+ * the journal's valid prefix through the scan path (independent of the
+ * service's own recovery code) and dump it as JSONL. With --verify,
+ * any record in the valid prefix that fails to apply is an error —
+ * that is the crash-consistency invariant CI asserts after SIGKILLing
+ * a serve run at a random moment.
+ */
+int
+cmdStore(const Args &args)
+{
+    const std::string path = args.state_dir + "/reports.jrnl";
+    const support::JournalScan scan = support::scanJournalFile(path);
+
+    service::ReportStore store;
+    uint64_t applied = 0, malformed = 0, foreign = 0;
+    for (const support::JournalRecord &record : scan.records) {
+        if (record.type != service::kReportIngestRecord) {
+            ++foreign;
+            continue;
+        }
+        if (store.applyIngestRecord(record.payload))
+            ++applied;
+        else
+            ++malformed;
+    }
+
+    std::fprintf(stderr,
+                 "journal %s: %zu records in valid prefix (%llu bytes)"
+                 "%s, %llu applied, %llu malformed, %llu foreign; "
+                 "%zu distinct races, max sequence %llu\n",
+                 path.c_str(), scan.records.size(),
+                 static_cast<unsigned long long>(
+                     scan.valid_prefix_bytes),
+                 scan.clean ? "" : " + torn/corrupt tail",
+                 static_cast<unsigned long long>(applied),
+                 static_cast<unsigned long long>(malformed),
+                 static_cast<unsigned long long>(foreign),
+                 store.distinctRaces(),
+                 static_cast<unsigned long long>(store.maxSequence()));
+    std::printf("%s", store.toJsonl().c_str());
+
+    if (args.verify && malformed > 0) {
+        std::fprintf(stderr,
+                     "store: VERIFY FAILED — %llu CRC-valid records "
+                     "did not apply\n",
+                     static_cast<unsigned long long>(malformed));
+        return 1;
+    }
+    return 0;
 }
 
 } // namespace
@@ -828,6 +1034,12 @@ main(int argc, char **argv)
     }
     if (argc < 3)
         return usage();
+    if (args.command == "store") {
+        args.state_dir = argv[2];
+        if (!parseFlags(argc, argv, 3, args))
+            return usage();
+        return cmdStore(args);
+    }
     args.workload = argv[2];
 
     if (args.command == "trace" || args.command == "analyze" ||

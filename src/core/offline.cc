@@ -210,9 +210,13 @@ void
 dispatchFeed(Detector &ft, const std::vector<FeedEvent> &feed,
              const trace::RunTrace &run,
              const std::vector<replay::ReconstructedAccess> &accesses,
-             bool run_summary, OnEvents &&on_events)
+             bool run_summary, OnEvents &&on_events, size_t start = 0)
 {
-    size_t i = 0;
+    // @p start resumes mid-feed (checkpoint warm start). Cursor values
+    // recorded by on_events are sums of whole run extents, so a saved
+    // cursor always lands back on a run boundary and the continuation
+    // dispatches exactly the events an uninterrupted run would have.
+    size_t i = start;
     while (i < feed.size()) {
         const FeedEvent &ev = feed[i];
         size_t j = i + 1;
@@ -255,27 +259,62 @@ detectRacesIncremental(
     const trace::RunTrace &run,
     const std::map<uint32_t, replay::ThreadAlignment> &alignments,
     const std::vector<replay::ReconstructedAccess> &accesses,
-    detect::IncrementalFastTrack &detector, bool run_summary)
+    detect::IncrementalFastTrack &detector, bool run_summary,
+    const CheckpointHooks *hooks, bool allow_checkpoint)
 {
     const std::vector<FeedEvent> feed =
         buildFeed(run, alignments, accesses);
+
+    // Checkpoint warm start: the saved image is only valid against the
+    // exact feed it was cut from, so the feed size must match and the
+    // image must deserialize cleanly; anything else cold-starts.
+    uint64_t start = 0;
+    if (hooks && allow_checkpoint && hooks->restore &&
+        hooks->resume_feed_total == feed.size() &&
+        hooks->resume_events <= feed.size()) {
+        support::ByteReader reader(*hooks->restore);
+        if (detector.restoreState(reader)) {
+            start = hooks->resume_events;
+            if (hooks->resumed)
+                *hooks->resumed = true;
+        }
+    }
+
     const uint64_t batch =
         detector.options().batch_events ? detector.options().batch_events
                                         : 1;
     uint64_t in_batch = 0;
+    uint64_t cursor = start;
     dispatchFeed(
         detector, feed, run, accesses, run_summary,
         [&](uint64_t events, uint64_t frontier_tsc) {
             in_batch += events;
+            cursor += events;
             if (in_batch >= batch) {
                 // Every later event has tsc >= this one (the feed is
                 // sorted), so this event's TSC is a valid retirement
                 // frontier.
                 detector.batchBoundary(frontier_tsc);
                 in_batch = 0;
+                if (hooks) {
+                    if (hooks->tick)
+                        hooks->tick();
+                    if (allow_checkpoint && hooks->on_boundary)
+                        hooks->on_boundary(cursor, feed.size(),
+                                           detector);
+                }
             }
-        });
+        },
+        static_cast<size_t>(start));
     detector.finish();
+    if (hooks) {
+        if (hooks->tick)
+            hooks->tick();
+        // A final image at end-of-feed lets a tenant that re-streams
+        // the identical trace warm-start past the whole detect stage.
+        if (allow_checkpoint && hooks->on_boundary)
+            hooks->on_boundary(feed.size(), feed.size(), detector);
+    }
 }
 
 void
@@ -359,7 +398,7 @@ OfflineAnalyzer::analyzeOnce(
     const std::map<uint32_t, pmu::ThreadPath> &paths,
     const std::map<uint32_t, replay::ThreadAlignment> &alignments,
     const replay::ReplayConfig &replay_config, OfflineResult &result,
-    std::unordered_set<uint64_t> &consumed)
+    std::unordered_set<uint64_t> &consumed, bool first_round)
 {
     // --- reconstruction ---
     Stopwatch timer;
@@ -382,7 +421,9 @@ OfflineAnalyzer::analyzeOnce(
         for (const trace::ThreadMeta &tm : run.meta.threads)
             detector.requireThread(tm.tid);
         detail::detectRacesIncremental(run, alignments, accesses,
-                                       detector, options_.run_summary);
+                                       detector, options_.run_summary,
+                                       &options_.checkpoint,
+                                       first_round);
         result.report = detector.report();
         result.detect_stats = detector.stats();
         result.incremental.merge(detector.incrementalStats());
@@ -418,7 +459,8 @@ OfflineAnalyzer::analyze(const trace::RunTrace &run)
         std::unordered_set<uint64_t> consumed;
         OfflineResult pass = result; // keep timing accumulators
         pass.report = detect::RaceReport();
-        analyzeOnce(run, paths, alignments, replay_config, pass, consumed);
+        analyzeOnce(run, paths, alignments, replay_config, pass, consumed,
+                    round == 0);
         result = pass;
 
         if (round >= options_.max_regeneration_rounds)

@@ -9,6 +9,7 @@
 #define PRORACE_CORE_OFFLINE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "analysis/analysis.hh"
@@ -25,6 +26,52 @@
 #include "trace/trace_error.hh"
 
 namespace prorace::core {
+
+/**
+ * Checkpoint/resume and supervision hooks into the streaming detection
+ * stage (detect::IncrementalFastTrack). The analysis service uses these
+ * for crash recovery: at every epoch-GC batch boundary it can serialize
+ * the detector plus the feed cursor, and a later analysis of the same
+ * byte stream warm-starts from that image instead of re-running the
+ * detector from event zero. Hooks fire only on the incremental path
+ * (OfflineOptions::incremental.enabled); checkpointing and restore
+ * apply to regeneration round 0 only — later rounds re-run against a
+ * different blacklist, so a round-0 image would be stale for them.
+ */
+struct CheckpointHooks {
+    /**
+     * Fired at every batch boundary of every round, and once after the
+     * final event. May throw to abort the analysis — this is how the
+     * service enforces per-session deadlines cooperatively; the
+     * exception propagates out of analyze().
+     */
+    std::function<void()> tick;
+
+    /**
+     * Fired (round 0 only) at every batch boundary and once at
+     * end-of-feed, after the boundary's retirement/GC ran:
+     * @p feed_cursor events of the @p feed_total -event merged feed are
+     * fully dispatched and @p detector holds exactly the state an
+     * uninterrupted run has at this point. The hook may serialize it.
+     */
+    std::function<void(uint64_t feed_cursor, uint64_t feed_total,
+                       detect::IncrementalFastTrack &detector)>
+        on_boundary;
+
+    /**
+     * When set, round 0 restores this serialized detector image and
+     * resumes dispatch at feed event @p resume_events instead of 0.
+     * Applied only when @p resume_feed_total matches the rebuilt feed
+     * size exactly and the image deserializes cleanly; otherwise the
+     * analysis cold-starts (correct, just slower).
+     */
+    const std::vector<uint8_t> *restore = nullptr;
+    uint64_t resume_events = 0;
+    uint64_t resume_feed_total = 0;
+
+    /** Out-param: set true when the restore was actually applied. */
+    bool *resumed = nullptr;
+};
 
 /** Offline-phase configuration. */
 struct OfflineOptions {
@@ -70,6 +117,8 @@ struct OfflineOptions {
      * every session this way.
      */
     detect::IncrementalOptions incremental;
+    /** Detector checkpoint/resume + deadline hooks (service tier). */
+    CheckpointHooks checkpoint;
 };
 
 /**
@@ -192,7 +241,8 @@ class OfflineAnalyzer
                                     replay::ThreadAlignment> &alignments,
                      const replay::ReplayConfig &replay_config,
                      OfflineResult &result,
-                     std::unordered_set<uint64_t> &consumed);
+                     std::unordered_set<uint64_t> &consumed,
+                     bool first_round);
 
     const asmkit::Program &program_;
     OfflineOptions options_;
@@ -230,7 +280,9 @@ void detectRacesIncremental(
     const trace::RunTrace &run,
     const std::map<uint32_t, replay::ThreadAlignment> &alignments,
     const std::vector<replay::ReconstructedAccess> &accesses,
-    detect::IncrementalFastTrack &detector, bool run_summary = true);
+    detect::IncrementalFastTrack &detector, bool run_summary = true,
+    const CheckpointHooks *hooks = nullptr,
+    bool allow_checkpoint = true);
 
 /**
  * Paper §5.1: races on locations whose emulated values the replay

@@ -1,5 +1,8 @@
 #include "detect/fasttrack.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "support/log.hh"
 
 namespace prorace::detect {
@@ -355,6 +358,274 @@ FastTrack::foldRepeats(const MemAccess &ma, uint64_t n)
     stats_.epoch_fast_path += checks;
     ++stats_.run_blocks_folded;
     stats_.run_iterations_folded += n;
+    return true;
+}
+
+namespace {
+
+/** Detector checkpoint layout version (bump on any format change). */
+constexpr uint32_t kFastTrackStateVersion = 1;
+
+void
+putClock(support::ByteWriter &w, const VectorClock &clock)
+{
+    w.u32(static_cast<uint32_t>(clock.size()));
+    for (uint32_t t = 0; t < clock.size(); ++t)
+        w.u64(clock.get(t));
+}
+
+bool
+getClock(support::ByteReader &r, VectorClock &clock)
+{
+    clock.clear();
+    const uint32_t n = r.u32();
+    if (n > Epoch::kMaxThreads)
+        return false;
+    for (uint32_t t = 0; t < n; ++t)
+        clock.set(t, r.u64());
+    return r.ok();
+}
+
+void
+putAccess(support::ByteWriter &w, const RaceAccess &a)
+{
+    w.u32(a.tid);
+    w.u32(a.insn_index);
+    w.u8(a.is_write ? 1 : 0);
+    w.u64(a.tsc);
+    w.u8(static_cast<uint8_t>(a.origin));
+}
+
+RaceAccess
+getAccess(support::ByteReader &r)
+{
+    RaceAccess a;
+    a.tid = r.u32();
+    a.insn_index = r.u32();
+    a.is_write = r.u8() != 0;
+    a.tsc = r.u64();
+    a.origin = static_cast<AccessOrigin>(r.u8());
+    return a;
+}
+
+void
+putEpoch(support::ByteWriter &w, const Epoch &e)
+{
+    w.u32(e.tid());
+    w.u64(e.clock());
+}
+
+Epoch
+getEpoch(support::ByteReader &r)
+{
+    const uint32_t tid = r.u32();
+    const uint64_t clock = r.u64();
+    return Epoch(tid, clock);
+}
+
+/** Key-sorted snapshot of a FlatMap so serialization is order-stable. */
+template <typename Value>
+std::vector<std::pair<uint64_t, Value>>
+sortedEntries(const prorace::FlatMap<Value> &map)
+{
+    std::vector<std::pair<uint64_t, Value>> entries;
+    entries.reserve(map.size());
+    map.forEach([&](uint64_t key, const Value &value) {
+        entries.emplace_back(key, value);
+    });
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return entries;
+}
+
+} // namespace
+
+void
+FastTrack::serializeState(support::ByteWriter &w) const
+{
+    w.u32(kFastTrackStateVersion);
+
+    uint32_t live_threads = 0;
+    for (const auto &th : threads_)
+        live_threads += th ? 1 : 0;
+    w.u32(live_threads);
+    for (const auto &th : threads_) {
+        if (!th)
+            continue;
+        w.u32(th->tid);
+        putClock(w, th->clock);
+    }
+
+    for (const auto *map : {&locks_, &exited_}) {
+        const auto entries = sortedEntries(*map);
+        w.u32(static_cast<uint32_t>(entries.size()));
+        for (const auto &[key, clock] : entries) {
+            w.u64(key);
+            putClock(w, clock);
+        }
+    }
+
+    w.u32(static_cast<uint32_t>(exit_reclaimed_.size()));
+    for (const bool reclaimed : exit_reclaimed_)
+        w.u8(reclaimed ? 1 : 0);
+
+    const auto shadow = sortedEntries(shadow_);
+    w.u32(static_cast<uint32_t>(shadow.size()));
+    for (const auto &[granule, var] : shadow) {
+        w.u64(granule);
+        putEpoch(w, var.write_epoch);
+        putAccess(w, var.last_write);
+        w.u8(var.write_atomic ? 1 : 0);
+        putEpoch(w, var.read_epoch);
+        putAccess(w, var.last_read);
+        w.u8(var.read_atomic ? 1 : 0);
+        w.u8(var.read_is_shared ? 1 : 0);
+        putClock(w, var.read_vc);
+        putAccess(w, var.shared_read_sample);
+    }
+
+    const auto allocs = sortedEntries(alloc_sizes_);
+    w.u32(static_cast<uint32_t>(allocs.size()));
+    for (const auto &[addr, size] : allocs) {
+        w.u64(addr);
+        w.u64(size);
+    }
+
+    w.u32(static_cast<uint32_t>(report_.races().size()));
+    for (const DataRace &race : report_.races()) {
+        w.u64(race.addr);
+        putAccess(w, race.prior);
+        putAccess(w, race.current);
+    }
+
+    w.u64(stats_.reads);
+    w.u64(stats_.writes);
+    w.u64(stats_.sync_ops);
+    w.u64(stats_.epoch_fast_path);
+    w.u64(stats_.read_shares);
+    w.u64(stats_.vc_spills);
+    w.u64(stats_.run_blocks_folded);
+    w.u64(stats_.run_iterations_folded);
+    w.u64(stats_.gc_granules_reclaimed);
+    w.u64(stats_.gc_clocks_reclaimed);
+}
+
+bool
+FastTrack::restoreState(support::ByteReader &r)
+{
+    // Parse the whole image into locals first; the live state is only
+    // replaced once every byte checked out, so a malformed or truncated
+    // checkpoint leaves the detector exactly as it was.
+    if (r.u32() != kFastTrackStateVersion)
+        return false;
+
+    const uint32_t thread_count = r.u32();
+    if (thread_count > Epoch::kMaxThreads)
+        return false;
+    std::vector<std::pair<uint32_t, VectorClock>> threads(thread_count);
+    for (auto &[tid, clock] : threads) {
+        tid = r.u32();
+        if (tid >= Epoch::kMaxThreads || !getClock(r, clock))
+            return false;
+    }
+
+    std::vector<std::pair<uint64_t, VectorClock>> locks, exited;
+    for (auto *out : {&locks, &exited}) {
+        const uint32_t n = r.u32();
+        if (!r.ok())
+            return false;
+        out->resize(n);
+        for (auto &[key, clock] : *out) {
+            key = r.u64();
+            if (!getClock(r, clock))
+                return false;
+        }
+    }
+
+    const uint32_t reclaimed_count = r.u32();
+    if (reclaimed_count > Epoch::kMaxThreads)
+        return false;
+    std::vector<bool> reclaimed(reclaimed_count);
+    for (uint32_t i = 0; i < reclaimed_count; ++i)
+        reclaimed[i] = r.u8() != 0;
+
+    const uint32_t shadow_count = r.u32();
+    if (!r.ok())
+        return false;
+    std::vector<std::pair<uint64_t, VarState>> shadow(shadow_count);
+    for (auto &[granule, var] : shadow) {
+        granule = r.u64();
+        var.write_epoch = getEpoch(r);
+        var.last_write = getAccess(r);
+        var.write_atomic = r.u8() != 0;
+        var.read_epoch = getEpoch(r);
+        var.last_read = getAccess(r);
+        var.read_atomic = r.u8() != 0;
+        var.read_is_shared = r.u8() != 0;
+        if (!getClock(r, var.read_vc))
+            return false;
+        var.shared_read_sample = getAccess(r);
+    }
+
+    const uint32_t alloc_count = r.u32();
+    if (!r.ok())
+        return false;
+    std::vector<std::pair<uint64_t, uint64_t>> allocs(alloc_count);
+    for (auto &[addr, size] : allocs) {
+        addr = r.u64();
+        size = r.u64();
+    }
+
+    const uint32_t race_count = r.u32();
+    if (!r.ok())
+        return false;
+    std::vector<DataRace> races(race_count);
+    for (DataRace &race : races) {
+        race.addr = r.u64();
+        race.prior = getAccess(r);
+        race.current = getAccess(r);
+    }
+
+    FastTrackStats stats;
+    stats.reads = r.u64();
+    stats.writes = r.u64();
+    stats.sync_ops = r.u64();
+    stats.epoch_fast_path = r.u64();
+    stats.read_shares = r.u64();
+    stats.vc_spills = r.u64();
+    stats.run_blocks_folded = r.u64();
+    stats.run_iterations_folded = r.u64();
+    stats.gc_granules_reclaimed = r.u64();
+    stats.gc_clocks_reclaimed = r.u64();
+    if (!r.ok())
+        return false;
+
+    threads_.clear();
+    for (auto &[tid, clock] : threads) {
+        ThreadState &th = threadState(tid);
+        th.clock = std::move(clock);
+    }
+    locks_ = {};
+    for (auto &[key, clock] : locks)
+        locks_[key] = std::move(clock);
+    exited_ = {};
+    for (auto &[tid, clock] : exited)
+        exited_[tid] = std::move(clock);
+    exit_reclaimed_ = std::move(reclaimed);
+    shadow_ = {};
+    for (auto &[granule, var] : shadow)
+        shadow_[granule] = std::move(var);
+    alloc_sizes_ = {};
+    for (const auto &[addr, size] : allocs)
+        alloc_sizes_[addr] = size;
+    // Re-adding through add() rebuilds the dedup pair set exactly as
+    // the original insertions did.
+    report_ = RaceReport();
+    for (const DataRace &race : races)
+        report_.add(race);
+    stats_ = stats;
     return true;
 }
 

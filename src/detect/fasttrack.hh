@@ -30,6 +30,7 @@
 #include "detect/report.hh"
 #include "detect/vector_clock.hh"
 #include "support/flat_map.hh"
+#include "support/journal.hh"
 
 namespace prorace::detect {
 
@@ -227,6 +228,27 @@ class FastTrack
      * anything). Returns the number of clocks reclaimed.
      */
     uint64_t sweepExitedClocks(const VectorClock &floor);
+
+    // --- checkpoint serialization (service warm-start) ---
+    //
+    // The complete behavioral state — thread clocks, lock/exit clocks,
+    // reclaim tombstones, shadow granules, allocation lifetimes, the
+    // report so far, and the behavior-neutral counters — round-trips
+    // through a byte stream. A restored detector fed the remainder of
+    // the original event feed produces a report byte-identical to one
+    // that ran uninterrupted (asserted in tests/test_recovery.cc).
+    // Tables are written key-sorted so the same state always serializes
+    // to the same bytes regardless of probe order.
+
+    /** Append the full detector state to @p w. */
+    void serializeState(support::ByteWriter &w) const;
+
+    /**
+     * Replace this detector's state with one previously serialized.
+     * Returns false — leaving the detector unchanged — when the bytes
+     * are malformed or of an incompatible state version.
+     */
+    bool restoreState(support::ByteReader &r);
 
   private:
     /** Shadow state of one 8-byte granule, stored inline in the table. */

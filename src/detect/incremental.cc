@@ -84,4 +84,101 @@ IncrementalFastTrack::finish()
     batchBoundary(std::numeric_limits<uint64_t>::max());
 }
 
+namespace {
+
+constexpr uint32_t kIncrementalStateVersion = 1;
+
+void
+putBools(support::ByteWriter &w, const std::vector<bool> &bits)
+{
+    w.u32(static_cast<uint32_t>(bits.size()));
+    for (const bool bit : bits)
+        w.u8(bit ? 1 : 0);
+}
+
+bool
+getBools(support::ByteReader &r, std::vector<bool> &bits)
+{
+    const uint32_t n = r.u32();
+    if (n > Epoch::kMaxThreads)
+        return false;
+    bits.assign(n, false);
+    for (uint32_t i = 0; i < n; ++i)
+        bits[i] = r.u8() != 0;
+    return r.ok();
+}
+
+} // namespace
+
+void
+IncrementalFastTrack::serializeState(support::ByteWriter &w) const
+{
+    w.u32(kIncrementalStateVersion);
+    w.u64(inc_.events);
+    w.u64(inc_.batches);
+    w.u64(inc_.gc_sweeps);
+    w.u64(inc_.gc_gated);
+    w.u64(inc_.granules_reclaimed);
+    w.u64(inc_.clocks_reclaimed);
+    w.u64(inc_.peak_live_granules);
+    w.u64(inc_.peak_live_clocks);
+    putBools(w, seen_);
+    putBools(w, required_);
+    putBools(w, retired_);
+    w.u32(static_cast<uint32_t>(exit_tsc_.size()));
+    for (const uint64_t tsc : exit_tsc_)
+        w.u64(tsc);
+    w.u64(required_unseen_);
+    w.u64(events_at_last_gc_);
+    w.u8(exited_pending_ ? 1 : 0);
+    // The detector core goes last so restore can parse every wrapper
+    // field into locals before the one commit point.
+    ft_.serializeState(w);
+}
+
+bool
+IncrementalFastTrack::restoreState(support::ByteReader &r)
+{
+    if (r.u32() != kIncrementalStateVersion)
+        return false;
+    IncrementalStats inc;
+    inc.events = r.u64();
+    inc.batches = r.u64();
+    inc.gc_sweeps = r.u64();
+    inc.gc_gated = r.u64();
+    inc.granules_reclaimed = r.u64();
+    inc.clocks_reclaimed = r.u64();
+    inc.peak_live_granules = r.u64();
+    inc.peak_live_clocks = r.u64();
+    std::vector<bool> seen, required, retired;
+    if (!getBools(r, seen) || !getBools(r, required) ||
+        !getBools(r, retired))
+        return false;
+    const uint32_t exits = r.u32();
+    if (exits > Epoch::kMaxThreads || !r.ok())
+        return false;
+    std::vector<uint64_t> exit_tsc(exits);
+    for (uint64_t &tsc : exit_tsc)
+        tsc = r.u64();
+    const uint64_t required_unseen = r.u64();
+    const uint64_t events_at_last_gc = r.u64();
+    const bool exited_pending = r.u8() != 0;
+    if (!r.ok())
+        return false;
+    // Single commit point: the core detector restore is itself
+    // transactional, and every wrapper field is already parsed.
+    if (!ft_.restoreState(r))
+        return false;
+
+    inc_ = inc;
+    seen_ = std::move(seen);
+    required_ = std::move(required);
+    retired_ = std::move(retired);
+    exit_tsc_ = std::move(exit_tsc);
+    required_unseen_ = required_unseen;
+    events_at_last_gc_ = events_at_last_gc;
+    exited_pending_ = exited_pending;
+    return true;
+}
+
 } // namespace prorace::detect

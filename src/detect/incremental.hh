@@ -218,6 +218,26 @@ class IncrementalFastTrack
      */
     void finish();
 
+    // --- checkpoint serialization (service warm-start) ---
+    //
+    // The wrapped FastTrack state plus the streaming bookkeeping
+    // (seen/required/retired sets, exit TSCs, event counters) round-trip
+    // through a byte stream, so an analysis interrupted at a batch
+    // boundary can resume on a fresh instance and still produce a report
+    // byte-identical to an uninterrupted run. Options are NOT part of
+    // the state: the restoring instance keeps its own configuration
+    // (batch pacing may then differ, which only moves GC boundaries —
+    // reports are GC-invariant by the floor argument above).
+
+    /** Append wrapper + detector state to @p w. */
+    void serializeState(support::ByteWriter &w) const;
+
+    /**
+     * Replace all state with a previously serialized image. Returns
+     * false — leaving this instance unchanged — on malformed bytes.
+     */
+    bool restoreState(support::ByteReader &r);
+
     const RaceReport &report() const { return ft_.report(); }
     RaceReport &report() { return ft_.report(); }
     FastTrackStats stats() const { return ft_.stats(); }

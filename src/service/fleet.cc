@@ -96,7 +96,46 @@ runFleet(const FleetConfig &config)
             }
         });
     }
+    // Poison tenants stream deterministic garbage alongside the real
+    // fleet. They reuse a registered program id so the failure happens
+    // at ingest/analysis, not at open.
+    std::atomic<uint64_t> poison_opened{0};
+    std::vector<std::thread> poison;
+    poison.reserve(config.poison_producers);
+    for (unsigned p = 0; p < config.poison_producers; ++p) {
+        poison.emplace_back([&, p] {
+            uint64_t rng = config.seed * 0x9e3779b97f4a7c15ull + p + 1;
+            const std::string tenant = "poison-" + std::to_string(p);
+            std::vector<uint8_t> garbage(config.poison_bytes);
+            for (unsigned s = 0; s < config.sessions_per_producer; ++s) {
+                const uint64_t id =
+                    service.openSession(tenant, subjects[0].name);
+                // Rejected poison opens (tenant quarantined) are the
+                // system working, not fleet-level shedding: not
+                // counted into sessions_rejected.
+                if (id == 0)
+                    continue;
+                ++poison_opened;
+                for (uint8_t &b : garbage) {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    b = static_cast<uint8_t>(rng);
+                }
+                for (size_t off = 0; off < garbage.size();
+                     off += config.chunk_bytes) {
+                    const size_t len = std::min(config.chunk_bytes,
+                                                garbage.size() - off);
+                    service.submit(id, garbage.data() + off, len);
+                }
+                service.closeSession(id);
+            }
+        });
+    }
+
     for (std::thread &producer : producers)
+        producer.join();
+    for (std::thread &producer : poison)
         producer.join();
     service.drain();
     result.wall_seconds =
@@ -106,6 +145,7 @@ runFleet(const FleetConfig &config)
 
     result.sessions_opened = opened;
     result.sessions_rejected = rejected;
+    result.poison_sessions = poison_opened;
     result.bytes_submitted = bytes;
     result.latencies = service.latencies();
     for (const SessionOutcome &outcome : service.outcomes())

@@ -42,6 +42,16 @@ struct FleetConfig {
     uint64_t period = 16;  ///< PEBS sampling period
     uint64_t seed = 7;
     size_t chunk_bytes = 4096; ///< producer submission granularity
+    /**
+     * Extra "poison-N" tenants streaming seeded pseudorandom garbage
+     * instead of traces — the chaos ingredient for supervision and
+     * quarantine testing. Their sessions fail (hard trace error, or a
+     * configured analysis_fault_injector keyed on the tenant prefix);
+     * the assertion is that the healthy tenants' sessions all still
+     * complete and the service never goes down.
+     */
+    unsigned poison_producers = 0;
+    size_t poison_bytes = 1 << 16; ///< garbage stream length per session
     ServiceOptions service;
 };
 
@@ -49,6 +59,7 @@ struct FleetConfig {
 struct FleetResult {
     uint64_t sessions_opened = 0;
     uint64_t sessions_rejected = 0; ///< openSession returned 0 (shed)
+    uint64_t poison_sessions = 0;   ///< garbage sessions opened
     uint64_t bytes_submitted = 0;
     uint64_t trace_bytes_per_session = 0; ///< summed over subjects
     double wall_seconds = 0; ///< streaming + drain (recording excluded)

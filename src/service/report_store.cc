@@ -1,9 +1,31 @@
 #include "service/report_store.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 namespace prorace::service {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (u < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
 
 std::string
 rwSignatureName(uint8_t signature)
@@ -45,15 +67,123 @@ raceSiteKey(uint64_t program_fp, const detect::DataRace &race)
     return key;
 }
 
+namespace {
+
+constexpr uint32_t kIngestRecordVersion = 1;
+
+void
+putRaceAccess(support::ByteWriter &w, const detect::RaceAccess &access)
+{
+    w.u32(access.tid);
+    w.u32(access.insn_index);
+    w.u8(access.is_write ? 1 : 0);
+    w.u64(access.tsc);
+    w.u8(static_cast<uint8_t>(access.origin));
+}
+
+detect::RaceAccess
+getRaceAccess(support::ByteReader &r)
+{
+    detect::RaceAccess access;
+    access.tid = r.u32();
+    access.insn_index = r.u32();
+    access.is_write = r.u8() != 0;
+    access.tsc = r.u64();
+    access.origin = static_cast<detect::AccessOrigin>(r.u8());
+    return access;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+ReportStore::encodeIngestRecord(const std::string &tenant,
+                                const std::string &program_id,
+                                const detect::RaceReport &report,
+                                uint64_t sequence)
+{
+    support::ByteWriter w;
+    w.u32(kIngestRecordVersion);
+    w.u64(sequence);
+    w.str(tenant);
+    w.str(program_id);
+    w.u32(static_cast<uint32_t>(report.races().size()));
+    for (const detect::DataRace &race : report.races()) {
+        w.u64(race.addr);
+        putRaceAccess(w, race.prior);
+        putRaceAccess(w, race.current);
+    }
+    return w.take();
+}
+
+bool
+ReportStore::applyIngestRecord(const std::vector<uint8_t> &payload)
+{
+    support::ByteReader r(payload.data(), payload.size());
+    if (r.u32() != kIngestRecordVersion)
+        return false;
+    const uint64_t sequence = r.u64();
+    const std::string tenant = r.str();
+    const std::string program_id = r.str();
+    const uint32_t count = r.u32();
+    if (!r.ok() || count > payload.size())
+        return false;
+    std::vector<detect::DataRace> races;
+    races.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        detect::DataRace race;
+        race.addr = r.u64();
+        race.prior = getRaceAccess(r);
+        race.current = getRaceAccess(r);
+        races.push_back(race);
+    }
+    if (!r.ok() || !r.exhausted())
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    ingestLocked(tenant, program_id, races, sequence);
+    return true;
+}
+
+void
+ReportStore::bindJournal(support::Journal *journal)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    journal_ = journal;
+}
+
+uint64_t
+ReportStore::maxSequence() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_sequence_;
+}
+
 void
 ReportStore::ingest(const std::string &tenant,
                     const std::string &program_id,
                     const detect::RaceReport &report, uint64_t sequence)
 {
     std::lock_guard<std::mutex> lock(mu_);
+    // Journal first: a crash between the append and the in-memory fold
+    // replays the record on restart, and a crash before the append
+    // loses a report the caller never saw acknowledged. Either way the
+    // recovered store equals a replay of the journal's valid prefix.
+    if (journal_)
+        journal_->append(
+            kReportIngestRecord,
+            encodeIngestRecord(tenant, program_id, report, sequence));
+    ingestLocked(tenant, program_id, report.races(), sequence);
+}
+
+void
+ReportStore::ingestLocked(const std::string &tenant,
+                          const std::string &program_id,
+                          const std::vector<detect::DataRace> &races,
+                          uint64_t sequence)
+{
     ++observations_;
+    max_sequence_ = std::max(max_sequence_, sequence);
     const uint64_t fp = programFingerprint(program_id);
-    for (const detect::DataRace &race : report.races()) {
+    for (const detect::DataRace &race : races) {
         const RaceSiteKey key = raceSiteKey(fp, race);
         auto [it, inserted] = races_.try_emplace(key);
         StoredRace &entry = it->second;
@@ -116,7 +246,7 @@ ReportStore::toJsonl() const
 {
     std::ostringstream out;
     for (const StoredRace &entry : query()) {
-        out << "{\"program\":\"" << entry.program_id << "\""
+        out << "{\"program\":\"" << jsonEscape(entry.program_id) << "\""
             << ",\"insn_pair\":[" << entry.key.min_insn << ","
             << entry.key.max_insn << "]"
             << ",\"rw\":\"" << rwSignatureName(entry.key.rw_signature)

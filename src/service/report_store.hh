@@ -34,8 +34,20 @@
 #include <vector>
 
 #include "detect/report.hh"
+#include "support/journal.hh"
 
 namespace prorace::service {
+
+/** Journal record type tag of one serialized ingest() call. */
+inline constexpr uint32_t kReportIngestRecord = 1;
+
+/**
+ * Escape a string for embedding in a JSON string literal: backslash,
+ * double quote, and control characters (as \uXXXX). Program ids and
+ * tenant names come from untrusted CLI/workload input, so the JSONL
+ * dump must not let them break the line framing.
+ */
+std::string jsonEscape(const std::string &s);
 
 /** Stable identity of one race site (the dedup key). */
 struct RaceSiteKey {
@@ -88,9 +100,44 @@ class ReportStore
     /**
      * Fold one session's report in. @p sequence is the service's
      * arrival sequence number for the session (drives first/last-seen).
+     * With a journal bound, the call is journaled before the in-memory
+     * fold, under the store lock — journal record order is ingest
+     * order, so replaying the journal's valid prefix reconstructs the
+     * store byte-identically up to the last synced record.
      */
     void ingest(const std::string &tenant, const std::string &program_id,
                 const detect::RaceReport &report, uint64_t sequence);
+
+    /**
+     * Attach a write-ahead journal: every subsequent ingest() appends
+     * one kReportIngestRecord before mutating the store. The journal
+     * must outlive the store (the service owns both). Pass nullptr to
+     * detach. Replay of an existing journal is the caller's job — open
+     * the journal with a callback into applyIngestRecord() *before*
+     * binding, so recovery does not re-append what it reads.
+     */
+    void bindJournal(support::Journal *journal);
+
+    /**
+     * Replay one journal record payload (type kReportIngestRecord)
+     * into the store, without journaling it again. Returns false on a
+     * malformed payload, leaving the store unchanged.
+     */
+    bool applyIngestRecord(const std::vector<uint8_t> &payload);
+
+    /** Serialize one ingest() call as a journal record payload. */
+    static std::vector<uint8_t>
+    encodeIngestRecord(const std::string &tenant,
+                       const std::string &program_id,
+                       const detect::RaceReport &report,
+                       uint64_t sequence);
+
+    /**
+     * Highest session sequence ever ingested (0 when empty). After
+     * recovery the service resumes numbering above this, keeping
+     * first/last-seen ordering consistent across restarts.
+     */
+    uint64_t maxSequence() const;
 
     /**
      * All entries, sorted by (program id, key) — deterministic
@@ -110,9 +157,16 @@ class ReportStore
     std::string toJsonl() const;
 
   private:
+    void ingestLocked(const std::string &tenant,
+                      const std::string &program_id,
+                      const std::vector<detect::DataRace> &races,
+                      uint64_t sequence);
+
     mutable std::mutex mu_;
     std::map<RaceSiteKey, StoredRace> races_;
     uint64_t observations_ = 0;
+    uint64_t max_sequence_ = 0;
+    support::Journal *journal_ = nullptr;
 };
 
 } // namespace prorace::service

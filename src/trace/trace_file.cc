@@ -914,6 +914,11 @@ TraceReader::feed(const uint8_t *data, size_t size)
     // would only grow memory without ever parsing anything.
     if (error_ || finished_)
         return;
+    // Stream identity for checkpoint validation: a reconnecting tenant
+    // re-streaming the same bytes must hash to the same (length, CRC)
+    // pair regardless of chunking.
+    stream_crc_ = crc32(data, size, stream_crc_);
+    stream_bytes_ += size;
     buf_.insert(buf_.end(), data, data + size);
 }
 

@@ -139,6 +139,35 @@ flipRandomBits(std::vector<uint8_t> &bytes, size_t flips, Rng &rng)
     }
 }
 
+/** Flip one specific bit — directed damage for prefix-validity sweeps. */
+inline void
+flipBitAt(std::vector<uint8_t> &bytes, size_t offset, unsigned bit)
+{
+    PRORACE_ASSERT(offset < bytes.size() && bit < 8,
+                   "flipBitAt out of range");
+    bytes[offset] ^= static_cast<uint8_t>(1u << bit);
+}
+
+/**
+ * A deterministic garbage stream (xorshift64) — what a poisoned
+ * producer submits instead of a recorded trace. Same generator the
+ * fleet simulator's poison tenants use, so a (size, seed) pair names
+ * one exact stream.
+ */
+inline std::vector<uint8_t>
+poisonStream(size_t size, uint64_t seed)
+{
+    std::vector<uint8_t> bytes(size);
+    uint64_t rng = seed * 0x9e3779b97f4a7c15ull + 1;
+    for (uint8_t &b : bytes) {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        b = static_cast<uint8_t>(rng);
+    }
+    return bytes;
+}
+
 } // namespace prorace::fault
 
 #endif // PRORACE_TESTS_FAULT_INJECTION_HH
