@@ -88,6 +88,7 @@ struct Args {
     unsigned jobs = 0; ///< offline analysis threads (0 = serial)
     size_t count = 5;  ///< generated workloads for the oracle command
     bool racez = false;
+    bool sync_battery = false; ///< oracle: rich-sync-vocabulary configs
     bool vanilla = false;
     bool stats = false;        ///< dump shadow-structure counters
     bool no_prefilter = false; ///< disable the static access prefilter
@@ -213,7 +214,7 @@ usage()
                  " [--seed N] [--scale X] [--jobs N] [--stats]"
                  " [--no-prefilter] [--no-run-summary]\n"
                  "       prorace_cli oracle [--count K] [--period N]"
-                 " [--seed N] [--jobs N] [--no-run-summary]\n"
+                 " [--seed N] [--jobs N] [--sync] [--no-run-summary]\n"
                  "       prorace_cli static-report <workload>"
                  " [--scale X]\n"
                  "       prorace_cli serve [--producers N] [--sessions "
@@ -234,6 +235,10 @@ usage()
                  "--poison N adds N garbage-streaming tenants to the "
                  "fleet (chaos soak; their failures are expected and "
                  "exempt from the health gate)\n"
+                 "--sync draws the oracle battery from the rich-sync-"
+                 "vocabulary families (rwlock upgrade, semaphore "
+                 "misuse, spinlock publication, relaxed atomics) "
+                 "instead of the lock/atomic standard battery\n"
                  "--jobs N runs the offline analysis on N worker threads"
                  " (0 = serial; results are identical either way)\n"
                  "--stats dumps the shadow-structure counters (program-"
@@ -285,6 +290,8 @@ parseFlags(int argc, char **argv, int first, Args &args)
             args.count = std::strtoul(v, nullptr, 10);
         } else if (flag == "--racez") {
             args.racez = true;
+        } else if (flag == "--sync") {
+            args.sync_battery = true;
         } else if (flag == "--stats") {
             args.stats = true;
         } else if (flag == "--no-prefilter") {
@@ -508,7 +515,9 @@ cmdRun(const Args &args)
 int
 cmdOracle(const Args &args)
 {
-    const auto battery = oracle::standardBattery(args.seed, args.count);
+    const auto battery = args.sync_battery
+        ? oracle::syncBattery(args.seed, args.count)
+        : oracle::standardBattery(args.seed, args.count);
     oracle::ScoreAccumulator acc;
     std::printf("%-18s %-34s %7s %7s %6s %4s\n", "workload",
                 "sites", "recall", "precis", "pairs", "fp");

@@ -79,6 +79,9 @@ structuralSite(const Insn &insn, uint16_t must_stack)
       case Op::kStoreI:
       case Op::kAtomicRmw:
       case Op::kCas:
+      case Op::kLoadAcq:
+      case Op::kStoreRel:
+      case Op::kAtomicRmwAcqRel:
         if (!insn.mem.rip_relative && isa::isGpr(insn.mem.base) &&
             ((must_stack >> gprIndex(insn.mem.base)) & 1u) &&
             insn.mem.index == Reg::none && boundedDisp(insn.mem.disp)) {
@@ -283,6 +286,7 @@ EscapeAnalysis::solveMayStack(const asmkit::Program &p)
                     s |= regBit(insn.dst);
                 break;
               case Op::kLoad:
+              case Op::kLoadAcq:
                 // Own-stack loads may read a spilled stack pointer;
                 // other memory holds none unless an escape already
                 // voided the analysis.
@@ -290,6 +294,7 @@ EscapeAnalysis::solveMayStack(const asmkit::Program &p)
                     s |= regBit(insn.dst);
                 break;
               case Op::kStore:
+              case Op::kStoreRel:
                 if (tainted(insn.src)) {
                     if (stack_site(i))
                         mem_taint = true;
@@ -299,6 +304,7 @@ EscapeAnalysis::solveMayStack(const asmkit::Program &p)
                 break;
               case Op::kAtomicRmw:
               case Op::kCas:
+              case Op::kAtomicRmwAcqRel:
                 if (tainted(insn.src)) {
                     if (stack_site(i))
                         mem_taint = true;

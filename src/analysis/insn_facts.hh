@@ -84,6 +84,8 @@ regReadMask(const isa::Insn &insn)
       case Op::kMalloc:
       case Op::kFree:
       case Op::kCondWait:
+      case Op::kStoreRel:
+      case Op::kAtomicRmwAcqRel:
         if (isa::isGpr(insn.src))
             mask |= regBit(insn.src);
         break;
@@ -139,9 +141,12 @@ memOpCount(const isa::Insn &insn)
       case Op::kCall:
       case Op::kCallInd:
       case Op::kRet:
+      case Op::kLoadAcq:
+      case Op::kStoreRel:
         return 1;
       case Op::kAtomicRmw:
       case Op::kCas:
+      case Op::kAtomicRmwAcqRel:
         return 2;
       default:
         return 0;
@@ -242,6 +247,14 @@ classifyInsn(const isa::Insn &insn)
       case Op::kSpawn:
       case Op::kMalloc:
       case Op::kSyscall:
+      case Op::kRwRdLock:
+      case Op::kRwWrLock:
+      case Op::kRwUnlock:
+      case Op::kSemInit:
+      case Op::kSemWait:
+      case Op::kSemPost:
+      case Op::kSpinLock:
+      case Op::kSpinUnlock:
         f.memory_barrier = true;
         break;
       default:

@@ -294,6 +294,76 @@ ProgramBuilder::barrier(const MemOperand &barrier_var, int64_t parties)
 }
 
 uint32_t
+ProgramBuilder::rdlock(const MemOperand &rwlock_var)
+{
+    return emit(Insn{.op = Op::kRwRdLock, .mem = rwlock_var});
+}
+
+uint32_t
+ProgramBuilder::wrlock(const MemOperand &rwlock_var)
+{
+    return emit(Insn{.op = Op::kRwWrLock, .mem = rwlock_var});
+}
+
+uint32_t
+ProgramBuilder::rwunlock(const MemOperand &rwlock_var)
+{
+    return emit(Insn{.op = Op::kRwUnlock, .mem = rwlock_var});
+}
+
+uint32_t
+ProgramBuilder::semInit(const MemOperand &sem_var, int64_t value)
+{
+    return emit(Insn{.op = Op::kSemInit, .imm = value, .mem = sem_var});
+}
+
+uint32_t
+ProgramBuilder::semWait(const MemOperand &sem_var)
+{
+    return emit(Insn{.op = Op::kSemWait, .mem = sem_var});
+}
+
+uint32_t
+ProgramBuilder::semPost(const MemOperand &sem_var)
+{
+    return emit(Insn{.op = Op::kSemPost, .mem = sem_var});
+}
+
+uint32_t
+ProgramBuilder::spinLock(const MemOperand &spin_var)
+{
+    return emit(Insn{.op = Op::kSpinLock, .mem = spin_var});
+}
+
+uint32_t
+ProgramBuilder::spinUnlock(const MemOperand &spin_var)
+{
+    return emit(Insn{.op = Op::kSpinUnlock, .mem = spin_var});
+}
+
+uint32_t
+ProgramBuilder::loadAcq(Reg dst, const MemOperand &mem, uint8_t width)
+{
+    return emit(Insn{.op = Op::kLoadAcq, .dst = dst, .width = width,
+                     .mem = mem});
+}
+
+uint32_t
+ProgramBuilder::storeRel(const MemOperand &mem, Reg src, uint8_t width)
+{
+    return emit(Insn{.op = Op::kStoreRel, .src = src, .width = width,
+                     .mem = mem});
+}
+
+uint32_t
+ProgramBuilder::atomicRmwAcqRel(AluOp op, Reg dst_old, const MemOperand &mem,
+                                Reg src, uint8_t width)
+{
+    return emit(Insn{.op = Op::kAtomicRmwAcqRel, .dst = dst_old, .src = src,
+                     .alu = op, .width = width, .mem = mem});
+}
+
+uint32_t
 ProgramBuilder::spawn(Reg dst_tid, const std::string &entry, Reg arg)
 {
     return emitBranch(Insn{.op = Op::kSpawn, .dst = dst_tid, .src = arg},

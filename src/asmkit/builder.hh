@@ -102,6 +102,18 @@ class ProgramBuilder
     uint32_t condSignal(const MemOperand &cond_var);
     uint32_t condBroadcast(const MemOperand &cond_var);
     uint32_t barrier(const MemOperand &barrier_var, int64_t parties);
+    uint32_t rdlock(const MemOperand &rwlock_var);
+    uint32_t wrlock(const MemOperand &rwlock_var);
+    uint32_t rwunlock(const MemOperand &rwlock_var);
+    uint32_t semInit(const MemOperand &sem_var, int64_t value);
+    uint32_t semWait(const MemOperand &sem_var);
+    uint32_t semPost(const MemOperand &sem_var);
+    uint32_t spinLock(const MemOperand &spin_var);
+    uint32_t spinUnlock(const MemOperand &spin_var);
+    uint32_t loadAcq(Reg dst, const MemOperand &mem, uint8_t width = 8);
+    uint32_t storeRel(const MemOperand &mem, Reg src, uint8_t width = 8);
+    uint32_t atomicRmwAcqRel(AluOp op, Reg dst_old, const MemOperand &mem,
+                             Reg src, uint8_t width = 8);
     uint32_t spawn(Reg dst_tid, const std::string &entry, Reg arg);
     uint32_t join(Reg tid);
     uint32_t mallocCall(Reg dst, Reg size);

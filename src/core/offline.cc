@@ -40,12 +40,23 @@ syncSubrank(SyncKind kind)
       case SyncKind::kBarrierEnter:
       case SyncKind::kSpawn:
       case SyncKind::kThreadExit:
+      case SyncKind::kRwUnlock:
+      case SyncKind::kSemInit:
+      case SyncKind::kSemPost:
+      case SyncKind::kSpinUnlock:
+      case SyncKind::kAtomicRelease:
         return 0;
       case SyncKind::kLock:
       case SyncKind::kCondWake:
       case SyncKind::kBarrierExit:
       case SyncKind::kJoin:
       case SyncKind::kThreadStart:
+      case SyncKind::kRwRdLock:
+      case SyncKind::kRwWrLock:
+      case SyncKind::kSemWait:
+      case SyncKind::kSpinLock:
+      case SyncKind::kAtomicAcquire:
+      case SyncKind::kAtomicAcqRel:
         return 2;
       default:
         return 1; // malloc/free order with accesses
@@ -166,6 +177,43 @@ dispatchEvent(Detector &ft, const FeedEvent &ev,
         break;
       case SyncKind::kFree:
         ft.deallocate(s.tid, s.object);
+        break;
+      case SyncKind::kRwRdLock:
+        ft.readLock(s.tid, s.object);
+        break;
+      case SyncKind::kRwWrLock:
+        ft.writeLock(s.tid, s.object);
+        break;
+      case SyncKind::kRwUnlock:
+        // aux distinguishes the mode the lock was held in.
+        if (s.aux)
+            ft.writeUnlock(s.tid, s.object);
+        else
+            ft.readUnlock(s.tid, s.object);
+        break;
+      case SyncKind::kSemInit:
+        ft.semInit(s.tid, s.object, s.aux);
+        break;
+      case SyncKind::kSemWait:
+        ft.semWait(s.tid, s.object);
+        break;
+      case SyncKind::kSemPost:
+        ft.semPost(s.tid, s.object);
+        break;
+      case SyncKind::kSpinLock:
+        ft.acquire(s.tid, s.object);
+        break;
+      case SyncKind::kSpinUnlock:
+        ft.release(s.tid, s.object);
+        break;
+      case SyncKind::kAtomicAcquire:
+        ft.acquire(s.tid, s.object);
+        break;
+      case SyncKind::kAtomicRelease:
+        ft.release(s.tid, s.object);
+        break;
+      case SyncKind::kAtomicAcqRel:
+        ft.acquireRelease(s.tid, s.object);
         break;
     }
 }

@@ -89,6 +89,96 @@ FastTrack::barrierExit(uint32_t tid, uint64_t object)
 }
 
 void
+FastTrack::readLock(uint32_t tid, uint64_t object)
+{
+    // A reader orders only after the last writer: concurrent readers do
+    // not synchronize with each other, so a racy upgrade pattern (read
+    // then write under a read lock) stays visible.
+    ++stats_.sync_ops;
+    threadState(tid).clock.join(lockClock(object));
+}
+
+void
+FastTrack::readUnlock(uint32_t tid, uint64_t object)
+{
+    ++stats_.sync_ops;
+    ThreadState &th = threadState(tid);
+    rw_read_[object].join(th.clock);
+    th.increment();
+}
+
+void
+FastTrack::writeLock(uint32_t tid, uint64_t object)
+{
+    // A writer orders after the last write unlock AND after every read
+    // unlock accumulated since; this is the read-shared clock path.
+    ++stats_.sync_ops;
+    ThreadState &th = threadState(tid);
+    th.clock.join(lockClock(object));
+    if (const VectorClock *rd = rw_read_.find(object))
+        th.clock.join(*rd);
+}
+
+void
+FastTrack::writeUnlock(uint32_t tid, uint64_t object)
+{
+    ++stats_.sync_ops;
+    ThreadState &th = threadState(tid);
+    lockClock(object).assign(th.clock);
+    th.increment();
+}
+
+void
+FastTrack::semInit(uint32_t tid, uint64_t object, uint64_t value)
+{
+    // Initial credits carry no happens-before edge: a wait satisfied by
+    // one is ordered only by whatever else orders it (e.g. fork). The
+    // initializer still publishes through the fork edge to its children,
+    // so no extra clock work is needed here.
+    (void)tid;
+    (void)value;
+    ++stats_.sync_ops;
+    sem_posts_[object].posts.clear();
+}
+
+void
+FastTrack::semWait(uint32_t tid, uint64_t object)
+{
+    ++stats_.sync_ops;
+    SemQueue *q = sem_posts_.find(object);
+    if (!q || q->posts.empty()) {
+        // Consumed an initial credit: no post to order after.
+        return;
+    }
+    threadState(tid).clock.join(q->posts.front());
+    q->posts.erase(q->posts.begin());
+}
+
+void
+FastTrack::semPost(uint32_t tid, uint64_t object)
+{
+    ++stats_.sync_ops;
+    ThreadState &th = threadState(tid);
+    VectorClock snapshot;
+    snapshot.assign(th.clock);
+    sem_posts_[object].posts.push_back(std::move(snapshot));
+    th.increment();
+}
+
+void
+FastTrack::acquireRelease(uint32_t tid, uint64_t object)
+{
+    // An acq_rel RMW continues the release sequence: it both orders
+    // after the previous release and republishes the combined clock.
+    ++stats_.sync_ops;
+    ThreadState &th = threadState(tid);
+    VectorClock &lock = lockClock(object);
+    th.clock.join(lock);
+    lock.assign(th.clock);
+    th.increment();
+}
+
+void
 FastTrack::fork(uint32_t parent, uint32_t child)
 {
     ++stats_.sync_ops;
@@ -229,15 +319,18 @@ FastTrack::deallocate(uint32_t tid, uint64_t addr)
 
 void
 FastTrack::reportRace(const VarState &var, bool prior_is_write,
-                      const MemAccess &ma, uint64_t granule_addr)
+                      const MemAccess &ma, uint64_t granule_addr,
+                      bool prior_plain_shared)
 {
     DataRace race;
     race.addr = granule_addr;
     if (prior_is_write) {
         race.prior = var.last_write;
+    } else if (var.read_is_shared) {
+        race.prior = prior_plain_shared ? var.shared_plain_sample
+                                        : var.shared_read_sample;
     } else {
-        race.prior = var.read_is_shared ? var.shared_read_sample
-                                        : var.last_read;
+        race.prior = var.last_read;
     }
     race.current = {ma.tid, ma.insn_index, ma.is_write, ma.tsc, ma.origin};
     report_.add(race);
@@ -270,6 +363,10 @@ FastTrack::checkRead(VarState &var, const MemAccess &ma, ThreadState &th)
             ++stats_.vc_spills;
         var.shared_read_sample = this_access;
         var.read_atomic = var.read_atomic && ma.is_atomic;
+        if (!ma.is_atomic) {
+            var.plain_read_vc.set(ma.tid, th.epochClock());
+            var.shared_plain_sample = this_access;
+        }
     } else if (var.read_epoch.isZero() ||
                var.read_epoch.happensBefore(th.clock)) {
         // Reads stay totally ordered: keep the epoch representation.
@@ -286,6 +383,16 @@ FastTrack::checkRead(VarState &var, const MemAccess &ma, ThreadState &th)
         if (var.read_vc.usesHeap())
             ++stats_.vc_spills;
         var.shared_read_sample = this_access;
+        var.plain_read_vc.clear();
+        if (!var.read_atomic) {
+            var.plain_read_vc.set(var.read_epoch.tid(),
+                                  var.read_epoch.clock());
+            var.shared_plain_sample = var.last_read;
+        }
+        if (!ma.is_atomic) {
+            var.plain_read_vc.set(ma.tid, th.epochClock());
+            var.shared_plain_sample = this_access;
+        }
         var.read_atomic = var.read_atomic && ma.is_atomic;
     }
 }
@@ -307,15 +414,19 @@ FastTrack::checkWrite(VarState &var, const MemAccess &ma, ThreadState &th)
         reportRace(var, true, ma, ma.addr & ~7ull);
     }
 
-    // read-write race?
+    // read-write race? In shared mode a racing ATOMIC reader only
+    // counts against a plain write; a racing PLAIN reader counts
+    // against any write.
     if (var.read_is_shared) {
-        if (!var.read_vc.lessOrEqual(th.clock) &&
-            !(var.read_atomic && ma.is_atomic)) {
-            reportRace(var, false, ma, ma.addr & ~7ull);
+        const bool plain_race = !var.plain_read_vc.lessOrEqual(th.clock);
+        if (plain_race ||
+            (!ma.is_atomic && !var.read_vc.lessOrEqual(th.clock))) {
+            reportRace(var, false, ma, ma.addr & ~7ull, plain_race);
         }
         // Writes collapse the read state back to epochs.
         var.read_is_shared = false;
         var.read_vc.clear();
+        var.plain_read_vc.clear();
         var.read_epoch = Epoch();
     } else if (!var.read_epoch.isZero() &&
                !var.read_epoch.happensBefore(th.clock) &&
@@ -364,7 +475,7 @@ FastTrack::foldRepeats(const MemAccess &ma, uint64_t n)
 namespace {
 
 /** Detector checkpoint layout version (bump on any format change). */
-constexpr uint32_t kFastTrackStateVersion = 1;
+constexpr uint32_t kFastTrackStateVersion = 2;
 
 void
 putClock(support::ByteWriter &w, const VectorClock &clock)
@@ -458,13 +569,22 @@ FastTrack::serializeState(support::ByteWriter &w) const
         putClock(w, th->clock);
     }
 
-    for (const auto *map : {&locks_, &exited_}) {
+    for (const auto *map : {&locks_, &exited_, &rw_read_}) {
         const auto entries = sortedEntries(*map);
         w.u32(static_cast<uint32_t>(entries.size()));
         for (const auto &[key, clock] : entries) {
             w.u64(key);
             putClock(w, clock);
         }
+    }
+
+    const auto sems = sortedEntries(sem_posts_);
+    w.u32(static_cast<uint32_t>(sems.size()));
+    for (const auto &[key, queue] : sems) {
+        w.u64(key);
+        w.u32(static_cast<uint32_t>(queue.posts.size()));
+        for (const VectorClock &clock : queue.posts)
+            putClock(w, clock);
     }
 
     w.u32(static_cast<uint32_t>(exit_reclaimed_.size()));
@@ -484,6 +604,8 @@ FastTrack::serializeState(support::ByteWriter &w) const
         w.u8(var.read_is_shared ? 1 : 0);
         putClock(w, var.read_vc);
         putAccess(w, var.shared_read_sample);
+        putClock(w, var.plain_read_vc);
+        putAccess(w, var.shared_plain_sample);
     }
 
     const auto allocs = sortedEntries(alloc_sizes_);
@@ -531,8 +653,8 @@ FastTrack::restoreState(support::ByteReader &r)
             return false;
     }
 
-    std::vector<std::pair<uint64_t, VectorClock>> locks, exited;
-    for (auto *out : {&locks, &exited}) {
+    std::vector<std::pair<uint64_t, VectorClock>> locks, exited, rw_read;
+    for (auto *out : {&locks, &exited, &rw_read}) {
         const uint32_t n = r.u32();
         if (!r.ok())
             return false;
@@ -542,6 +664,21 @@ FastTrack::restoreState(support::ByteReader &r)
             if (!getClock(r, clock))
                 return false;
         }
+    }
+
+    const uint32_t sem_count = r.u32();
+    if (!r.ok())
+        return false;
+    std::vector<std::pair<uint64_t, SemQueue>> sems(sem_count);
+    for (auto &[key, queue] : sems) {
+        key = r.u64();
+        const uint32_t depth = r.u32();
+        if (!r.ok())
+            return false;
+        queue.posts.resize(depth);
+        for (VectorClock &clock : queue.posts)
+            if (!getClock(r, clock))
+                return false;
     }
 
     const uint32_t reclaimed_count = r.u32();
@@ -567,6 +704,9 @@ FastTrack::restoreState(support::ByteReader &r)
         if (!getClock(r, var.read_vc))
             return false;
         var.shared_read_sample = getAccess(r);
+        if (!getClock(r, var.plain_read_vc))
+            return false;
+        var.shared_plain_sample = getAccess(r);
     }
 
     const uint32_t alloc_count = r.u32();
@@ -613,6 +753,12 @@ FastTrack::restoreState(support::ByteReader &r)
     exited_ = {};
     for (auto &[tid, clock] : exited)
         exited_[tid] = std::move(clock);
+    rw_read_ = {};
+    for (auto &[key, clock] : rw_read)
+        rw_read_[key] = std::move(clock);
+    sem_posts_ = {};
+    for (auto &[key, queue] : sems)
+        sem_posts_[key] = std::move(queue);
     exit_reclaimed_ = std::move(reclaimed);
     shadow_ = {};
     for (auto &[granule, var] : shadow)

@@ -123,6 +123,51 @@ class FastTrack
     /** Barrier exit: acquires the accumulated barrier clock. */
     void barrierExit(uint32_t tid, uint64_t object);
 
+    // --- reader/writer locks (DESIGN.md §16) ---
+    //
+    // Two clocks per rwlock: the write-release clock (shared with the
+    // mutex table — a write unlock is a plain release) and a read-side
+    // clock accumulating every read-unlock. Readers acquire only the
+    // write clock, so concurrent readers never synchronize with each
+    // other; a writer acquires both, ordering it after every prior
+    // critical section of either mode.
+
+    /** rdlock(rw): acquires the last write-unlock's clock only. */
+    void readLock(uint32_t tid, uint64_t object);
+
+    /** unlock(rw) from read mode: accumulates into the read clock. */
+    void readUnlock(uint32_t tid, uint64_t object);
+
+    /** wrlock(rw): acquires the write clock and the read clock. */
+    void writeLock(uint32_t tid, uint64_t object);
+
+    /** unlock(rw) from write mode: plain release of the write clock. */
+    void writeUnlock(uint32_t tid, uint64_t object);
+
+    // --- counting semaphores ---
+    //
+    // Each post snapshots the poster's clock onto a FIFO per-semaphore
+    // queue; each wait consumes the oldest snapshot (post -> wait edge).
+    // A wait satisfied by an initial credit finds the queue empty and
+    // creates no edge — which is exactly what makes semaphore-as-signal
+    // misuse detectable.
+
+    /** sem_init(s, value): resets the post queue (no HB edge). */
+    void semInit(uint32_t tid, uint64_t object, uint64_t value);
+
+    /** sem_wait(s): joins the oldest unconsumed post's clock, if any. */
+    void semWait(uint32_t tid, uint64_t object);
+
+    /** sem_post(s): enqueues the poster's clock snapshot. */
+    void semPost(uint32_t tid, uint64_t object);
+
+    /**
+     * Combined acquire+release of one object (acq_rel atomic RMW): the
+     * object clock and the thread clock join into each other, modeling
+     * the C11 release sequence an RMW continues.
+     */
+    void acquireRelease(uint32_t tid, uint64_t object);
+
     /** pthread_create edge parent -> child. */
     void fork(uint32_t parent, uint32_t child);
 
@@ -266,6 +311,14 @@ class FastTrack
         bool read_is_shared = false;
         VectorClock read_vc;
         RaceAccess shared_read_sample; ///< representative reader for reports
+
+        // Shared-mode reads by PLAIN (non-atomic) accesses only. A
+        // single read_atomic bit over all readers would let one plain
+        // reader poison the atomic-vs-atomic suppression for every
+        // other reader; tracking plain readers in their own clock keeps
+        // the suppression per-pair exact.
+        VectorClock plain_read_vc;
+        RaceAccess shared_plain_sample; ///< representative plain reader
     };
 
     /** Per-thread detector state. */
@@ -293,11 +346,19 @@ class FastTrack
     void checkRead(VarState &var, const MemAccess &ma, ThreadState &th);
     void checkWrite(VarState &var, const MemAccess &ma, ThreadState &th);
     void reportRace(const VarState &var, bool prior_is_write,
-                    const MemAccess &ma, uint64_t granule_addr);
+                    const MemAccess &ma, uint64_t granule_addr,
+                    bool prior_plain_shared = false);
+
+    /** FIFO of unconsumed post-clock snapshots of one semaphore. */
+    struct SemQueue {
+        std::vector<VectorClock> posts;
+    };
 
     std::vector<std::unique_ptr<ThreadState>> threads_;
     FlatMap<VectorClock> locks_;
     FlatMap<VectorClock> exited_;
+    FlatMap<VectorClock> rw_read_; ///< rwlock read-side clocks
+    FlatMap<SemQueue> sem_posts_;  ///< semaphore post queues
     /** Tids whose exit clock was GC'd; joins of these silently no-op. */
     std::vector<bool> exit_reclaimed_;
     FlatMap<VarState> shadow_;    ///< keyed by granule index

@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -122,6 +123,84 @@ class RefFastTrack
     }
 
     void
+    readLock(uint32_t tid, uint64_t object)
+    {
+        ++stats_.sync_ops;
+        threadState(tid).clock.join(locks_[object]);
+    }
+
+    void
+    readUnlock(uint32_t tid, uint64_t object)
+    {
+        ++stats_.sync_ops;
+        ThreadState &th = threadState(tid);
+        rw_read_[object].join(th.clock);
+        th.increment();
+    }
+
+    void
+    writeLock(uint32_t tid, uint64_t object)
+    {
+        ++stats_.sync_ops;
+        ThreadState &th = threadState(tid);
+        th.clock.join(locks_[object]);
+        auto it = rw_read_.find(object);
+        if (it != rw_read_.end())
+            th.clock.join(it->second);
+    }
+
+    void
+    writeUnlock(uint32_t tid, uint64_t object)
+    {
+        ++stats_.sync_ops;
+        ThreadState &th = threadState(tid);
+        locks_[object].assign(th.clock);
+        th.increment();
+    }
+
+    void
+    semInit(uint32_t tid, uint64_t object, uint64_t value)
+    {
+        (void)tid;
+        (void)value;
+        ++stats_.sync_ops;
+        sem_posts_[object].clear();
+    }
+
+    void
+    semWait(uint32_t tid, uint64_t object)
+    {
+        ++stats_.sync_ops;
+        auto it = sem_posts_.find(object);
+        if (it == sem_posts_.end() || it->second.empty())
+            return;
+        threadState(tid).clock.join(it->second.front());
+        it->second.pop_front();
+    }
+
+    void
+    semPost(uint32_t tid, uint64_t object)
+    {
+        ++stats_.sync_ops;
+        ThreadState &th = threadState(tid);
+        RefVectorClock snapshot;
+        snapshot.assign(th.clock);
+        sem_posts_[object].push_back(std::move(snapshot));
+        th.increment();
+    }
+
+    void
+    acquireRelease(uint32_t tid, uint64_t object)
+    {
+        ++stats_.sync_ops;
+        ThreadState &th = threadState(tid);
+        RefVectorClock &lock = locks_[object];
+        th.clock.join(lock);
+        lock.assign(th.clock);
+        th.increment();
+    }
+
+    void
     fork(uint32_t parent, uint32_t child)
     {
         ++stats_.sync_ops;
@@ -204,6 +283,10 @@ class RefFastTrack
         bool read_atomic = true;
         std::unique_ptr<RefVectorClock> read_shared;
         RaceAccess shared_read_sample;
+        // Shared-mode plain readers tracked apart from atomic ones, so
+        // one plain reader cannot break atomic-vs-atomic suppression.
+        std::unique_ptr<RefVectorClock> plain_read_shared;
+        RaceAccess shared_plain_sample;
     };
 
     struct ThreadState {
@@ -232,15 +315,18 @@ class RefFastTrack
 
     void
     reportRace(const VarState &var, bool prior_is_write,
-               const MemAccess &ma, uint64_t granule_addr)
+               const MemAccess &ma, uint64_t granule_addr,
+               bool prior_plain_shared = false)
     {
         DataRace race;
         race.addr = granule_addr;
         if (prior_is_write) {
             race.prior = var.last_write;
+        } else if (var.read_shared) {
+            race.prior = prior_plain_shared ? var.shared_plain_sample
+                                            : var.shared_read_sample;
         } else {
-            race.prior = var.read_shared ? var.shared_read_sample
-                                         : var.last_read;
+            race.prior = var.last_read;
         }
         race.current = {ma.tid, ma.insn_index, ma.is_write, ma.tsc,
                         ma.origin};
@@ -266,6 +352,13 @@ class RefFastTrack
             var.read_shared->set(ma.tid, th.epochClock());
             var.shared_read_sample = this_access;
             var.read_atomic = var.read_atomic && ma.is_atomic;
+            if (!ma.is_atomic) {
+                if (!var.plain_read_shared)
+                    var.plain_read_shared =
+                        std::make_unique<RefVectorClock>();
+                var.plain_read_shared->set(ma.tid, th.epochClock());
+                var.shared_plain_sample = this_access;
+            }
         } else if (var.read_epoch.isZero() ||
                    refHappensBefore(var.read_epoch, th.clock)) {
             var.read_epoch = Epoch(ma.tid, th.epochClock());
@@ -278,6 +371,20 @@ class RefFastTrack
                                  var.read_epoch.clock());
             var.read_shared->set(ma.tid, th.epochClock());
             var.shared_read_sample = this_access;
+            var.plain_read_shared.reset();
+            if (!var.read_atomic) {
+                var.plain_read_shared = std::make_unique<RefVectorClock>();
+                var.plain_read_shared->set(var.read_epoch.tid(),
+                                           var.read_epoch.clock());
+                var.shared_plain_sample = var.last_read;
+            }
+            if (!ma.is_atomic) {
+                if (!var.plain_read_shared)
+                    var.plain_read_shared =
+                        std::make_unique<RefVectorClock>();
+                var.plain_read_shared->set(ma.tid, th.epochClock());
+                var.shared_plain_sample = this_access;
+            }
             var.read_atomic = var.read_atomic && ma.is_atomic;
         }
     }
@@ -296,11 +403,14 @@ class RefFastTrack
             reportRace(var, true, ma, ma.addr & ~7ull);
         }
         if (var.read_shared) {
-            if (!var.read_shared->lessOrEqual(th.clock) &&
-                !(var.read_atomic && ma.is_atomic)) {
-                reportRace(var, false, ma, ma.addr & ~7ull);
+            const bool plain_race = var.plain_read_shared &&
+                !var.plain_read_shared->lessOrEqual(th.clock);
+            if (plain_race ||
+                (!ma.is_atomic && !var.read_shared->lessOrEqual(th.clock))) {
+                reportRace(var, false, ma, ma.addr & ~7ull, plain_race);
             }
             var.read_shared.reset();
+            var.plain_read_shared.reset();
             var.read_epoch = Epoch();
         } else if (!var.read_epoch.isZero() &&
                    !refHappensBefore(var.read_epoch, th.clock) &&
@@ -315,6 +425,8 @@ class RefFastTrack
     std::vector<std::unique_ptr<ThreadState>> threads_;
     std::unordered_map<uint64_t, RefVectorClock> locks_;
     std::unordered_map<uint64_t, RefVectorClock> exited_;
+    std::unordered_map<uint64_t, RefVectorClock> rw_read_;
+    std::unordered_map<uint64_t, std::deque<RefVectorClock>> sem_posts_;
     std::map<uint64_t, VarState> shadow_;
     std::unordered_map<uint64_t, uint64_t> alloc_sizes_;
     RaceReport report_;

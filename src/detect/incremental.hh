@@ -138,6 +138,62 @@ class IncrementalFastTrack
     }
 
     void
+    readLock(uint32_t tid, uint64_t object)
+    {
+        note(tid);
+        ft_.readLock(tid, object);
+    }
+
+    void
+    readUnlock(uint32_t tid, uint64_t object)
+    {
+        note(tid);
+        ft_.readUnlock(tid, object);
+    }
+
+    void
+    writeLock(uint32_t tid, uint64_t object)
+    {
+        note(tid);
+        ft_.writeLock(tid, object);
+    }
+
+    void
+    writeUnlock(uint32_t tid, uint64_t object)
+    {
+        note(tid);
+        ft_.writeUnlock(tid, object);
+    }
+
+    void
+    semInit(uint32_t tid, uint64_t object, uint64_t value)
+    {
+        note(tid);
+        ft_.semInit(tid, object, value);
+    }
+
+    void
+    semWait(uint32_t tid, uint64_t object)
+    {
+        note(tid);
+        ft_.semWait(tid, object);
+    }
+
+    void
+    semPost(uint32_t tid, uint64_t object)
+    {
+        note(tid);
+        ft_.semPost(tid, object);
+    }
+
+    void
+    acquireRelease(uint32_t tid, uint64_t object)
+    {
+        note(tid);
+        ft_.acquireRelease(tid, object);
+    }
+
+    void
     fork(uint32_t parent, uint32_t child)
     {
         note(parent);

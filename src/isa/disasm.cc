@@ -150,6 +150,32 @@ disassemble(const Insn &insn)
         os << "syscall " << syscallName(insn.sysno) << "($" << insn.imm
            << ")";
         break;
+      case Op::kRwRdLock:
+      case Op::kRwWrLock:
+      case Op::kRwUnlock:
+      case Op::kSemWait:
+      case Op::kSemPost:
+      case Op::kSpinLock:
+      case Op::kSpinUnlock:
+        os << opName(insn.op) << "(" << formatMemOperand(insn.mem) << ")";
+        break;
+      case Op::kSemInit:
+        os << "sem_init(" << formatMemOperand(insn.mem) << ", value="
+           << insn.imm << ")";
+        break;
+      case Op::kLoadAcq:
+        os << "mov.acq" << int(insn.width) << " "
+           << formatMemOperand(insn.mem) << ", %" << regName(insn.dst);
+        break;
+      case Op::kStoreRel:
+        os << "mov.rel" << int(insn.width) << " %" << regName(insn.src)
+           << ", " << formatMemOperand(insn.mem);
+        break;
+      case Op::kAtomicRmwAcqRel:
+        os << "lock.acqrel " << aluName(insn.alu) << int(insn.width)
+           << " %" << regName(insn.src) << ", "
+           << formatMemOperand(insn.mem) << " -> %" << regName(insn.dst);
+        break;
     }
     return os.str();
 }

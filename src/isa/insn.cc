@@ -55,11 +55,16 @@ validateInsn(const Insn &insn)
         if (!isGpr(insn.src))
             return "instruction requires a GPR source";
         break;
+      case Op::kStoreRel:
+        if (!isGpr(insn.src))
+            return "instruction requires a GPR source";
+        break;
       case Op::kAluRR:
       case Op::kCmpRR:
       case Op::kTestRR:
       case Op::kAtomicRmw:
       case Op::kCas:
+      case Op::kAtomicRmwAcqRel:
         if (!isGpr(insn.src))
             return "instruction requires a GPR source";
         if (!isGpr(insn.dst))
@@ -77,6 +82,10 @@ validateInsn(const Insn &insn)
       case Op::kBarrier:
         if (insn.imm < 1)
             return "barrier requires a positive party count";
+        break;
+      case Op::kSemInit:
+        if (insn.imm < 0)
+            return "semaphore initial count must be non-negative";
         break;
       default:
         break;

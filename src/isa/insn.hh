@@ -102,6 +102,17 @@ struct Insn {
           case Op::kCondSignal:
           case Op::kCondBcast:
           case Op::kBarrier:
+          case Op::kRwRdLock:
+          case Op::kRwWrLock:
+          case Op::kRwUnlock:
+          case Op::kSemInit:
+          case Op::kSemWait:
+          case Op::kSemPost:
+          case Op::kSpinLock:
+          case Op::kSpinUnlock:
+          case Op::kLoadAcq:
+          case Op::kStoreRel:
+          case Op::kAtomicRmwAcqRel:
             return true;
           default:
             return false;

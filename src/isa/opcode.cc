@@ -11,6 +11,8 @@ isLoad(Op op)
       case Op::kAtomicRmw:
       case Op::kCas:
       case Op::kRet:
+      case Op::kLoadAcq:
+      case Op::kAtomicRmwAcqRel:
         return true;
       default:
         return false;
@@ -28,6 +30,8 @@ isStore(Op op)
       case Op::kCas:
       case Op::kCall:
       case Op::kCallInd:
+      case Op::kStoreRel:
+      case Op::kAtomicRmwAcqRel:
         return true;
       default:
         return false;
@@ -82,6 +86,17 @@ isSyncOp(Op op)
       case Op::kJoin:
       case Op::kMalloc:
       case Op::kFree:
+      case Op::kRwRdLock:
+      case Op::kRwWrLock:
+      case Op::kRwUnlock:
+      case Op::kSemInit:
+      case Op::kSemWait:
+      case Op::kSemPost:
+      case Op::kSpinLock:
+      case Op::kSpinUnlock:
+      case Op::kLoadAcq:
+      case Op::kStoreRel:
+      case Op::kAtomicRmwAcqRel:
         return true;
       default:
         return false;
@@ -103,6 +118,8 @@ writesDst(Op op)
       case Op::kCas:
       case Op::kSpawn:
       case Op::kMalloc:
+      case Op::kLoadAcq:
+      case Op::kAtomicRmwAcqRel:
         return true;
       default:
         return false;
@@ -165,6 +182,17 @@ opName(Op op)
       case Op::kMalloc:     return "malloc";
       case Op::kFree:       return "free";
       case Op::kSyscall:    return "syscall";
+      case Op::kRwRdLock:   return "pthread_rwlock_rdlock";
+      case Op::kRwWrLock:   return "pthread_rwlock_wrlock";
+      case Op::kRwUnlock:   return "pthread_rwlock_unlock";
+      case Op::kSemInit:    return "sem_init";
+      case Op::kSemWait:    return "sem_wait";
+      case Op::kSemPost:    return "sem_post";
+      case Op::kSpinLock:   return "pthread_spin_lock";
+      case Op::kSpinUnlock: return "pthread_spin_unlock";
+      case Op::kLoadAcq:    return "mov-acq";
+      case Op::kStoreRel:   return "mov-rel";
+      case Op::kAtomicRmwAcqRel: return "lock-rmw-acqrel";
     }
     return "?";
 }

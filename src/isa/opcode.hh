@@ -65,6 +65,18 @@ enum class Op : uint8_t {
     kFree,       ///< free block at address in src
 
     kSyscall,    ///< modeled OS call (sysno field); clobbers rax
+
+    kRwRdLock,   ///< acquire rwlock at [mem] for reading (shared)
+    kRwWrLock,   ///< acquire rwlock at [mem] for writing (exclusive)
+    kRwUnlock,   ///< release rwlock at [mem] (either mode)
+    kSemInit,    ///< initialize semaphore at [mem]; imm = initial count
+    kSemWait,    ///< P: decrement semaphore at [mem], blocking at zero
+    kSemPost,    ///< V: increment semaphore at [mem], waking one waiter
+    kSpinLock,   ///< acquire spinlock at [mem] (busy-wait acquire)
+    kSpinUnlock, ///< release spinlock at [mem]
+    kLoadAcq,    ///< dst <- [mem] with acquire ordering
+    kStoreRel,   ///< [mem] <- src with release ordering
+    kAtomicRmwAcqRel, ///< kAtomicRmw with acquire+release ordering
 };
 
 /** ALU sub-operations for kAluRR/kAluRI/kAtomicRmw. */

@@ -22,17 +22,51 @@ siteDisciplineName(SiteDiscipline d)
       case SiteDiscipline::kRacy:   return "racy";
       case SiteDiscipline::kLocked: return "locked";
       case SiteDiscipline::kAtomic: return "atomic";
+      case SiteDiscipline::kRwUpgradeRacy:     return "rw-upgrade-racy";
+      case SiteDiscipline::kSemMisuseRacy:     return "sem-misuse-racy";
+      case SiteDiscipline::kSpinPubRacy:       return "spin-pub-racy";
+      case SiteDiscipline::kAtomicRelaxedRacy: return "relaxed-racy";
+      case SiteDiscipline::kRwLocked:          return "rw-locked";
+      case SiteDiscipline::kSemSignal:         return "sem-signal";
+      case SiteDiscipline::kSpinLocked:        return "spin-locked";
+      case SiteDiscipline::kAtomicRelAcq:      return "rel-acq";
     }
     return "?";
+}
+
+bool
+siteDisciplineRacy(SiteDiscipline d)
+{
+    switch (d) {
+      case SiteDiscipline::kRacy:
+      case SiteDiscipline::kRwUpgradeRacy:
+      case SiteDiscipline::kSemMisuseRacy:
+      case SiteDiscipline::kSpinPubRacy:
+      case SiteDiscipline::kAtomicRelaxedRacy:
+        return true;
+      case SiteDiscipline::kLocked:
+      case SiteDiscipline::kAtomic:
+      case SiteDiscipline::kRwLocked:
+      case SiteDiscipline::kSemSignal:
+      case SiteDiscipline::kSpinLocked:
+      case SiteDiscipline::kAtomicRelAcq:
+        return false;
+    }
+    return false;
 }
 
 RacePairSet
 GroundTruth::pairsOf(const SiteTruth &site)
 {
-    if (site.discipline != SiteDiscipline::kRacy)
+    if (!siteDisciplineRacy(site.discipline))
         return {};
     const uint32_t lo = std::min(site.load_insn, site.store_insn);
     const uint32_t hi = std::max(site.load_insn, site.store_insn);
+    if (site.discipline == SiteDiscipline::kAtomicRelaxedRacy) {
+        // The plain load races with the RMW's write; RMW-vs-RMW is
+        // atomic on both sides and correctly suppressed.
+        return {{lo, hi}};
+    }
     // The load races with the store, and the store races with itself
     // across threads; two loads never race.
     return {{lo, hi}, {site.store_insn, site.store_insn}};
@@ -41,8 +75,14 @@ GroundTruth::pairsOf(const SiteTruth &site)
 std::string
 GeneratorConfig::name() const
 {
-    return "oracle-s" + std::to_string(seed) + "-t" +
+    std::string n = "oracle-s" + std::to_string(seed) + "-t" +
         std::to_string(threads);
+    const unsigned sync_sites = rw_racy_sites + sem_racy_sites +
+        spin_racy_sites + relaxed_racy_sites + rw_locked_sites +
+        sem_signal_sites + spin_locked_sites + relacq_sites;
+    if (sync_sites > 0)
+        n += "-x" + std::to_string(sync_sites);
+    return n;
 }
 
 namespace {
@@ -55,6 +95,8 @@ struct SitePlan {
     std::string value_sym; ///< pc-relative storage, when kind == pcrel
     std::string obj_sym;   ///< pointed-to object, for indirect kinds
     std::string ptr_sym;   ///< global holding &obj, for indirect kinds
+    std::string sync_sym;  ///< the site's own sync object, if any
+    std::string gate_sym;  ///< second sync object (rel-acq gate)
     unsigned id = 0;
 };
 
@@ -140,6 +182,136 @@ emitSite(ProgramBuilder &b, const SitePlan &plan,
             b.atomicRmw(AluOp::kAdd, Reg::rax, b.symRef(plan.value_sym),
                         Reg::rdx, plan.width);
         break;
+
+      case SiteDiscipline::kRwUpgradeRacy:
+        // The classic upgrade bug: counter++ under a READ lock. Readers
+        // hold the lock concurrently and never synchronize, so the pair
+        // is a happens-before race under every schedule.
+        b.rdlock(b.symRef(plan.sync_sym));
+        load_insn = b.load(Reg::rax, b.symRef(plan.value_sym),
+                           plan.width);
+        b.addri(Reg::rax, 1);
+        store_insn = b.store(b.symRef(plan.value_sym), Reg::rax,
+                             plan.width);
+        b.rwunlock(b.symRef(plan.sync_sym));
+        break;
+
+      case SiteDiscipline::kSemMisuseRacy:
+        // Semaphore-as-signal misuse: the wait always consumes one of
+        // the initial credits main deposited (nobody posts), so it
+        // creates no happens-before edge at all.
+        b.semWait(b.symRef(plan.sync_sym));
+        load_insn = b.load(Reg::rax, b.symRef(plan.value_sym),
+                           plan.width);
+        b.addri(Reg::rax, 1);
+        store_insn = b.store(b.symRef(plan.value_sym), Reg::rax,
+                             plan.width);
+        break;
+
+      case SiteDiscipline::kSpinPubRacy:
+        // Broken publication: the counter is updated OUTSIDE the
+        // spinlock that guards the adjacent flag. The flag traffic is
+        // properly locked (precision check within the same site); the
+        // counter races.
+        load_insn = b.load(Reg::rax, b.symRef(plan.value_sym),
+                           plan.width);
+        b.addri(Reg::rax, 1);
+        store_insn = b.store(b.symRef(plan.value_sym), Reg::rax,
+                             plan.width);
+        b.spinLock(b.symRef(plan.sync_sym));
+        b.load(Reg::rdx, b.symRef(plan.gate_sym));
+        b.addri(Reg::rdx, 1);
+        b.store(b.symRef(plan.gate_sym), Reg::rdx);
+        b.spinUnlock(b.symRef(plan.sync_sym));
+        break;
+
+      case SiteDiscipline::kAtomicRelaxedRacy:
+        // A relaxed RMW is atomic but orders nothing: the plain load of
+        // the same cell races with the RMW's write in every schedule.
+        b.movri(Reg::rdx, 1);
+        store_insn = b.atomicRmw(AluOp::kAdd, Reg::rax,
+                                 b.symRef(plan.value_sym), Reg::rdx,
+                                 plan.width);
+        load_insn = b.load(Reg::rcx, b.symRef(plan.value_sym),
+                           plan.width);
+        break;
+
+      case SiteDiscipline::kRwLocked: {
+        // Every fourth request writes under the write lock; the rest
+        // read under the read lock. Concurrent readers inflate the
+        // read-shared clock, and the writer's wrlock must absorb every
+        // accumulated read-unlock — the read-shared detector path.
+        b.movrr(Reg::rax, Reg::r13);
+        b.aluri(AluOp::kAnd, Reg::rax, 3);
+        b.cmpri(Reg::rax, 3);
+        b.jcc(CondCode::kNe, tag + "_rd");
+        b.wrlock(b.symRef(plan.sync_sym));
+        load_insn = b.load(Reg::rax, b.symRef(plan.value_sym),
+                           plan.width);
+        b.addri(Reg::rax, 1);
+        store_insn = b.store(b.symRef(plan.value_sym), Reg::rax,
+                             plan.width);
+        b.rwunlock(b.symRef(plan.sync_sym));
+        b.jmp(tag + "_done");
+        b.label(tag + "_rd");
+        b.rdlock(b.symRef(plan.sync_sym));
+        b.load(Reg::rdx, b.symRef(plan.value_sym), plan.width);
+        b.rwunlock(b.symRef(plan.sync_sym));
+        b.label(tag + "_done");
+        break;
+      }
+
+      case SiteDiscipline::kSemSignal:
+        // A binary semaphore (initial value 1) used as a mutex: each
+        // wait pops the previous holder's post snapshot, chaining the
+        // critical sections race-free.
+        b.semWait(b.symRef(plan.sync_sym));
+        load_insn = b.load(Reg::rax, b.symRef(plan.value_sym),
+                           plan.width);
+        b.addri(Reg::rax, 1);
+        store_insn = b.store(b.symRef(plan.value_sym), Reg::rax,
+                             plan.width);
+        b.semPost(b.symRef(plan.sync_sym));
+        break;
+
+      case SiteDiscipline::kSpinLocked:
+        b.spinLock(b.symRef(plan.sync_sym));
+        load_insn = b.load(Reg::rax, b.symRef(plan.value_sym),
+                           plan.width);
+        b.addri(Reg::rax, 1);
+        store_insn = b.store(b.symRef(plan.value_sym), Reg::rax,
+                             plan.width);
+        b.spinUnlock(b.symRef(plan.sync_sym));
+        break;
+
+      case SiteDiscipline::kAtomicRelAcq: {
+        // Once-only publication: the single thread whose acq_rel
+        // fetch-add returns 0 plain-stores the payload and raises the
+        // gate with a store-release; everyone else load-acquires the
+        // gate and reads the payload only once it is up. Race-free in
+        // every schedule — if the reader's acquire precedes the
+        // release, the gate still reads 0 and the payload load is
+        // skipped.
+        b.movri(Reg::rdx, 1);
+        b.atomicRmwAcqRel(AluOp::kAdd, Reg::rax, b.symRef(plan.sync_sym),
+                          Reg::rdx);
+        b.cmpri(Reg::rax, 0);
+        b.jcc(CondCode::kNe, tag + "_sub");
+        b.movri(Reg::rcx, 97);
+        store_insn = b.store(b.symRef(plan.value_sym), Reg::rcx,
+                             plan.width);
+        b.movri(Reg::rdx, 1);
+        b.storeRel(b.symRef(plan.gate_sym), Reg::rdx);
+        b.jmp(tag + "_done");
+        b.label(tag + "_sub");
+        b.loadAcq(Reg::rdx, b.symRef(plan.gate_sym));
+        b.cmpri(Reg::rdx, 0);
+        b.jcc(CondCode::kEq, tag + "_done");
+        load_insn = b.load(Reg::rax, b.symRef(plan.value_sym),
+                           plan.width);
+        b.label(tag + "_done");
+        break;
+      }
     }
 }
 
@@ -155,8 +327,19 @@ generate(const GeneratorConfig &config)
                    "lock_every must be a power of two");
 
     Rng rng(config.seed);
-    const unsigned total_sites =
-        config.racy_sites + config.locked_sites + config.atomic_sites;
+    const std::pair<SiteDiscipline, unsigned> site_mix[] = {
+        {SiteDiscipline::kRacy, config.racy_sites},
+        {SiteDiscipline::kLocked, config.locked_sites},
+        {SiteDiscipline::kAtomic, config.atomic_sites},
+        {SiteDiscipline::kRwUpgradeRacy, config.rw_racy_sites},
+        {SiteDiscipline::kSemMisuseRacy, config.sem_racy_sites},
+        {SiteDiscipline::kSpinPubRacy, config.spin_racy_sites},
+        {SiteDiscipline::kAtomicRelaxedRacy, config.relaxed_racy_sites},
+        {SiteDiscipline::kRwLocked, config.rw_locked_sites},
+        {SiteDiscipline::kSemSignal, config.sem_signal_sites},
+        {SiteDiscipline::kSpinLocked, config.spin_locked_sites},
+        {SiteDiscipline::kAtomicRelAcq, config.relacq_sites},
+    };
 
     // Plan the sites, then shuffle their emission order so programs
     // from different seeds differ structurally, not just in data.
@@ -164,29 +347,50 @@ generate(const GeneratorConfig &config)
     static const AddressKind kKinds[] = {
         AddressKind::kPcRelative, AddressKind::kRegisterIndirect,
         AddressKind::kMemoryIndirect};
-    for (unsigned i = 0; i < total_sites; ++i) {
-        SitePlan plan;
-        plan.id = i;
-        if (i < config.racy_sites) {
-            plan.discipline = SiteDiscipline::kRacy;
-            plan.kind = kKinds[rng.below(3)];
-        } else if (i < config.racy_sites + config.locked_sites) {
-            plan.discipline = SiteDiscipline::kLocked;
-            plan.kind = AddressKind::kPcRelative;
-        } else {
-            plan.discipline = SiteDiscipline::kAtomic;
-            plan.kind = AddressKind::kPcRelative;
+    unsigned next_id = 0;
+    for (const auto &[discipline, count] : site_mix) {
+        for (unsigned i = 0; i < count; ++i) {
+            SitePlan plan;
+            plan.id = next_id++;
+            plan.discipline = discipline;
+            plan.kind = discipline == SiteDiscipline::kRacy
+                ? kKinds[rng.below(3)]
+                : AddressKind::kPcRelative;
+            plan.width = pickWidth(rng, config.mixed_widths);
+            const std::string base = "site" + std::to_string(plan.id);
+            if (plan.kind == AddressKind::kPcRelative) {
+                plan.value_sym = base;
+            } else {
+                plan.obj_sym = base + "_obj";
+                plan.ptr_sym = base + "_ptr";
+            }
+            switch (discipline) {
+              case SiteDiscipline::kRwUpgradeRacy:
+              case SiteDiscipline::kRwLocked:
+                plan.sync_sym = base + "_rw";
+                break;
+              case SiteDiscipline::kSemMisuseRacy:
+              case SiteDiscipline::kSemSignal:
+                plan.sync_sym = base + "_sem";
+                break;
+              case SiteDiscipline::kSpinPubRacy:
+                plan.sync_sym = base + "_spin";
+                plan.gate_sym = base + "_flag";
+                break;
+              case SiteDiscipline::kSpinLocked:
+                plan.sync_sym = base + "_spin";
+                break;
+              case SiteDiscipline::kAtomicRelAcq:
+                plan.sync_sym = base + "_ctr";
+                plan.gate_sym = base + "_gate";
+                break;
+              default:
+                break;
+            }
+            plans.push_back(plan);
         }
-        plan.width = pickWidth(rng, config.mixed_widths);
-        const std::string base = "site" + std::to_string(i);
-        if (plan.kind == AddressKind::kPcRelative) {
-            plan.value_sym = base;
-        } else {
-            plan.obj_sym = base + "_obj";
-            plan.ptr_sym = base + "_ptr";
-        }
-        plans.push_back(plan);
     }
+    const unsigned total_sites = next_id;
     // Fisher-Yates with the generator's own rng (std::shuffle's
     // distribution is implementation-defined; this must be stable).
     for (size_t i = plans.size(); i > 1; --i)
@@ -202,6 +406,10 @@ generate(const GeneratorConfig &config)
             b.global(plan.obj_sym, 16);
             b.globalU64(plan.ptr_sym, 0);
         }
+        if (!plan.sync_sym.empty())
+            b.global(plan.sync_sym, 8);
+        if (!plan.gate_sym.empty())
+            b.global(plan.gate_sym, 8);
     }
     b.global("scratch",
              static_cast<uint64_t>(config.threads) *
@@ -215,6 +423,16 @@ generate(const GeneratorConfig &config)
             continue;
         b.lea(Reg::rax, b.symRef(plan.obj_sym));
         b.store(b.symRef(plan.ptr_sym), Reg::rax);
+    }
+    for (const SitePlan &plan : plans) {
+        if (plan.discipline == SiteDiscipline::kSemMisuseRacy) {
+            // Enough initial credits that no wait ever blocks (or
+            // creates an edge): one per wait the whole run performs.
+            b.semInit(b.symRef(plan.sync_sym),
+                      static_cast<int64_t>(config.threads) * config.items);
+        } else if (plan.discipline == SiteDiscipline::kSemSignal) {
+            b.semInit(b.symRef(plan.sync_sym), 1);
+        }
     }
     b.movri(Reg::rcx, 0);
     b.label("main_spawn");
@@ -316,11 +534,12 @@ generate(const GeneratorConfig &config)
         const RacePairSet pairs = GroundTruth::pairsOf(site);
         out.truth.racy_pairs.insert(pairs.begin(), pairs.end());
 
-        if (plan.discipline == SiteDiscipline::kRacy) {
+        if (siteDisciplineRacy(plan.discipline)) {
             workload::RacyBug bug;
             bug.id = out.workload.name + "/site" +
                 std::to_string(plan.id);
-            bug.manifestation = "planted race";
+            bug.manifestation = std::string("planted race (") +
+                siteDisciplineName(plan.discipline) + ")";
             bug.kind = plan.kind;
             bug.racy_insns = {site.load_insn, site.store_insn};
             bug.racy_addr = site.addr;
@@ -361,6 +580,48 @@ standardBattery(uint64_t base_seed, size_t count)
         cfg.mixed_widths = (i % 2) == 0;
         cfg.heap_churn = (i % 3) != 2;
         cfg.items = 80 + static_cast<uint32_t>(rng.below(60));
+        configs.push_back(cfg);
+    }
+    return configs;
+}
+
+std::vector<GeneratorConfig>
+syncBattery(uint64_t base_seed, size_t count)
+{
+    std::vector<GeneratorConfig> configs;
+    Rng rng(base_seed ^ 0x51bca77e5ull);
+    for (size_t i = 0; i < count; ++i) {
+        GeneratorConfig cfg;
+        cfg.seed = base_seed + 1000 + i;
+        cfg.threads = 2 + static_cast<unsigned>(i % 3);
+        // One legacy racy + locked site keeps the mix honest; the
+        // emphasized family cycles with the index so a battery of >= 4
+        // covers every primitive.
+        cfg.racy_sites = 1;
+        cfg.locked_sites = 1;
+        cfg.atomic_sites = 0;
+        switch (i % 4) {
+          case 0:
+            cfg.rw_racy_sites = 1 + static_cast<unsigned>(rng.below(2));
+            cfg.rw_locked_sites = 1;
+            break;
+          case 1:
+            cfg.sem_racy_sites = 1 + static_cast<unsigned>(rng.below(2));
+            cfg.sem_signal_sites = 1;
+            break;
+          case 2:
+            cfg.spin_racy_sites = 1 + static_cast<unsigned>(rng.below(2));
+            cfg.spin_locked_sites = 1;
+            break;
+          case 3:
+            cfg.relaxed_racy_sites =
+                1 + static_cast<unsigned>(rng.below(2));
+            cfg.relacq_sites = 1;
+            break;
+        }
+        cfg.mixed_widths = (i % 2) == 0;
+        cfg.heap_churn = (i % 3) != 2;
+        cfg.items = 60 + static_cast<uint32_t>(rng.below(40));
         configs.push_back(cfg);
     }
     return configs;

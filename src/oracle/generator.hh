@@ -35,10 +35,35 @@ enum class SiteDiscipline : uint8_t {
     kRacy,   ///< plain unsynchronized load + store (the planted race)
     kLocked, ///< same update under the global stats lock (no race)
     kAtomic, ///< atomic read-modify-write (no race)
+
+    // Rich-sync-vocabulary families. The racy ones are constructed so
+    // the planted pairs are happens-before races under EVERY schedule
+    // (no seed-dependent edge can serialize them), which is what lets
+    // the scorer demand 100% recall at sampling period 1.
+
+    /** rdlock; counter++; unlock — readers never synchronize (racy). */
+    kRwUpgradeRacy,
+    /** wait on a pre-credited semaphore "for ordering"; no edge (racy). */
+    kSemMisuseRacy,
+    /** counter++ outside the spinlock that guards a nearby flag (racy). */
+    kSpinPubRacy,
+    /** relaxed atomic RMW vs a plain load of the same cell (racy). */
+    kAtomicRelaxedRacy,
+    /** mixed rdlock readers / wrlock writer; read-shared path (clean). */
+    kRwLocked,
+    /** binary semaphore used as a mutex: post/wait chain (clean). */
+    kSemSignal,
+    /** the same counter++ inside the spinlock (clean). */
+    kSpinLocked,
+    /** once-only store-release publication + load-acquire (clean). */
+    kAtomicRelAcq,
 };
 
 /** Printable discipline name. */
 const char *siteDisciplineName(SiteDiscipline d);
+
+/** True for the disciplines that plant a race. */
+bool siteDisciplineRacy(SiteDiscipline d);
 
 /** Ground truth for one generated shared site. */
 struct SiteTruth {
@@ -80,6 +105,17 @@ struct GeneratorConfig {
     unsigned racy_sites = 3;  ///< planted racy locations
     unsigned locked_sites = 2;///< lock-protected shared locations
     unsigned atomic_sites = 1;///< atomic-RMW shared locations
+
+    // Rich-sync-vocabulary site counts (default 0: legacy configs and
+    // their byte-identical programs are unchanged).
+    unsigned rw_racy_sites = 0;     ///< kRwUpgradeRacy
+    unsigned sem_racy_sites = 0;    ///< kSemMisuseRacy
+    unsigned spin_racy_sites = 0;   ///< kSpinPubRacy
+    unsigned relaxed_racy_sites = 0;///< kAtomicRelaxedRacy
+    unsigned rw_locked_sites = 0;   ///< kRwLocked
+    unsigned sem_signal_sites = 0;  ///< kSemSignal
+    unsigned spin_locked_sites = 0; ///< kSpinLocked
+    unsigned relacq_sites = 0;      ///< kAtomicRelAcq
     bool mixed_widths = true; ///< widths drawn from {1,2,4,8} (else 8)
     bool heap_churn = true;   ///< per-request malloc/store/load/free
     uint32_t work_before = 12;///< compute padding before the sites
@@ -112,6 +148,15 @@ GeneratedWorkload generate(const GeneratorConfig &config);
  */
 std::vector<GeneratorConfig> standardBattery(uint64_t base_seed,
                                              size_t count);
+
+/**
+ * Like standardBattery, but every config plants sites from the
+ * rich-sync-vocabulary families (rwlock / semaphore / spinlock /
+ * atomics), cycling the family emphasis with the index. Drives
+ * bench/fig19_sync_vocabulary and the sync-family CI floors.
+ */
+std::vector<GeneratorConfig> syncBattery(uint64_t base_seed,
+                                         size_t count);
 
 } // namespace prorace::oracle
 

@@ -278,9 +278,11 @@ RefInterp::run(uint32_t entry, uint64_t max_steps)
             setReg(Reg::rsp, sp + 8);
             break;
           }
-          case Op::kAtomicRmw: {
-            // Single-threaded, so atomicity is moot: plain RMW that
-            // leaves the flags alone and returns the old value.
+          case Op::kAtomicRmw:
+          case Op::kAtomicRmwAcqRel: {
+            // Single-threaded, so atomicity and ordering are moot:
+            // plain RMW that leaves the flags alone and returns the
+            // old value.
             const uint64_t addr = ea(insn.mem);
             const uint64_t old =
                 refWiden(readMem(addr, insn.width), insn.width, false);
@@ -288,6 +290,39 @@ RefInterp::run(uint32_t entry, uint64_t max_steps)
                 refAlu(insn.alu, old, reg(insn.src)).value;
             writeMem(addr, refNarrow(neu, insn.width), insn.width);
             setReg(insn.dst, old);
+            break;
+          }
+          case Op::kLoadAcq:
+            // Acquire ordering is invisible single-threaded; the value
+            // semantics are a zero-extending load.
+            setReg(insn.dst, refWiden(readMem(ea(insn.mem), insn.width),
+                                      insn.width, false));
+            break;
+          case Op::kStoreRel:
+            writeMem(ea(insn.mem), refNarrow(reg(insn.src), insn.width),
+                     insn.width);
+            break;
+          case Op::kRwRdLock:
+          case Op::kRwWrLock:
+          case Op::kRwUnlock:
+          case Op::kSpinLock:
+          case Op::kSpinUnlock:
+            // Uncontended single-threaded locking has no data effect.
+            break;
+          case Op::kSemInit:
+            sems_[ea(insn.mem)] = insn.imm;
+            break;
+          case Op::kSemPost:
+            ++sems_[ea(insn.mem)];
+            break;
+          case Op::kSemWait: {
+            int64_t &value = sems_[ea(insn.mem)];
+            if (value <= 0) {
+                // No other thread can post: this is a self-deadlock.
+                error_ = "sem_wait on empty semaphore would block";
+                return RefStatus::kUnsupported;
+            }
+            --value;
             break;
           }
           case Op::kCas: {

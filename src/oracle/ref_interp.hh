@@ -92,6 +92,7 @@ class RefInterp
     std::array<uint64_t, isa::kNumGprs> gpr_{};
     isa::Flags flags_;
     std::unordered_map<uint64_t, uint8_t> bytes_;
+    std::unordered_map<uint64_t, int64_t> sems_; ///< single-threaded counts
     std::string error_;
     uint64_t steps_ = 0;
 };

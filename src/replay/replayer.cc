@@ -515,6 +515,89 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             break;
           }
 
+          case Op::kLoadAcq: {
+            uint64_t addr;
+            if (is_sample) {
+                addr = win.s1->addr;
+            } else if (auto ea = try_ea(insn.mem)) {
+                addr = *ea;
+            } else {
+                note_hint();
+                pm.invalidateReg(insn.dst);
+                break;
+            }
+            emit_access(0, addr, insn.width, false, true,
+                        insn.mem.rip_relative);
+            // Another thread published this location: the emulated value
+            // (if any) may be stale, so only the register is refreshed
+            // when the location is still trusted.
+            if (auto v = pm.readMem(addr, insn.width)) {
+                pm.setReg(insn.dst,
+                          isa::extendFromWidth(*v, insn.width, false));
+            } else {
+                pm.invalidateReg(insn.dst);
+            }
+            break;
+          }
+
+          case Op::kStoreRel: {
+            uint64_t addr;
+            if (is_sample) {
+                addr = win.s1->addr;
+            } else if (auto ea = try_ea(insn.mem)) {
+                addr = *ea;
+            } else {
+                note_hint();
+                pm.invalidateMemory();
+                break;
+            }
+            emit_access(0, addr, insn.width, true, true,
+                        insn.mem.rip_relative);
+            if (auto value = src_val(insn.src)) {
+                pm.writeMem(addr, isa::truncateToWidth(*value, insn.width),
+                            insn.width);
+            } else {
+                pm.invalidateMem(addr, insn.width);
+            }
+            break;
+          }
+
+          case Op::kAtomicRmwAcqRel: {
+            uint64_t addr;
+            if (is_sample) {
+                addr = win.s1->addr;
+            } else if (auto ea = try_ea(insn.mem)) {
+                addr = *ea;
+            } else {
+                note_hint();
+                pm.invalidateReg(insn.dst);
+                pm.invalidateMemory();
+                break;
+            }
+            emit_access(0, addr, insn.width, false, true,
+                        insn.mem.rip_relative);
+            emit_access(1, addr, insn.width, true, true,
+                        insn.mem.rip_relative);
+            auto old = pm.readMem(addr, insn.width);
+            auto rhs = src_val(insn.src);
+            if (old) {
+                pm.setReg(insn.dst,
+                          isa::extendFromWidth(*old, insn.width, false));
+            } else {
+                pm.invalidateReg(insn.dst);
+            }
+            if (old && rhs) {
+                pm.writeMem(addr,
+                            isa::truncateToWidth(
+                                isa::evalAlu(insn.alu, *old, *rhs).value,
+                                insn.width),
+                            insn.width);
+            } else {
+                pm.invalidateMem(addr, insn.width);
+            }
+            break;
+          }
+
           // Synchronization and allocation routines run library/kernel
           // code: emulated memory does not survive them (the scheduler
           // may have run other threads meanwhile).
@@ -526,6 +609,14 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
           case Op::kBarrier:
           case Op::kJoin:
           case Op::kFree:
+          case Op::kRwRdLock:
+          case Op::kRwWrLock:
+          case Op::kRwUnlock:
+          case Op::kSemInit:
+          case Op::kSemWait:
+          case Op::kSemPost:
+          case Op::kSpinLock:
+          case Op::kSpinUnlock:
             pm.invalidateMemory();
             break;
 

@@ -689,7 +689,14 @@ decodeSyncChunk(const uint8_t *data, size_t size,
         s.tid = static_cast<uint32_t>(
             applyDelta(p.prev_tid, col[kColSyncTid].varint()));
         SyncPredictor::PerTid &pt = p.per_tid[s.tid];
-        s.kind = static_cast<vm::SyncKind>(col[kColSyncKind].u8());
+        const uint8_t kind_raw = col[kColSyncKind].u8();
+        if (kind_raw > vm::kMaxSyncKind) {
+            // A corrupt kind byte would otherwise dispatch as garbage;
+            // dropping the segment routes the loss through salvage,
+            // which disables epoch GC for the affected window.
+            return false;
+        }
+        s.kind = static_cast<vm::SyncKind>(kind_raw);
         s.object = applyDelta(pt.object, col[kColSyncObject].varint());
         s.aux = applyDelta(pt.aux, col[kColSyncAux].varint());
         s.tsc = applyDelta(p.prev_tsc, col[kColSyncTsc].varint());

@@ -40,6 +40,9 @@ enum class ThreadState : uint8_t {
     kBlockedMutex,  ///< waiting to acquire a mutex
     kBlockedCond,   ///< waiting on a condition variable
     kBlockedBarrier,///< waiting at a barrier
+    kBlockedRwLock, ///< waiting to acquire a reader/writer lock
+    kBlockedSem,    ///< waiting for a semaphore count
+    kBlockedSpin,   ///< spinning on a held spinlock
     kBlockedJoin,   ///< waiting for another thread to exit
     kBlockedIo,     ///< waiting for a modeled I/O completion
     kDone,          ///< exited

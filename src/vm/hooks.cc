@@ -20,6 +20,17 @@ syncKindName(SyncKind kind)
       case SyncKind::kJoin:          return "join";
       case SyncKind::kMalloc:        return "malloc";
       case SyncKind::kFree:          return "free";
+      case SyncKind::kRwRdLock:      return "rw-rdlock";
+      case SyncKind::kRwWrLock:      return "rw-wrlock";
+      case SyncKind::kRwUnlock:      return "rw-unlock";
+      case SyncKind::kSemInit:       return "sem-init";
+      case SyncKind::kSemWait:       return "sem-wait";
+      case SyncKind::kSemPost:       return "sem-post";
+      case SyncKind::kSpinLock:      return "spin-lock";
+      case SyncKind::kSpinUnlock:    return "spin-unlock";
+      case SyncKind::kAtomicAcquire: return "atomic-acquire";
+      case SyncKind::kAtomicRelease: return "atomic-release";
+      case SyncKind::kAtomicAcqRel:  return "atomic-acqrel";
     }
     return "?";
 }

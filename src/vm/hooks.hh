@@ -56,7 +56,22 @@ enum class SyncKind : uint8_t {
     kJoin,           ///< aux = joined tid
     kMalloc,         ///< object = block address, aux = size
     kFree,           ///< object = block address
+    kRwRdLock,       ///< acquired rwlock for reading
+    kRwWrLock,       ///< acquired rwlock for writing
+    kRwUnlock,       ///< released rwlock; aux = 1 when write mode
+    kSemInit,        ///< semaphore initialized; aux = initial count
+    kSemWait,        ///< P completed (count taken)
+    kSemPost,        ///< V completed
+    kSpinLock,       ///< acquired spinlock
+    kSpinUnlock,     ///< released spinlock
+    kAtomicAcquire,  ///< acquire-ordered atomic load
+    kAtomicRelease,  ///< release-ordered atomic store
+    kAtomicAcqRel,   ///< acquire+release atomic RMW
 };
+
+/** Largest valid SyncKind value (decode-time range check). */
+inline constexpr uint8_t kMaxSyncKind =
+    static_cast<uint8_t>(SyncKind::kAtomicAcqRel);
 
 /** Printable sync-kind name. */
 const char *syncKindName(SyncKind kind);

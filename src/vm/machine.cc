@@ -45,6 +45,9 @@ Machine::addThread(uint32_t entry_index, uint64_t arg)
     lock_granted_.push_back(false);
     cond_resuming_.push_back(false);
     barrier_resuming_.push_back(false);
+    rw_granted_.push_back(false);
+    sem_granted_.push_back(false);
+    spin_granted_.push_back(false);
     started_.push_back(false);
     parent_.push_back(tid); // root threads are their own parent
     ++live_threads_;
@@ -163,6 +166,31 @@ Machine::releaseMutex(uint64_t addr, ThreadContext &t, uint64_t now)
         grantMutex(m, next, now);
     } else {
         m.owner = -1;
+    }
+}
+
+void
+Machine::drainRwWaiters(RwLockState &rw, uint64_t at_time)
+{
+    // FIFO handoff: a writer at the head takes the lock alone; a run of
+    // readers at the head is admitted together.
+    while (!rw.waiters.empty()) {
+        const auto [tid, wants_write] = rw.waiters.front();
+        if (wants_write) {
+            if (rw.writer >= 0 || rw.readers > 0)
+                break;
+            rw.writer = tid;
+            rw.waiters.pop_front();
+            rw_granted_[tid] = true;
+            makeRunnable(tid, at_time);
+            break;
+        }
+        if (rw.writer >= 0)
+            break;
+        ++rw.readers;
+        rw.waiters.pop_front();
+        rw_granted_[tid] = true;
+        makeRunnable(tid, at_time);
     }
 }
 
@@ -740,6 +768,199 @@ Machine::executeInsn(ThreadContext &t, Core &core)
         cost += reportSync(t, core, SyncKind::kFree, addr, 0, index);
         heapFree(addr);
         cost += 30;
+        break;
+      }
+
+      case Op::kRwRdLock: {
+        const uint64_t addr = effectiveAddr(t, insn.mem);
+        RwLockState &rw = rwlocks_[addr];
+        if (rw_granted_[t.tid]) {
+            // Wake-up path: admitted while blocked (readers/writer
+            // already updated by drainRwWaiters).
+            rw_granted_[t.tid] = false;
+            cost += reportSync(t, core, SyncKind::kRwRdLock, addr, 0,
+                               index);
+            cost += 20;
+        } else if (rw.writer < 0 && rw.waiters.empty()) {
+            ++rw.readers;
+            cost += reportSync(t, core, SyncKind::kRwRdLock, addr, 0,
+                               index);
+            cost += 20;
+        } else {
+            // A pending writer blocks new readers (writer preference
+            // keeps the FIFO fair).
+            rw.waiters.emplace_back(t.tid, false);
+            block(ThreadState::kBlockedRwLock, addr);
+        }
+        break;
+      }
+
+      case Op::kRwWrLock: {
+        const uint64_t addr = effectiveAddr(t, insn.mem);
+        RwLockState &rw = rwlocks_[addr];
+        if (rw_granted_[t.tid]) {
+            rw_granted_[t.tid] = false;
+            cost += reportSync(t, core, SyncKind::kRwWrLock, addr, 0,
+                               index);
+            cost += 20;
+        } else if (rw.writer < 0 && rw.readers == 0 &&
+                   rw.waiters.empty()) {
+            rw.writer = t.tid;
+            cost += reportSync(t, core, SyncKind::kRwWrLock, addr, 0,
+                               index);
+            cost += 20;
+        } else {
+            rw.waiters.emplace_back(t.tid, true);
+            block(ThreadState::kBlockedRwLock, addr);
+        }
+        break;
+      }
+
+      case Op::kRwUnlock: {
+        const uint64_t addr = effectiveAddr(t, insn.mem);
+        RwLockState &rw = rwlocks_[addr];
+        const bool was_writer = rw.writer == static_cast<int64_t>(t.tid);
+        if (was_writer) {
+            rw.writer = -1;
+        } else {
+            PRORACE_ASSERT(rw.readers > 0, "thread ", t.tid,
+                           " releasing rwlock it does not hold");
+            --rw.readers;
+        }
+        cost += reportSync(t, core, SyncKind::kRwUnlock, addr,
+                           was_writer ? 1 : 0, index);
+        drainRwWaiters(rw, core.clock + cost);
+        cost += 20;
+        break;
+      }
+
+      case Op::kSemInit: {
+        const uint64_t addr = effectiveAddr(t, insn.mem);
+        semaphores_[addr].value = insn.imm;
+        cost += reportSync(t, core, SyncKind::kSemInit, addr,
+                           static_cast<uint64_t>(insn.imm), index);
+        cost += 20;
+        break;
+      }
+
+      case Op::kSemWait: {
+        const uint64_t addr = effectiveAddr(t, insn.mem);
+        SemState &s = semaphores_[addr];
+        if (sem_granted_[t.tid]) {
+            // A post handed this thread its count directly.
+            sem_granted_[t.tid] = false;
+            cost += reportSync(t, core, SyncKind::kSemWait, addr, 0,
+                               index);
+            cost += 20;
+        } else if (s.value > 0) {
+            --s.value;
+            cost += reportSync(t, core, SyncKind::kSemWait, addr, 0,
+                               index);
+            cost += 20;
+        } else {
+            s.waiters.push_back(t.tid);
+            block(ThreadState::kBlockedSem, addr);
+        }
+        break;
+      }
+
+      case Op::kSemPost: {
+        const uint64_t addr = effectiveAddr(t, insn.mem);
+        SemState &s = semaphores_[addr];
+        cost += reportSync(t, core, SyncKind::kSemPost, addr, 0, index);
+        if (!s.waiters.empty()) {
+            const uint32_t w = s.waiters.front();
+            s.waiters.pop_front();
+            sem_granted_[w] = true;
+            makeRunnable(w, core.clock + cost);
+        } else {
+            ++s.value;
+        }
+        cost += 20;
+        break;
+      }
+
+      case Op::kSpinLock: {
+        const uint64_t addr = effectiveAddr(t, insn.mem);
+        MutexState &m = spinlocks_[addr];
+        if (spin_granted_[t.tid] &&
+            m.owner == static_cast<int64_t>(t.tid)) {
+            spin_granted_[t.tid] = false;
+            cost += reportSync(t, core, SyncKind::kSpinLock, addr, 0,
+                               index);
+            cost += 5;
+        } else if (m.owner < 0) {
+            m.owner = t.tid;
+            cost += reportSync(t, core, SyncKind::kSpinLock, addr, 0,
+                               index);
+            cost += 5;
+        } else {
+            // Spinning is modeled as blocking with handoff: the cycles a
+            // real spinner would burn are charged as contention latency
+            // without flooding the trace with retried CAS loops.
+            m.waiters.push_back(t.tid);
+            block(ThreadState::kBlockedSpin, addr);
+        }
+        break;
+      }
+
+      case Op::kSpinUnlock: {
+        const uint64_t addr = effectiveAddr(t, insn.mem);
+        MutexState &m = spinlocks_[addr];
+        PRORACE_ASSERT(m.owner == static_cast<int64_t>(t.tid), "thread ",
+                       t.tid, " releasing spinlock it does not own");
+        cost += reportSync(t, core, SyncKind::kSpinUnlock, addr, 0,
+                           index);
+        if (!m.waiters.empty()) {
+            const uint32_t next = m.waiters.front();
+            m.waiters.pop_front();
+            m.owner = next;
+            spin_granted_[next] = true;
+            makeRunnable(next, core.clock + cost);
+        } else {
+            m.owner = -1;
+        }
+        cost += 5;
+        break;
+      }
+
+      case Op::kLoadAcq: {
+        const uint64_t addr = effectiveAddr(t, insn.mem);
+        cost += reportSync(t, core, SyncKind::kAtomicAcquire, addr, 0,
+                           index);
+        cost += reportLoad(t, core, index, addr, insn.width, true);
+        const uint64_t raw = memory_.read(addr, insn.width);
+        t.regs.set(insn.dst, isa::extendFromWidth(raw, insn.width, false));
+        cost += 2; // acquire fence
+        break;
+      }
+
+      case Op::kStoreRel: {
+        const uint64_t addr = effectiveAddr(t, insn.mem);
+        cost += reportStore(t, core, index, addr, insn.width, true);
+        memory_.write(addr, isa::truncateToWidth(readReg(t, insn.src),
+                                                 insn.width), insn.width);
+        cost += reportSync(t, core, SyncKind::kAtomicRelease, addr, 0,
+                           index);
+        cost += 2; // release fence
+        break;
+      }
+
+      case Op::kAtomicRmwAcqRel: {
+        const uint64_t addr = effectiveAddr(t, insn.mem);
+        cost += reportLoad(t, core, index, addr, insn.width, true);
+        const uint64_t old =
+            isa::extendFromWidth(memory_.read(addr, insn.width), insn.width,
+                                 false);
+        const uint64_t neu =
+            isa::evalAlu(insn.alu, old, readReg(t, insn.src)).value;
+        cost += reportStore(t, core, index, addr, insn.width, true);
+        memory_.write(addr, isa::truncateToWidth(neu, insn.width),
+                      insn.width);
+        t.regs.set(insn.dst, old);
+        cost += reportSync(t, core, SyncKind::kAtomicAcqRel, addr, 0,
+                           index);
+        cost += 10; // lock-prefix penalty
         break;
       }
 

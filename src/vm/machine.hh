@@ -125,6 +125,15 @@ class Machine
         int64_t owner = -1;
         std::deque<uint32_t> waiters;
     };
+    struct RwLockState {
+        int64_t writer = -1;            ///< exclusive holder or -1
+        uint32_t readers = 0;           ///< live shared holders
+        std::deque<std::pair<uint32_t, bool>> waiters; ///< (tid, wants write)
+    };
+    struct SemState {
+        int64_t value = 0;
+        std::deque<uint32_t> waiters;
+    };
     struct CondVarState {
         std::deque<uint32_t> waiters;
     };
@@ -165,6 +174,7 @@ class Machine
     void grantMutex(MutexState &m, uint32_t tid, uint64_t at_time);
     void releaseMutex(uint64_t addr, ThreadContext &t, uint64_t now);
     void wakeFromCond(uint32_t tid, uint64_t mutex_addr, uint64_t now);
+    void drainRwWaiters(RwLockState &rw, uint64_t at_time);
 
     uint64_t heapAlloc(uint64_t size);
     void heapFree(uint64_t addr);
@@ -182,12 +192,18 @@ class Machine
     std::vector<bool> lock_granted_;    ///< per-tid: mutex handed over
     std::vector<bool> cond_resuming_;   ///< per-tid: waking from cond wait
     std::vector<bool> barrier_resuming_;///< per-tid: released from barrier
+    std::vector<bool> rw_granted_;      ///< per-tid: rwlock handed over
+    std::vector<bool> sem_granted_;     ///< per-tid: semaphore count handed
+    std::vector<bool> spin_granted_;    ///< per-tid: spinlock handed over
     std::vector<bool> started_;         ///< per-tid: ThreadStart emitted
     std::vector<uint32_t> parent_;      ///< per-tid: spawning thread
 
     std::map<uint64_t, MutexState> mutexes_;
     std::map<uint64_t, CondVarState> condvars_;
     std::map<uint64_t, BarrierState> barriers_;
+    std::map<uint64_t, RwLockState> rwlocks_;
+    std::map<uint64_t, SemState> semaphores_;
+    std::map<uint64_t, MutexState> spinlocks_;
 
     uint64_t heap_cursor_ = 0;
     std::map<uint64_t, std::vector<uint64_t>> free_lists_; ///< size -> LIFO

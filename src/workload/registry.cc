@@ -1,6 +1,7 @@
 #include "workload/registry.hh"
 
 #include "workload/apps.hh"
+#include "workload/archetypes.hh"
 #include "workload/racybugs.hh"
 
 namespace prorace::workload {
@@ -15,6 +16,8 @@ allWorkloadNames()
         names.emplace_back(p.name);
     for (const AppProfile &p : streamingProfiles())
         names.emplace_back(p.name);
+    for (const std::string &name : archetypeNames())
+        names.push_back(name);
     for (const std::string &id : racyBugIds())
         names.push_back(id);
     return names;
@@ -41,6 +44,8 @@ findWorkload(const std::string &name, double scale)
             return makeAppWorkload(p);
         }
     }
+    if (isArchetypeName(name))
+        return makeArchetype(name, scale);
     for (const std::string &id : racyBugIds()) {
         if (name == id)
             return makeRacyBug(id, scale);

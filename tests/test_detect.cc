@@ -3,11 +3,19 @@
  * Unit tests for the FastTrack detector, vector clocks, and reports.
  */
 
+#include <random>
+#include <set>
+
 #include <gtest/gtest.h>
 
 #include "detect/fasttrack.hh"
+#include "detect/fasttrack_ref.hh"
+#include "detect/incremental.hh"
 #include "detect/report.hh"
 #include "detect/vector_clock.hh"
+#include "support/journal.hh"
+
+#include "testutil.hh"
 
 namespace prorace::detect {
 namespace {
@@ -290,6 +298,362 @@ TEST(FastTrack, SameThreadNeverRacesWithItself)
         ft.access(acc(0, 0x1000, i % 2 == 0, 1));
     EXPECT_TRUE(ft.report().empty());
     EXPECT_GT(ft.stats().epoch_fast_path, 0u);
+}
+
+TEST(FastTrack, RwlockConcurrentReadersThenWriterIsClean)
+{
+    // Readers overlap freely; the writer joins the accumulated read
+    // clock at writeLock, ordering every unlocked read before it.
+    FastTrack ft;
+    const uint64_t rw = 0xa000;
+    ft.fork(0, 1);
+    ft.fork(0, 2);
+    ft.writeLock(0, rw);
+    ft.access(acc(0, 0x1000, true, 1));
+    ft.writeUnlock(0, rw);
+    ft.readLock(1, rw);
+    ft.access(acc(1, 0x1000, false, 2));
+    ft.readUnlock(1, rw);
+    ft.readLock(2, rw);
+    ft.access(acc(2, 0x1000, false, 3));
+    ft.readUnlock(2, rw);
+    ft.writeLock(0, rw);
+    ft.access(acc(0, 0x1000, true, 4));
+    ft.writeUnlock(0, rw);
+    EXPECT_TRUE(ft.report().empty());
+}
+
+TEST(FastTrack, RwlockReadLockDoesNotOrderReadersWithEachOther)
+{
+    // The upgrade misuse: writing under a READ lock. Read-side
+    // critical sections run concurrently, so two such writes race.
+    FastTrack ft;
+    const uint64_t rw = 0xa000;
+    ft.fork(0, 1);
+    ft.fork(0, 2);
+    ft.readLock(1, rw);
+    ft.access(acc(1, 0x1000, true, 1));
+    ft.readUnlock(1, rw);
+    ft.readLock(2, rw);
+    ft.access(acc(2, 0x1000, true, 2));
+    ft.readUnlock(2, rw);
+    EXPECT_EQ(ft.report().size(), 1u);
+    EXPECT_TRUE(ft.report().containsPair(1, 2));
+}
+
+TEST(FastTrack, RwlockWriterWaitsForReadUnlockNotReadLock)
+{
+    // A read that happened under the read lock is ordered before the
+    // next writeLock only because readUnlock deposited the reader's
+    // clock; a reader that has not unlocked yet still races with a
+    // concurrent write-side write. (The VM never schedules this —
+    // wrlock blocks — but the clock algebra must be directional.)
+    FastTrack ft;
+    const uint64_t rw = 0xa000;
+    ft.fork(0, 1);
+    ft.readLock(1, rw);
+    ft.access(acc(1, 0x1000, false, 1));
+    // no readUnlock: the reader's clock was never published
+    ft.writeLock(0, rw);
+    ft.access(acc(0, 0x1000, true, 2));
+    ft.writeUnlock(0, rw);
+    EXPECT_EQ(ft.report().size(), 1u);
+}
+
+TEST(FastTrack, SemaphorePostWaitCreatesEdge)
+{
+    FastTrack ft;
+    const uint64_t sem = 0x5000;
+    ft.fork(0, 1);
+    ft.access(acc(0, 0x1000, true, 1));
+    ft.semPost(0, sem);
+    ft.semWait(1, sem);
+    ft.access(acc(1, 0x1000, false, 2));
+    EXPECT_TRUE(ft.report().empty());
+}
+
+TEST(FastTrack, SemaphoreInitialCreditWaitHasNoEdge)
+{
+    // A wait satisfied by semInit credits (an empty post queue) carries
+    // no happens-before: that is exactly what makes semaphore-as-mutex
+    // misuse detectable.
+    FastTrack ft;
+    const uint64_t sem = 0x5000;
+    ft.fork(0, 1);
+    ft.semInit(0, sem, 2);
+    ft.access(acc(0, 0x1000, true, 1));
+    ft.semWait(1, sem);
+    ft.access(acc(1, 0x1000, true, 2));
+    EXPECT_EQ(ft.report().size(), 1u);
+}
+
+TEST(FastTrack, SemaphorePostsPairWithWaitsInFifoOrder)
+{
+    FastTrack ft;
+    const uint64_t sem = 0x5000;
+    ft.fork(0, 1);
+    ft.fork(0, 2);
+    ft.access(acc(1, 0x1000, true, 1)); // published by the FIRST post
+    ft.semPost(1, sem);
+    ft.access(acc(2, 0x2000, true, 2)); // published by the SECOND post
+    ft.semPost(2, sem);
+    // One wait consumes only the first post: 0x1000 is ordered,
+    // 0x2000 is not.
+    ft.semWait(0, sem);
+    ft.access(acc(0, 0x1000, false, 3));
+    ft.access(acc(0, 0x2000, false, 4));
+    EXPECT_EQ(ft.report().size(), 1u);
+    EXPECT_TRUE(ft.report().containsPair(2, 4));
+}
+
+TEST(FastTrack, SemInitDiscardsPendingPosts)
+{
+    FastTrack ft;
+    const uint64_t sem = 0x5000;
+    ft.fork(0, 1);
+    ft.access(acc(0, 0x1000, true, 1));
+    ft.semPost(0, sem);
+    ft.semInit(0, sem, 0); // reinitialization clears the queue
+    ft.semWait(1, sem);
+    ft.access(acc(1, 0x1000, false, 2));
+    EXPECT_EQ(ft.report().size(), 1u);
+}
+
+TEST(FastTrack, AcquireReleaseChainsThroughIntermediateThreads)
+{
+    // acq_rel RMWs continue the release sequence: t0's write reaches
+    // t2 through t1's intermediate RMW on the same object.
+    FastTrack ft;
+    const uint64_t obj = 0x7000;
+    ft.fork(0, 1);
+    ft.fork(0, 2);
+    ft.access(acc(0, 0x1000, true, 1));
+    ft.acquireRelease(0, obj);
+    ft.acquireRelease(1, obj);
+    ft.acquireRelease(2, obj);
+    ft.access(acc(2, 0x1000, false, 2));
+    EXPECT_TRUE(ft.report().empty());
+}
+
+TEST(FastTrack, AcquireWithoutPriorReleaseHasNoEdge)
+{
+    FastTrack ft;
+    ft.fork(0, 1);
+    ft.access(acc(0, 0x1000, true, 1));
+    ft.acquire(1, 0x7000); // nothing was ever released to this object
+    ft.access(acc(1, 0x1000, false, 2));
+    EXPECT_EQ(ft.report().size(), 1u);
+}
+
+TEST(FastTrack, SharedAtomicReadersKeepSuppressionExact)
+{
+    // Read-shared state with MIXED plain and atomic readers: an atomic
+    // write must race with the plain reader but stay suppressed against
+    // the atomic reader — one plain reader must not poison the
+    // atomic-vs-atomic suppression (and vice versa).
+    FastTrack ft;
+    ft.fork(0, 1);
+    ft.fork(0, 2);
+    ft.access(acc(1, 0x1000, false, 1, true));  // atomic reader
+    ft.access(acc(2, 0x1000, false, 2, false)); // plain reader
+    ft.access(acc(0, 0x1000, true, 3, true));   // atomic writer
+    ASSERT_EQ(ft.report().size(), 1u);
+    EXPECT_TRUE(ft.report().containsPair(2, 3))
+        << "the reported pair must name the PLAIN reader";
+}
+
+TEST(FastTrack, SharedAllAtomicReadersSuppressAtomicWriteOnly)
+{
+    {
+        FastTrack ft;
+        ft.fork(0, 1);
+        ft.fork(0, 2);
+        ft.access(acc(1, 0x1000, false, 1, true));
+        ft.access(acc(2, 0x1000, false, 2, true));
+        ft.access(acc(0, 0x1000, true, 3, true));
+        EXPECT_TRUE(ft.report().empty());
+    }
+    {
+        FastTrack ft;
+        ft.fork(0, 1);
+        ft.fork(0, 2);
+        ft.access(acc(1, 0x1000, false, 1, true));
+        ft.access(acc(2, 0x1000, false, 2, true));
+        ft.access(acc(0, 0x1000, true, 3, false)); // plain write races
+        EXPECT_EQ(ft.report().size(), 1u);
+    }
+}
+
+/** Serialized detector image, for byte-identity comparisons. */
+std::vector<uint8_t>
+stateBytes(const FastTrack &ft)
+{
+    support::ByteWriter w;
+    ft.serializeState(w);
+    return w.take();
+}
+
+TEST(FastTrack, SerializeRestoreRoundTripsRwAndSemState)
+{
+    // Checkpoint with live rwlock read-clocks, a non-empty semaphore
+    // post queue, and a read-shared granule; the restored detector must
+    // behave identically on the rest of the stream.
+    FastTrack a;
+    const uint64_t rw = 0xa000, sem = 0x5000;
+    a.fork(0, 1);
+    a.fork(0, 2);
+    a.readLock(1, rw);
+    a.access(acc(1, 0x1000, false, 1));
+    a.readUnlock(1, rw);
+    a.access(acc(2, 0x1000, false, 2)); // inflates to read-shared
+    a.access(acc(1, 0x2000, true, 3));
+    a.semPost(1, sem);
+    a.semPost(1, sem);
+
+    support::ByteWriter w;
+    a.serializeState(w);
+    const std::vector<uint8_t> image = w.take();
+    FastTrack b;
+    support::ByteReader r(image.data(), image.size());
+    ASSERT_TRUE(b.restoreState(r));
+
+    const auto replay_suffix = [&](FastTrack &ft) {
+        ft.semWait(0, sem);
+        ft.access(acc(0, 0x2000, false, 4)); // ordered by the post
+        ft.writeLock(0, rw);
+        // Ordered with t1's read via readUnlock, but t2 never
+        // unlocked: its shared read still races.
+        ft.access(acc(0, 0x1000, true, 5));
+        ft.writeUnlock(0, rw);
+        ft.access(acc(1, 0x3000, true, 6));
+        ft.access(acc(2, 0x3000, true, 7)); // unordered: races
+    };
+    replay_suffix(a);
+    replay_suffix(b);
+
+    EXPECT_EQ(a.report().size(), 2u);
+    EXPECT_TRUE(a.report().containsPair(2, 5));
+    EXPECT_TRUE(a.report().containsPair(6, 7));
+    EXPECT_EQ(stateBytes(a), stateBytes(b));
+}
+
+TEST(FastTrack, RestoreRejectsTruncatedSemSection)
+{
+    FastTrack a;
+    a.fork(0, 1);
+    a.semPost(1, 0x5000);
+    support::ByteWriter w;
+    a.serializeState(w);
+    std::vector<uint8_t> image = w.take();
+    image.resize(image.size() / 2);
+    FastTrack b;
+    b.access(acc(0, 0x9000, true, 9));
+    support::ByteReader r(image.data(), image.size());
+    EXPECT_FALSE(b.restoreState(r));
+    // The failed restore must leave b exactly as it was.
+    EXPECT_EQ(b.report().size(), 0u);
+    EXPECT_EQ(b.stats().writes, 1u);
+}
+
+/** One randomized event over the full sync vocabulary. */
+template <typename Detector>
+void
+applyRandomEvent(Detector &ft, std::mt19937_64 &rng, uint64_t tsc)
+{
+    const uint32_t tid = static_cast<uint32_t>(rng() % 4);
+    const uint64_t obj = 0xa000 + (rng() % 3) * 0x100;
+    const uint64_t addr = 0x1000 + (rng() % 6) * 8;
+    switch (rng() % 14) {
+      case 0: ft.acquire(tid, obj); break;
+      case 1: ft.release(tid, obj); break;
+      case 2: ft.readLock(tid, obj); break;
+      case 3: ft.readUnlock(tid, obj); break;
+      case 4: ft.writeLock(tid, obj); break;
+      case 5: ft.writeUnlock(tid, obj); break;
+      case 6: ft.semInit(tid, obj, rng() % 3); break;
+      case 7: ft.semWait(tid, obj); break;
+      case 8: ft.semPost(tid, obj); break;
+      case 9: ft.acquireRelease(tid, obj); break;
+      default: {
+        MemAccess ma;
+        ma.tid = tid;
+        ma.addr = addr;
+        ma.is_write = rng() % 2 == 0;
+        ma.is_atomic = rng() % 4 == 0;
+        ma.insn_index = static_cast<uint32_t>(rng() % 64);
+        ma.tsc = tsc;
+        ft.access(ma);
+        break;
+      }
+    }
+}
+
+std::set<std::pair<uint32_t, uint32_t>>
+reportPairs(const RaceReport &report)
+{
+    std::set<std::pair<uint32_t, uint32_t>> pairs;
+    for (const DataRace &race : report.races()) {
+        const uint32_t a = race.prior.insn_index;
+        const uint32_t b = race.current.insn_index;
+        pairs.emplace(std::min(a, b), std::max(a, b));
+    }
+    return pairs;
+}
+
+TEST(Differential, FastTrackMatchesReferenceOnRandomSyncStreams)
+{
+    // The optimized detector (epochs, inline clocks, FlatMap) and the
+    // naive reference (full maps, deques) must report identical race
+    // pair sets on arbitrary streams over the whole sync vocabulary.
+    for (uint64_t seed : testutil::testSeeds({101ull, 202ull, 303ull})) {
+        PRORACE_SEED_TRACE(seed);
+        std::mt19937_64 rng(seed);
+        FastTrack fast;
+        RefFastTrack ref;
+        for (uint32_t t = 1; t < 4; ++t) {
+            fast.fork(0, t);
+            ref.fork(0, t);
+        }
+        for (uint64_t i = 0; i < 3000; ++i) {
+            std::mt19937_64 fork_a = rng; // same stream for both
+            applyRandomEvent(fast, fork_a, i);
+            applyRandomEvent(ref, rng, i);
+        }
+        EXPECT_EQ(reportPairs(fast.report()), reportPairs(ref.report()))
+            << "seed " << seed;
+        EXPECT_EQ(fast.report().size(), ref.report().size());
+    }
+}
+
+TEST(Differential, IncrementalMatchesOneShotOnRandomSyncStreams)
+{
+    // Streaming with batch boundaries and epoch GC enabled must be
+    // report-identical to one-shot analysis of the same events.
+    for (uint64_t seed : testutil::testSeeds({111ull, 222ull})) {
+        PRORACE_SEED_TRACE(seed);
+        IncrementalOptions opts;
+        opts.enable_gc = true;
+        opts.gc_min_events = 256;
+        IncrementalFastTrack inc(opts);
+        FastTrack oneshot;
+        for (uint32_t t = 0; t < 4; ++t)
+            inc.requireThread(t);
+        for (uint32_t t = 1; t < 4; ++t) {
+            inc.fork(0, t);
+            oneshot.fork(0, t);
+        }
+        std::mt19937_64 rng(seed);
+        for (uint64_t i = 0; i < 4000; ++i) {
+            std::mt19937_64 fork_a = rng;
+            applyRandomEvent(inc, fork_a, i);
+            applyRandomEvent(oneshot, rng, i);
+            if (i % 512 == 511)
+                inc.batchBoundary(i + 1);
+        }
+        inc.finish();
+        EXPECT_EQ(reportPairs(inc.report()), reportPairs(oneshot.report()))
+            << "seed " << seed;
+    }
 }
 
 TEST(RaceReport, DeduplicatesInstructionPairs)

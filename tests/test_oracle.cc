@@ -167,6 +167,224 @@ TEST(OracleEndToEnd, FullRecallAndPrecisionAtPeriodOne)
     }
 }
 
+TEST(OracleGenerator, SyncFamilyTruthPairsFollowTheLoadStoreRule)
+{
+    SiteTruth site;
+    site.load_insn = 9;
+    site.store_insn = 4;
+
+    for (SiteDiscipline d : {SiteDiscipline::kRwUpgradeRacy,
+                             SiteDiscipline::kSemMisuseRacy,
+                             SiteDiscipline::kSpinPubRacy}) {
+        site.discipline = d;
+        EXPECT_EQ(GroundTruth::pairsOf(site),
+                  (RacePairSet{{4, 9}, {4, 4}}))
+            << siteDisciplineName(d);
+    }
+
+    // Relaxed-atomic: the RMW is atomic on both sides, so only the
+    // plain load vs RMW-write pair is planted — never (S,S).
+    site.discipline = SiteDiscipline::kAtomicRelaxedRacy;
+    EXPECT_EQ(GroundTruth::pairsOf(site), (RacePairSet{{4, 9}}));
+
+    for (SiteDiscipline d : {SiteDiscipline::kRwLocked,
+                             SiteDiscipline::kSemSignal,
+                             SiteDiscipline::kSpinLocked,
+                             SiteDiscipline::kAtomicRelAcq}) {
+        site.discipline = d;
+        EXPECT_TRUE(GroundTruth::pairsOf(site).empty())
+            << siteDisciplineName(d);
+    }
+}
+
+TEST(OracleGenerator, SyncFamilyNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (SiteDiscipline d : {SiteDiscipline::kRacy,
+                             SiteDiscipline::kLocked,
+                             SiteDiscipline::kAtomic,
+                             SiteDiscipline::kRwUpgradeRacy,
+                             SiteDiscipline::kSemMisuseRacy,
+                             SiteDiscipline::kSpinPubRacy,
+                             SiteDiscipline::kAtomicRelaxedRacy,
+                             SiteDiscipline::kRwLocked,
+                             SiteDiscipline::kSemSignal,
+                             SiteDiscipline::kSpinLocked,
+                             SiteDiscipline::kAtomicRelAcq})
+        names.insert(siteDisciplineName(d));
+    EXPECT_EQ(names.size(), 11u);
+}
+
+/** A config planting every sync family beside the legacy ones. */
+GeneratorConfig
+allFamiliesConfig(uint64_t seed)
+{
+    GeneratorConfig cfg;
+    cfg.seed = seed;
+    cfg.items = 40;
+    cfg.rw_racy_sites = 1;
+    cfg.sem_racy_sites = 1;
+    cfg.spin_racy_sites = 1;
+    cfg.relaxed_racy_sites = 1;
+    cfg.rw_locked_sites = 1;
+    cfg.sem_signal_sites = 1;
+    cfg.spin_locked_sites = 1;
+    cfg.relacq_sites = 1;
+    return cfg;
+}
+
+TEST(OracleGenerator, SyncSitesReallyRaceInTheMachine)
+{
+    // The sync-family ground truth must describe the execution too:
+    // every racy sync site is touched by >= 2 threads with at least
+    // one write, through exactly the truth's instructions.
+    const GeneratorConfig cfg = allFamiliesConfig(testutil::testSeed(19));
+    PRORACE_SEED_TRACE(cfg.seed);
+    const GeneratedWorkload gw = generate(cfg);
+
+    vm::MachineConfig mc;
+    mc.seed = 3;
+    mc.record_memory_log = true;
+    vm::Machine m(*gw.workload.program, mc);
+    gw.workload.setup(m);
+    ASSERT_EQ(m.run(), vm::RunStatus::kFinished);
+
+    size_t racy_sync_sites = 0;
+    for (const SiteTruth &site : gw.truth.sites) {
+        if (!siteDisciplineRacy(site.discipline) ||
+            site.discipline == SiteDiscipline::kRacy)
+            continue;
+        ++racy_sync_sites;
+        std::set<uint32_t> tids, insns;
+        bool wrote = false;
+        for (const auto &e : m.memoryLog()) {
+            if (e.addr < site.addr || e.addr >= site.addr + site.width)
+                continue;
+            if (e.insn_index != site.load_insn &&
+                e.insn_index != site.store_insn)
+                continue;
+            tids.insert(e.tid);
+            insns.insert(e.insn_index);
+            wrote = wrote || e.is_write;
+        }
+        EXPECT_GE(tids.size(), 2u) << site.symbol;
+        EXPECT_TRUE(wrote) << site.symbol;
+        EXPECT_TRUE(insns.count(site.store_insn)) << site.symbol;
+    }
+    EXPECT_EQ(racy_sync_sites, 4u);
+    EXPECT_EQ(gw.workload.bugs.size(), cfg.racy_sites + 4u);
+}
+
+/** Runs one config through the period-1 pipeline and scores it. */
+void
+expectPerfectAtPeriodOne(const GeneratorConfig &cfg)
+{
+    const GeneratedWorkload gw = generate(cfg);
+    auto pc = core::proRaceConfig(1, 5, gw.workload.pt_filter);
+    auto result =
+        core::runPipeline(*gw.workload.program, gw.workload.setup, pc);
+    const OracleScore score = scoreReport(gw.truth, result.offline.report);
+    EXPECT_DOUBLE_EQ(score.recall(), 1.0) << gw.workload.name;
+    EXPECT_EQ(score.false_positives, 0u) << gw.workload.name;
+}
+
+/** One racy sync family alone (plus its clean sibling), two seeds. */
+void
+runFamilyAtPeriodOne(unsigned GeneratorConfig::*racy,
+                     unsigned GeneratorConfig::*clean)
+{
+    for (uint64_t seed : testutil::testSeeds({31ull, 47ull})) {
+        PRORACE_SEED_TRACE(seed);
+        GeneratorConfig cfg;
+        cfg.seed = seed;
+        cfg.items = 40;
+        cfg.racy_sites = 0;
+        cfg.*racy = 2;
+        cfg.*clean = 1;
+        expectPerfectAtPeriodOne(cfg);
+    }
+}
+
+TEST(OracleEndToEnd, RwUpgradeRacesFoundAtPeriodOne)
+{
+    runFamilyAtPeriodOne(&GeneratorConfig::rw_racy_sites,
+                         &GeneratorConfig::rw_locked_sites);
+}
+
+TEST(OracleEndToEnd, SemMisuseRacesFoundAtPeriodOne)
+{
+    runFamilyAtPeriodOne(&GeneratorConfig::sem_racy_sites,
+                         &GeneratorConfig::sem_signal_sites);
+}
+
+TEST(OracleEndToEnd, SpinPublicationRacesFoundAtPeriodOne)
+{
+    runFamilyAtPeriodOne(&GeneratorConfig::spin_racy_sites,
+                         &GeneratorConfig::spin_locked_sites);
+}
+
+TEST(OracleEndToEnd, RelaxedAtomicRacesFoundAtPeriodOne)
+{
+    runFamilyAtPeriodOne(&GeneratorConfig::relaxed_racy_sites,
+                         &GeneratorConfig::relacq_sites);
+}
+
+TEST(OracleEndToEnd, CleanSyncFamiliesProduceNoRaces)
+{
+    // Only properly synchronized sync-family sites: dense sampling must
+    // report nothing — the precision half of the HB-rule guarantee.
+    for (uint64_t seed : testutil::testSeeds({13ull, 29ull})) {
+        PRORACE_SEED_TRACE(seed);
+        GeneratorConfig cfg;
+        cfg.seed = seed;
+        cfg.items = 40;
+        cfg.racy_sites = 0;
+        cfg.rw_locked_sites = 2;
+        cfg.sem_signal_sites = 2;
+        cfg.spin_locked_sites = 2;
+        cfg.relacq_sites = 2;
+        const GeneratedWorkload gw = generate(cfg);
+        EXPECT_TRUE(gw.truth.racy_pairs.empty());
+        auto pc = core::proRaceConfig(1, 7, gw.workload.pt_filter);
+        auto result = core::runPipeline(*gw.workload.program,
+                                        gw.workload.setup, pc);
+        EXPECT_TRUE(result.offline.report.empty())
+            << gw.workload.name << ":\n"
+            << result.offline.report.format(gw.workload.program.get());
+    }
+}
+
+TEST(OracleEndToEnd, AllFamiliesTogetherFullRecallAtPeriodOne)
+{
+    for (uint64_t seed : testutil::testSeeds({17ull, 37ull})) {
+        PRORACE_SEED_TRACE(seed);
+        expectPerfectAtPeriodOne(allFamiliesConfig(seed));
+    }
+}
+
+TEST(OracleEndToEnd, SyncBatteryIsDiverseAndWellFormed)
+{
+    const auto battery = syncBattery(700, 8);
+    ASSERT_EQ(battery.size(), 8u);
+    std::set<unsigned> thread_counts;
+    for (const GeneratorConfig &cfg : battery) {
+        thread_counts.insert(cfg.threads);
+        const unsigned sync_racy = cfg.rw_racy_sites +
+            cfg.sem_racy_sites + cfg.spin_racy_sites +
+            cfg.relaxed_racy_sites;
+        const unsigned sync_clean = cfg.rw_locked_sites +
+            cfg.sem_signal_sites + cfg.spin_locked_sites +
+            cfg.relacq_sites;
+        EXPECT_GE(sync_racy, 1u) << cfg.name();
+        EXPECT_GE(sync_clean, 1u) << cfg.name();
+        const GeneratedWorkload gw = generate(cfg);
+        EXPECT_FALSE(gw.truth.racy_pairs.empty()) << gw.workload.name;
+        EXPECT_GT(gw.workload.program->size(), 0u);
+    }
+    EXPECT_GE(thread_counts.size(), 3u)
+        << "battery should vary thread counts";
+}
+
 TEST(OracleEndToEnd, StandardBatteryIsDiverseAndWellFormed)
 {
     const auto battery = standardBattery(500, 6);

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "detect/fasttrack.hh"
 #include "detect/vector_clock.hh"
 #include "support/flat_map.hh"
 #include "support/rng.hh"
@@ -193,6 +194,294 @@ TEST(VectorClockProps, RandomOpsMatchDenseModel)
             joined.join(clocks[(i + 1) % kClocks]);
             ASSERT_TRUE(clocks[i].lessOrEqual(joined));
         }
+    }
+}
+
+/** Random clock with components across the inline-4 spill boundary. */
+VectorClock
+randomClock(Rng &rng)
+{
+    VectorClock vc;
+    const uint32_t entries = static_cast<uint32_t>(rng.below(8));
+    for (uint32_t i = 0; i < entries; ++i)
+        vc.set(static_cast<uint32_t>(rng.below(12)),
+               rng.below(1 << 16) + 1);
+    return vc;
+}
+
+TEST(VectorClockProps, JoinIsIdempotentAndMonotone)
+{
+    // join(a, a) == a, and a <= b implies join(a, c) <= join(b, c) —
+    // the property that makes rwlock read-clock accumulation and
+    // semaphore snapshot joining sound in any order.
+    for (uint64_t seed : testutil::testSeeds({5ull, 55ull, 555ull})) {
+        PRORACE_SEED_TRACE(seed);
+        Rng rng(seed);
+        for (int trial = 0; trial < 2000; ++trial) {
+            VectorClock a = randomClock(rng);
+            VectorClock c = randomClock(rng);
+            VectorClock self(a);
+            self.join(a);
+            for (uint32_t t = 0; t < 12; ++t)
+                ASSERT_EQ(self.get(t), a.get(t));
+
+            VectorClock b(a); // b >= a by construction
+            b.join(randomClock(rng));
+            ASSERT_TRUE(a.lessOrEqual(b));
+            VectorClock ac(a), bc(b);
+            ac.join(c);
+            bc.join(c);
+            ASSERT_TRUE(ac.lessOrEqual(bc));
+            ASSERT_TRUE(c.lessOrEqual(ac));
+        }
+    }
+}
+
+TEST(VectorClockProps, JoinIsCommutativeAndAssociative)
+{
+    // Order-insensitivity is what lets readUnlock deposits and
+    // semaphore snapshot merges happen in any interleaving.
+    for (uint64_t seed : testutil::testSeeds({8ull, 88ull})) {
+        PRORACE_SEED_TRACE(seed);
+        Rng rng(seed);
+        for (int trial = 0; trial < 2000; ++trial) {
+            const VectorClock a = randomClock(rng);
+            const VectorClock b = randomClock(rng);
+            const VectorClock c = randomClock(rng);
+            VectorClock ab(a), ba(b);
+            ab.join(b);
+            ba.join(a);
+            VectorClock ab_c(ab), bc(b), a_bc(a);
+            ab_c.join(c);
+            bc.join(c);
+            a_bc.join(bc);
+            for (uint32_t t = 0; t < 12; ++t) {
+                ASSERT_EQ(ab.get(t), ba.get(t));
+                ASSERT_EQ(ab_c.get(t), a_bc.get(t));
+            }
+        }
+    }
+}
+
+TEST(ReadSharedProps, DemotionDoesNotMaskLaterConflicts)
+{
+    // After a clean promotion/demotion cycle (shared readers fully
+    // joined by a rwlock writer), the collapsed epoch state must still
+    // catch a genuinely unordered write — demotion forgets the
+    // readers, not the writer.
+    using detect::FastTrack;
+    using detect::MemAccess;
+    FastTrack ft;
+    for (uint32_t t = 1; t <= 3; ++t)
+        ft.fork(0, t);
+    for (uint32_t t = 1; t <= 2; ++t) {
+        ft.readLock(t, 0xa000);
+        MemAccess ma;
+        ma.tid = t;
+        ma.addr = 0x1000;
+        ma.is_write = false;
+        ma.insn_index = t;
+        ft.access(ma);
+        ft.readUnlock(t, 0xa000);
+    }
+    ft.writeLock(1, 0xa000);
+    MemAccess w;
+    w.tid = 1;
+    w.addr = 0x1000;
+    w.is_write = true;
+    w.insn_index = 5;
+    ft.access(w);
+    ft.writeUnlock(1, 0xa000);
+    ASSERT_TRUE(ft.report().empty());
+    ASSERT_GT(ft.stats().read_shares, 0u);
+
+    // Thread 3 never took the lock: its write races the collapsed
+    // writer epoch, nothing else.
+    MemAccess rogue;
+    rogue.tid = 3;
+    rogue.addr = 0x1000;
+    rogue.is_write = true;
+    rogue.insn_index = 9;
+    ft.access(rogue);
+    ASSERT_EQ(ft.report().size(), 1u);
+    EXPECT_TRUE(ft.report().containsPair(5, 9));
+}
+
+TEST(ReadSharedProps, SameEpochReadRepetitionDoesNotChangeOutcomes)
+{
+    // Promotion idempotence: once a granule is read-shared, repeating
+    // any reader's read at the same epoch must not change what a later
+    // conflicting write reports.
+    using detect::FastTrack;
+    using detect::MemAccess;
+    const auto read = [](uint32_t tid, uint32_t insn) {
+        MemAccess ma;
+        ma.tid = tid;
+        ma.addr = 0x1000;
+        ma.is_write = false;
+        ma.insn_index = insn;
+        return ma;
+    };
+    FastTrack once, twice;
+    for (FastTrack *ft : {&once, &twice}) {
+        ft->fork(0, 1);
+        ft->fork(0, 2);
+        ft->fork(0, 3);
+    }
+    for (uint32_t t = 1; t <= 3; ++t) {
+        once.access(read(t, t));
+        twice.access(read(t, t));
+        twice.access(read(t, t)); // same epoch: must be absorbed
+    }
+    EXPECT_GT(twice.stats().epoch_fast_path, 0u);
+    for (FastTrack *ft : {&once, &twice}) {
+        MemAccess w;
+        w.tid = 0;
+        w.addr = 0x1000;
+        w.is_write = true;
+        w.insn_index = 9;
+        ft->access(w);
+    }
+    ASSERT_EQ(once.report().size(), twice.report().size());
+    ASSERT_EQ(once.report().size(), 1u);
+    EXPECT_EQ(once.report().races()[0].prior.insn_index,
+              twice.report().races()[0].prior.insn_index);
+}
+
+TEST(ReadSharedProps, PromotionDemotionCyclesStayClean)
+{
+    // Demotion correctness: rounds of concurrent readers (promoting the
+    // granule to read-shared) followed by a writer that joined every
+    // reader (demoting it back to epochs) must never report a race, in
+    // any round, for any seed.
+    using detect::FastTrack;
+    using detect::MemAccess;
+    constexpr uint32_t kThreads = 4;
+    for (uint64_t seed : testutil::testSeeds({3ull, 33ull})) {
+        PRORACE_SEED_TRACE(seed);
+        Rng rng(seed);
+        FastTrack ft;
+        const uint64_t rw = 0xa000;
+        for (uint32_t t = 1; t < kThreads; ++t)
+            ft.fork(0, t);
+        for (int round = 0; round < 50; ++round) {
+            // A random non-empty reader subset, in random order.
+            std::vector<uint32_t> readers;
+            for (uint32_t t = 0; t < kThreads; ++t)
+                if (rng.below(2) == 0)
+                    readers.push_back(t);
+            if (readers.empty())
+                readers.push_back(static_cast<uint32_t>(
+                    rng.below(kThreads)));
+            for (size_t i = readers.size(); i > 1; --i)
+                std::swap(readers[i - 1], readers[rng.below(i)]);
+
+            for (uint32_t t : readers) {
+                ft.readLock(t, rw);
+                MemAccess ma;
+                ma.tid = t;
+                ma.addr = 0x1000;
+                ma.is_write = false;
+                ma.insn_index = 1;
+                ft.access(ma);
+                ft.readUnlock(t, rw);
+            }
+            const uint32_t writer =
+                static_cast<uint32_t>(rng.below(kThreads));
+            ft.writeLock(writer, rw);
+            MemAccess w;
+            w.tid = writer;
+            w.addr = 0x1000;
+            w.is_write = true;
+            w.insn_index = 2;
+            ft.access(w);
+            ft.writeUnlock(writer, rw);
+        }
+        EXPECT_TRUE(ft.report().empty()) << "seed " << seed;
+        EXPECT_GT(ft.stats().read_shares, 0u);
+    }
+}
+
+TEST(ReadSharedProps, LockDisciplinedRandomSchedulesNeverRace)
+{
+    // Drive the rwlock state machine with random legal schedules —
+    // overlapping readers, exclusive writers, and writer-to-reader
+    // downgrades — all touching one shared granule. Any reported race
+    // would be a false positive in the two-clock rwlock model.
+    using detect::FastTrack;
+    using detect::MemAccess;
+    constexpr uint32_t kThreads = 5;
+    enum class Phase : uint8_t { kIdle, kReading, kWriting };
+    for (uint64_t seed : testutil::testSeeds({9ull, 99ull, 999ull})) {
+        PRORACE_SEED_TRACE(seed);
+        Rng rng(seed);
+        FastTrack ft;
+        const uint64_t rw = 0xa000;
+        for (uint32_t t = 1; t < kThreads; ++t)
+            ft.fork(0, t);
+
+        std::vector<Phase> phase(kThreads, Phase::kIdle);
+        uint32_t readers = 0;
+        bool writer_active = false;
+        const auto touch = [&](uint32_t t, bool is_write) {
+            MemAccess ma;
+            ma.tid = t;
+            ma.addr = 0x1000;
+            ma.is_write = is_write;
+            ma.insn_index = t * 2 + (is_write ? 1 : 0);
+            ft.access(ma);
+        };
+        for (int step = 0; step < 4000; ++step) {
+            const uint32_t t = static_cast<uint32_t>(rng.below(kThreads));
+            switch (phase[t]) {
+              case Phase::kIdle:
+                if (rng.below(4) == 0) {
+                    if (!writer_active && readers == 0) {
+                        ft.writeLock(t, rw);
+                        touch(t, true);
+                        phase[t] = Phase::kWriting;
+                        writer_active = true;
+                    }
+                } else if (!writer_active) {
+                    ft.readLock(t, rw);
+                    touch(t, false);
+                    phase[t] = Phase::kReading;
+                    ++readers;
+                }
+                break;
+              case Phase::kReading:
+                if (rng.below(2) == 0) {
+                    touch(t, false);
+                } else {
+                    ft.readUnlock(t, rw);
+                    phase[t] = Phase::kIdle;
+                    --readers;
+                }
+                break;
+              case Phase::kWriting:
+                switch (rng.below(3)) {
+                  case 0:
+                    touch(t, true);
+                    break;
+                  case 1: // downgrade: unlock + immediate read lock
+                    ft.writeUnlock(t, rw);
+                    ft.readLock(t, rw);
+                    touch(t, false);
+                    phase[t] = Phase::kReading;
+                    writer_active = false;
+                    ++readers;
+                    break;
+                  default:
+                    ft.writeUnlock(t, rw);
+                    phase[t] = Phase::kIdle;
+                    writer_active = false;
+                    break;
+                }
+                break;
+            }
+        }
+        EXPECT_TRUE(ft.report().empty()) << "seed " << seed;
+        EXPECT_GT(ft.stats().read_shares, 0u);
     }
 }
 

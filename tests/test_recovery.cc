@@ -579,6 +579,133 @@ TEST(CheckpointRestore, OracleBattery)
     }
 }
 
+TEST(CheckpointRestore, SyncVocabularyOracles)
+{
+    // The new sync families exercise rwlock read-clocks, semaphore
+    // post queues, spinlock clocks, and atomic release chains; each
+    // must survive checkpoint/restore at randomized boundaries with a
+    // byte-identical report — racy and clean variants both.
+    const uint64_t seed = testutil::testSeed(107);
+    PRORACE_SEED_TRACE(seed);
+    oracle::GeneratorConfig racy;
+    racy.seed = seed;
+    racy.threads = 4;
+    racy.items = 40;
+    racy.racy_sites = 0;
+    racy.rw_racy_sites = 1;
+    racy.sem_racy_sites = 1;
+    racy.spin_racy_sites = 1;
+    racy.relaxed_racy_sites = 1;
+    oracle::GeneratorConfig clean = racy;
+    clean.seed = seed + 1;
+    clean.rw_racy_sites = clean.sem_racy_sites = 0;
+    clean.spin_racy_sites = clean.relaxed_racy_sites = 0;
+    clean.rw_locked_sites = 1;
+    clean.sem_signal_sites = 1;
+    clean.spin_locked_sites = 1;
+    clean.relacq_sites = 1;
+    for (const oracle::GeneratorConfig &cfg : {racy, clean}) {
+        const oracle::GeneratedWorkload gw = oracle::generate(cfg);
+        core::PipelineConfig pc =
+            core::proRaceConfig(6, seed + 3, gw.workload.pt_filter);
+        pc.session.run_baseline = false;
+        core::RunArtifacts run = core::Session::run(
+            *gw.workload.program, gw.workload.setup, pc.session);
+        expectCheckpointIdentity(*gw.workload.program, run.trace,
+                                 gw.workload.pt_filter, seed + 17,
+                                 gw.workload.name);
+    }
+}
+
+TEST(CheckpointRestore, RwSharedAndSemStateSurviveGcBoundary)
+{
+    // Checkpoint taken at a GC-enabled batch boundary while a granule
+    // is rwlock read-shared and a semaphore has undelivered posts; the
+    // restored detector must agree with the original on any seeded
+    // continuation — same races AND byte-identical final state.
+    detect::IncrementalOptions options;
+    options.enabled = true;
+    options.enable_gc = true;
+    options.gc_min_events = 0; // sweep at every boundary
+    for (uint64_t seed : testutil::testSeeds({401ull, 409ull, 419ull})) {
+        PRORACE_SEED_TRACE(seed);
+        detect::IncrementalFastTrack a(options);
+        for (uint32_t t = 0; t < 4; ++t)
+            a.requireThread(t);
+        for (uint32_t t = 1; t < 4; ++t)
+            a.fork(0, t);
+        // Live read-shared state: three rwlock readers, no writer yet.
+        for (uint32_t t = 1; t < 4; ++t) {
+            a.readLock(t, 0xa000);
+            detect::MemAccess ma;
+            ma.tid = t;
+            ma.addr = 0x1000;
+            ma.is_write = false;
+            ma.insn_index = t;
+            ma.tsc = 10 + t;
+            a.access(ma);
+            a.readUnlock(t, 0xa000);
+        }
+        // Live semaphore state: two posts queued, none consumed.
+        a.semInit(0, 0xb000, 0);
+        a.semPost(1, 0xb000);
+        a.semPost(2, 0xb000);
+        a.batchBoundary(100); // GC sweeps here with both structures live
+
+        ByteWriter w;
+        a.serializeState(w);
+        detect::IncrementalFastTrack b(options);
+        ByteReader r(w.bytes());
+        ASSERT_TRUE(b.restoreState(r)) << "seed " << seed;
+
+        // Identical seeded continuation over both detectors, mixing
+        // the new primitives with plain accesses.
+        Rng rng(seed);
+        for (uint64_t i = 0; i < 600; ++i) {
+            const uint32_t tid = static_cast<uint32_t>(rng.below(4));
+            const uint64_t op = rng.below(10);
+            const uint64_t obj = 0xa000 + 0x100 * rng.below(2);
+            const uint64_t addr = 0x1000 + 8 * rng.below(4);
+            const uint32_t insn =
+                8 + static_cast<uint32_t>(rng.below(48));
+            const bool is_write = rng.below(2) == 0;
+            for (detect::IncrementalFastTrack *ft : {&a, &b}) {
+                switch (op) {
+                  case 0: ft->readLock(tid, obj); break;
+                  case 1: ft->readUnlock(tid, obj); break;
+                  case 2: ft->writeLock(tid, obj); break;
+                  case 3: ft->writeUnlock(tid, obj); break;
+                  case 4: ft->semWait(tid, 0xb000); break;
+                  case 5: ft->semPost(tid, 0xb000); break;
+                  case 6: ft->acquireRelease(tid, 0xc000); break;
+                  default: {
+                      detect::MemAccess ma;
+                      ma.tid = tid;
+                      ma.addr = addr;
+                      ma.is_write = is_write;
+                      ma.insn_index = insn;
+                      ma.tsc = 200 + i;
+                      ft->access(ma);
+                      break;
+                  }
+                }
+            }
+            if (i % 128 == 127) {
+                a.batchBoundary(200 + i);
+                b.batchBoundary(200 + i);
+            }
+        }
+        a.finish();
+        b.finish();
+        EXPECT_EQ(a.report().format(nullptr), b.report().format(nullptr))
+            << "seed " << seed;
+        ByteWriter wa, wb;
+        a.serializeState(wa);
+        b.serializeState(wb);
+        EXPECT_EQ(wa.bytes(), wb.bytes()) << "seed " << seed;
+    }
+}
+
 TEST(CheckpointRestore, SerializedStateRoundTripsByteIdentically)
 {
     detect::IncrementalOptions options;

@@ -10,6 +10,7 @@
 #include "baseline/racez.hh"
 #include "core/pipeline.hh"
 #include "workload/apps.hh"
+#include "workload/archetypes.hh"
 #include "workload/racybugs.hh"
 #include "workload/registry.hh"
 
@@ -177,10 +178,88 @@ TEST(Workloads, AddressKindsMatchTableTwo)
 TEST(Workloads, RegistryFindsEverySuite)
 {
     const auto names = allWorkloadNames();
-    EXPECT_EQ(names.size(), 13u + 8u + 1u + 12u);
+    EXPECT_EQ(names.size(), 13u + 8u + 1u + 4u + 12u);
     for (const std::string &name : names)
         EXPECT_TRUE(findWorkload(name, 0.05).has_value()) << name;
     EXPECT_FALSE(findWorkload("no-such-app").has_value());
+}
+
+TEST(Workloads, ArchetypesRunToCompletion)
+{
+    for (const std::string &name : archetypeNames()) {
+        const Workload w = makeArchetype(name, 0.2);
+        EXPECT_EQ(runOnce(w), vm::RunStatus::kFinished) << name;
+        EXPECT_EQ(w.name, name);
+    }
+}
+
+TEST(Workloads, ArchetypesAreDeterministicPerSeed)
+{
+    for (const std::string &name : archetypeNames()) {
+        const Workload w = makeArchetype(name, 0.2);
+        vm::Machine *a = nullptr;
+        runOnce(w, 7, &a);
+        const uint64_t insns_a = a->totalInstructions();
+        vm::Machine *b = nullptr;
+        runOnce(w, 7, &b);
+        EXPECT_EQ(insns_a, b->totalInstructions()) << name;
+    }
+}
+
+TEST(Workloads, MpmcRacyBugsReallyTouchSharedMemory)
+{
+    const Workload w = makeMpmcQueue(4, 12, /*racy_publish=*/true);
+    ASSERT_EQ(w.bugs.size(), 2u);
+    vm::MachineConfig cfg;
+    cfg.seed = 3;
+    cfg.record_memory_log = true;
+    vm::Machine m(*w.program, cfg);
+    w.setup(m);
+    ASSERT_EQ(m.run(), vm::RunStatus::kFinished);
+    // Every racy insn retires, and the ring/flag cells see >= 2 threads.
+    std::set<uint32_t> insns;
+    std::map<uint64_t, std::set<uint32_t>> tids_by_addr;
+    for (const auto &e : m.memoryLog()) {
+        insns.insert(e.insn_index);
+        tids_by_addr[e.addr].insert(e.tid);
+    }
+    size_t cross_thread_cells = 0;
+    for (const auto &[addr, tids] : tids_by_addr)
+        cross_thread_cells += tids.size() >= 2;
+    EXPECT_GT(cross_thread_cells, 0u);
+    for (const RacyBug &bug : w.bugs)
+        for (uint32_t insn : bug.racy_insns)
+            EXPECT_TRUE(insns.count(insn)) << bug.id << " #" << insn;
+}
+
+TEST(Pipeline, CleanArchetypesProduceNoRaces)
+{
+    // The strongest end-to-end check of the new happens-before rules:
+    // dense sampling over rwlock, semaphore, spinlock, and rel/acq
+    // atomic edges must yield a completely empty report.
+    for (const char *name : {"mpmc-queue", "rcu-table", "event-loop"}) {
+        const Workload w = makeArchetype(name, 0.3);
+        auto cfg = core::proRaceConfig(1, 9, w.pt_filter);
+        auto result = core::runPipeline(*w.program, w.setup, cfg);
+        EXPECT_TRUE(result.offline.report.empty())
+            << name << ":\n"
+            << result.offline.report.format(w.program.get());
+    }
+}
+
+TEST(Pipeline, MpmcBrokenPublicationDetectedAtPeriodOne)
+{
+    const Workload w = makeArchetype("mpmc-queue-racy", 0.3);
+    ASSERT_EQ(w.bugs.size(), 2u);
+    for (uint64_t seed : testutil::testSeeds({4ull, 5ull})) {
+        PRORACE_SEED_TRACE(seed);
+        auto cfg = core::proRaceConfig(1, seed, w.pt_filter);
+        auto result = core::runPipeline(*w.program, w.setup, cfg);
+        for (const RacyBug &bug : w.bugs) {
+            EXPECT_TRUE(bugDetected(bug, result.offline.report))
+                << bug.id << " seed " << seed;
+        }
+    }
 }
 
 TEST(Pipeline, ProRaceDetectsAPcRelativeBugReliably)
