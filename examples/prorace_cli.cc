@@ -92,6 +92,7 @@ struct Args {
     bool vanilla = false;
     bool stats = false;        ///< dump shadow-structure counters
     bool no_prefilter = false; ///< disable the static access prefilter
+    bool no_pointsto = false;  ///< disable the Andersen points-to layer
     bool no_run_summary = false; ///< dispatch folded runs one by one
 
     // Fleet-service knobs (serve / submit commands).
@@ -154,6 +155,35 @@ printShadowStats(const core::OfflineResult &result)
                         pf.pruned_stack_implicit),
                     static_cast<unsigned long long>(
                         pf.pruned_stack_direct));
+        if (pf.pointsto_objects) {
+            std::printf("points-to: %llu objects, %llu constraints, "
+                        "%llu solver iterations; %llu heap-local sites"
+                        "\n",
+                        static_cast<unsigned long long>(
+                            pf.pointsto_objects),
+                        static_cast<unsigned long long>(
+                            pf.pointsto_constraints),
+                        static_cast<unsigned long long>(
+                            pf.pointsto_iterations),
+                        static_cast<unsigned long long>(
+                            pf.sites_heap_local));
+            std::printf("heap pruning: %llu events in %llu private "
+                        "[malloc,free) intervals (%llu intervals "
+                        "defeated by a cross-thread access)\n",
+                        static_cast<unsigned long long>(pf.pruned_heap),
+                        static_cast<unsigned long long>(
+                            pf.heap_intervals),
+                        static_cast<unsigned long long>(
+                            pf.heap_defeated));
+        } else {
+            std::printf("points-to: off\n");
+        }
+        if (result.replay_stats.recovered_constant) {
+            std::printf("constant recovery: %llu loads from immutable "
+                        "globals recovered in replay\n",
+                        static_cast<unsigned long long>(
+                            result.replay_stats.recovered_constant));
+        }
     } else {
         std::printf("prefilter: off (%s), %llu events seen\n",
                     pf.analysis_sound ? "disabled by flag"
@@ -209,14 +239,14 @@ usage()
                  " [--seed N] [--driver prorace|vanilla] [--scale X]\n"
                  "       prorace_cli analyze <workload> <file> [--racez]"
                  " [--scale X] [--jobs N] [--stats] [--no-prefilter]"
-                 " [--no-run-summary]\n"
+                 " [--no-pointsto] [--no-run-summary]\n"
                  "       prorace_cli run <workload> [--period N]"
                  " [--seed N] [--scale X] [--jobs N] [--stats]"
-                 " [--no-prefilter] [--no-run-summary]\n"
+                 " [--no-prefilter] [--no-pointsto] [--no-run-summary]\n"
                  "       prorace_cli oracle [--count K] [--period N]"
                  " [--seed N] [--jobs N] [--sync] [--no-run-summary]\n"
                  "       prorace_cli static-report <workload>"
-                 " [--scale X]\n"
+                 " [--scale X] [--no-pointsto]\n"
                  "       prorace_cli serve [--producers N] [--sessions "
                  "N] [--workers N] [--slots N] [--credit BYTES] "
                  "[--shed] [--chunk BYTES] [--subjects a,b,c]"
@@ -247,6 +277,10 @@ usage()
                  "--no-prefilter keeps definitely-thread-local accesses "
                  "in the detector feed (the race report is identical; "
                  "detection just costs more)\n"
+                 "--no-pointsto disables the Andersen points-to layer "
+                 "(heap-locality pruning, indirect-branch sharpening, "
+                 "replay constant recovery; the race report is identical "
+                 "either way)\n"
                  "--no-run-summary dispatches every iteration of a "
                  "compressed run block through the detector instead of "
                  "folding proven-absorbed repeats (the race report is "
@@ -296,6 +330,8 @@ parseFlags(int argc, char **argv, int first, Args &args)
             args.stats = true;
         } else if (flag == "--no-prefilter") {
             args.no_prefilter = true;
+        } else if (flag == "--no-pointsto") {
+            args.no_pointsto = true;
         } else if (flag == "--no-run-summary") {
             args.no_run_summary = true;
         } else if (flag == "--driver") {
@@ -429,6 +465,7 @@ cmdAnalyze(const Args &args)
     opt.pt_filter = w->pt_filter;
     opt.num_threads = args.jobs;
     opt.static_prefilter = !args.no_prefilter;
+    opt.pointsto = !args.no_pointsto;
     opt.run_summary = !args.no_run_summary;
     if (args.racez)
         opt.replay.mode = replay::ReplayMode::kBasicBlock;
@@ -496,6 +533,7 @@ cmdRun(const Args &args)
         : core::proRaceConfig(args.period, args.seed, w->pt_filter);
     cfg.offline.num_threads = args.jobs;
     cfg.offline.static_prefilter = !args.no_prefilter;
+    cfg.offline.pointsto = !args.no_pointsto;
     cfg.offline.run_summary = !args.no_run_summary;
     core::PipelineResult result =
         core::runPipeline(*w->program, w->setup, cfg);
@@ -560,7 +598,7 @@ cmdStaticReport(const Args &args)
                      args.workload.c_str());
         return 1;
     }
-    const analysis::ProgramAnalysis pa(*w->program);
+    const analysis::ProgramAnalysis pa(*w->program, !args.no_pointsto);
     const analysis::StaticSummary s = pa.summary();
 
     // JSONL on stdout: one summary record, one site-class record.
@@ -586,13 +624,15 @@ cmdStaticReport(const Args &args)
         s.no_stack_escape ? "true" : "false",
         s.rsp_integrity && s.no_stack_escape ? "true" : "false");
 
-    uint64_t by_class[4] = {0, 0, 0, 0};
-    for (analysis::SiteClass c : pa.escape().sites())
-        ++by_class[static_cast<unsigned>(c)];
+    // Merged classification: escape's, upgraded to kHeapLocal where
+    // the points-to layer confined a site to private heap objects.
+    uint64_t by_class[5] = {0, 0, 0, 0, 0};
+    for (uint32_t i = 0; i < s.insns; ++i)
+        ++by_class[static_cast<unsigned>(pa.siteClass(i))];
     std::printf(
         "{\"type\":\"sites\",\"workload\":\"%s\",\"no_access\":%llu,"
         "\"stack_implicit\":%llu,\"stack_direct\":%llu,"
-        "\"may_shared\":%llu}\n",
+        "\"may_shared\":%llu,\"heap_local\":%llu}\n",
         args.workload.c_str(),
         static_cast<unsigned long long>(by_class[static_cast<unsigned>(
             analysis::SiteClass::kNoAccess)]),
@@ -601,7 +641,41 @@ cmdStaticReport(const Args &args)
         static_cast<unsigned long long>(by_class[static_cast<unsigned>(
             analysis::SiteClass::kStackDirect)]),
         static_cast<unsigned long long>(by_class[static_cast<unsigned>(
-            analysis::SiteClass::kMayShared)]));
+            analysis::SiteClass::kMayShared)]),
+        static_cast<unsigned long long>(by_class[static_cast<unsigned>(
+            analysis::SiteClass::kHeapLocal)]));
+
+    if (s.pointsto_enabled) {
+        const analysis::PointsToStats &pt = s.pointsto;
+        std::printf(
+            "{\"type\":\"pointsto\",\"workload\":\"%s\",\"objects\":%llu,"
+            "\"alloc_sites\":%llu,\"constraints\":%llu,"
+            "\"iterations\":%llu,\"cycles_collapsed\":%llu,"
+            "\"thread_local_allocs\":%llu,\"heap_local_sites\":%llu,"
+            "\"immutable_globals\":%llu,\"indirect_sites\":%llu,"
+            "\"resolved_indirect_sites\":%llu,\"fanout_blunt\":%llu,"
+            "\"fanout_sharp\":%llu,\"sharp_edges\":%llu,"
+            "\"sharp_reachable\":%llu,\"no_heap_forgery\":%s,"
+            "\"top_store\":%s,\"heap_sound\":%s}\n",
+            args.workload.c_str(),
+            static_cast<unsigned long long>(pt.objects),
+            static_cast<unsigned long long>(pt.alloc_sites),
+            static_cast<unsigned long long>(pt.constraints),
+            static_cast<unsigned long long>(pt.iterations),
+            static_cast<unsigned long long>(pt.cycles_collapsed),
+            static_cast<unsigned long long>(pt.thread_local_allocs),
+            static_cast<unsigned long long>(pt.heap_local_sites),
+            static_cast<unsigned long long>(pt.immutable_globals),
+            static_cast<unsigned long long>(pt.indirect_sites),
+            static_cast<unsigned long long>(pt.resolved_indirect_sites),
+            static_cast<unsigned long long>(pt.fanout_blunt),
+            static_cast<unsigned long long>(pt.fanout_sharp),
+            static_cast<unsigned long long>(s.sharp_edges),
+            static_cast<unsigned long long>(s.sharp_reachable),
+            pt.no_heap_forgery ? "true" : "false",
+            pt.top_store ? "true" : "false",
+            pt.heap_sound ? "true" : "false");
+    }
 
     // Human digest on stderr so stdout stays machine-parseable.
     std::fprintf(stderr,
@@ -623,6 +697,30 @@ cmdStaticReport(const Args &args)
                  static_cast<unsigned long long>(s.learn_insns),
                  s.rsp_integrity ? "held" : "VIOLATED",
                  s.no_stack_escape ? "held" : "VIOLATED");
+    if (s.pointsto_enabled) {
+        const analysis::PointsToStats &pt = s.pointsto;
+        std::fprintf(stderr,
+                     "  points-to: %llu objects, %llu constraints; "
+                     "%llu/%llu allocs thread-local, %llu heap-local "
+                     "sites, %llu immutable globals, %llu/%llu indirect "
+                     "sites resolved (fan-out %llu -> %llu), heap "
+                     "soundness %s, top store %s\n",
+                     static_cast<unsigned long long>(pt.objects),
+                     static_cast<unsigned long long>(pt.constraints),
+                     static_cast<unsigned long long>(
+                         pt.thread_local_allocs),
+                     static_cast<unsigned long long>(pt.alloc_sites),
+                     static_cast<unsigned long long>(pt.heap_local_sites),
+                     static_cast<unsigned long long>(
+                         pt.immutable_globals),
+                     static_cast<unsigned long long>(
+                         pt.resolved_indirect_sites),
+                     static_cast<unsigned long long>(pt.indirect_sites),
+                     static_cast<unsigned long long>(pt.fanout_blunt),
+                     static_cast<unsigned long long>(pt.fanout_sharp),
+                     pt.heap_sound ? "held" : "degraded",
+                     pt.top_store ? "seen" : "none");
+    }
     return 0;
 }
 
@@ -649,6 +747,30 @@ printTenantRow(const std::string &name,
                      ts.incremental.clocks_reclaimed),
                  ts.latency_seconds.mean() * 1e3,
                  ts.latency_seconds.max() * 1e3);
+    if (ts.prefilter.enabled) {
+        std::fprintf(stderr,
+                     "  %-12s prefilter: %llu/%llu events pruned "
+                     "(%llu implicit stack, %llu direct stack, %llu "
+                     "heap-local in %llu intervals), points-to "
+                     "%llu objects / %llu constraints\n",
+                     "",
+                     static_cast<unsigned long long>(
+                         ts.prefilter.pruned()),
+                     static_cast<unsigned long long>(
+                         ts.prefilter.events_seen),
+                     static_cast<unsigned long long>(
+                         ts.prefilter.pruned_stack_implicit),
+                     static_cast<unsigned long long>(
+                         ts.prefilter.pruned_stack_direct),
+                     static_cast<unsigned long long>(
+                         ts.prefilter.pruned_heap),
+                     static_cast<unsigned long long>(
+                         ts.prefilter.heap_intervals),
+                     static_cast<unsigned long long>(
+                         ts.prefilter.pointsto_objects),
+                     static_cast<unsigned long long>(
+                         ts.prefilter.pointsto_constraints));
+    }
     const trace::CompressionStats &cm = ts.compression;
     if (cm.pebs_raw_bytes || cm.sync_raw_bytes) {
         std::fprintf(stderr,
@@ -729,6 +851,7 @@ cmdServe(const Args &args)
     cfg.service.ingest.credit_bytes = args.credit;
     cfg.service.ingest.shed_on_full = args.shed;
     cfg.service.offline.run_summary = !args.no_run_summary;
+    cfg.service.offline.pointsto = !args.no_pointsto;
     cfg.service.state_dir = args.state_dir;
     cfg.service.supervision.session_deadline_seconds = args.deadline;
     cfg.poison_producers = args.poison;

@@ -32,7 +32,8 @@ struct ParallelOfflineAnalyzer::WindowResult {
 ParallelOfflineAnalyzer::ParallelOfflineAnalyzer(
     const asmkit::Program &program, const OfflineOptions &options)
     : program_(program), options_(options),
-      analysis_(std::make_unique<analysis::ProgramAnalysis>(program))
+      analysis_(std::make_unique<analysis::ProgramAnalysis>(
+          program, options.pointsto))
 {
     // Hand the precomputed fact tables to the replay layer; replay and
     // alignment results are bit-identical with or without them.
@@ -221,7 +222,7 @@ ParallelOfflineAnalyzer::analyzeOnceParallel(
     // prefilter cost counts as detection cost) ---
     detail::applyStaticPrefilter(accesses, analysis_.get(),
                                  options_.static_prefilter,
-                                 result.prefilter);
+                                 result.prefilter, &run);
     if (options_.incremental.enabled) {
         detect::IncrementalFastTrack detector(options_.incremental);
         for (const trace::ThreadMeta &tm : run.meta.threads)

@@ -17,6 +17,7 @@ accessOriginName(AccessOrigin origin)
       case AccessOrigin::kBackward:   return "backward-replay";
       case AccessOrigin::kPcRelative: return "pc-relative";
       case AccessOrigin::kOracle:     return "oracle";
+      case AccessOrigin::kConstant:   return "constant";
     }
     return "?";
 }

@@ -24,6 +24,12 @@ enum class AccessOrigin : uint8_t {
     kBackward,    ///< reconstructed by backward replay
     kPcRelative,  ///< recovered from PC-relative addressing alone
     kOracle,      ///< ground-truth log (testing only)
+    /**
+     * Address derived through values the points-to layer proved
+     * constant (loads from immutable globals). Appended after kOracle
+     * so serialized origin bytes keep their meaning.
+     */
+    kConstant,
 };
 
 /** Printable origin name. */

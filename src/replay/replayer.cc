@@ -73,6 +73,39 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
     isa::Flags flags_value;
     bool flags_known = false;
 
+    // Constant recovery (points-to consumer 3): a load whose resolved
+    // address lies in a provably-immutable global yields its init-image
+    // bytes even when the location is not emulated. Registers holding
+    // such values are *tainted*: the extra knowledge must not perturb
+    // anything the stock replay does — not the hints, not the
+    // violation checks, not emulated memory (no tainted value is ever
+    // written), not the consumed set, and not any kForward/kBackward
+    // emission. A tainted-address load may emit a kConstant event only
+    // when its whole shadow granule is immutable, so the event is inert
+    // to the detector (no write anywhere in the feed can share its
+    // granule) and the race report stays byte-identical with the layer
+    // off.
+    const analysis::PointsTo *pt_const = nullptr;
+    if (config_.analysis && config_.analysis->pointsTo() &&
+        config_.analysis->pointsTo()->anyImmutable()) {
+        pt_const = config_.analysis->pointsTo();
+    }
+    uint16_t taint = 0;
+    auto reg_tainted = [&](Reg r) {
+        return isGpr(r) && ((taint >> gprIndex(r)) & 1u);
+    };
+    auto mem_tainted = [&](const isa::MemOperand &mem) {
+        return !mem.rip_relative &&
+            (reg_tainted(mem.base) || reg_tainted(mem.index));
+    };
+    auto granule_immutable = [&](uint64_t addr, uint8_t width) {
+        if (!pt_const || width == 0)
+            return false;
+        const uint64_t lo = addr & ~7ull;
+        const uint64_t hi = ((addr + width - 1) | 7ull) + 1;
+        return pt_const->immutableCovers(lo, hi - lo);
+    };
+
     // A consistency violation proves the replayed state is wrong at
     // this point (usually a sample matched to the wrong loop iteration).
     // Repair locally: discard the reconstructions of the current loop
@@ -111,6 +144,7 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             if ((flag_src_mask >> r) & 1u)
                 pm.invalidateReg(isa::gprFromIndex(r));
         }
+        taint &= static_cast<uint16_t>(~flag_src_mask);
     };
 
     auto try_ea = [&](const isa::MemOperand &mem)
@@ -140,13 +174,19 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
                facts[fact_cursor].pos == pos) {
             const ReplayFact &fact = facts[fact_cursor];
             // Where forward and backward knowledge overlap they must
-            // agree; disagreement reveals misaligned samples.
-            if (pm.regAvailable(fact.reg) &&
+            // agree; disagreement reveals misaligned samples. A tainted
+            // register is unavailable to the stock replay, so it takes
+            // the fact silently (and is untainted by it).
+            if (!reg_tainted(fact.reg) && pm.regAvailable(fact.reg) &&
                 pm.regValue(fact.reg) != fact.val) {
                 ++stats_.violations_fact;
                 violation(pos);
             }
             pm.setReg(fact.reg, fact.val);
+            if (isGpr(fact.reg)) {
+                taint &=
+                    static_cast<uint16_t>(~(1u << gprIndex(fact.reg)));
+            }
             ++fact_cursor;
         }
         const uint32_t idx = path.insns[pos];
@@ -155,6 +195,7 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             pm.invalidateAllRegs();
             pm.invalidateMemory();
             flags_known = false;
+            taint = 0;
             continue;
         }
         const Insn &insn = program_.insnAt(idx);
@@ -207,9 +248,36 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
                 return;
             for (unsigned r = 0; r < isa::kNumGprs; ++r) {
                 const Reg reg = isa::gprFromIndex(r);
-                if (pm.regAvailable(reg))
+                // Tainted registers are invisible here: the backward
+                // scan must see exactly the stock forward knowledge.
+                if (pm.regAvailable(reg) && !((taint >> r) & 1u))
                     hints_out->push_back({pos, reg, pm.regValue(reg)});
             }
+        };
+
+        // Emit a constant-derived read: its address came through
+        // tainted registers, so it may only reach the detector when its
+        // whole shadow granule is immutable (the event is then inert —
+        // nothing in any feed writes that granule).
+        auto emit_constant = [&](unsigned slot, uint64_t addr,
+                                 uint8_t width, bool atomic) {
+            ReconstructedAccess acc;
+            acc.tid = win.tid;
+            acc.position = pos;
+            acc.insn_index = idx;
+            acc.addr = addr;
+            acc.width = width;
+            acc.is_write = false;
+            acc.is_atomic = atomic;
+            acc.origin = AccessOrigin::kConstant;
+            if (emit.add(pos, slot, acc))
+                ++stats_.recovered_constant;
+        };
+
+        uint16_t taint_new = 0;
+        auto taint_dst = [&](Reg r) {
+            if (isGpr(r))
+                taint_new |= static_cast<uint16_t>(1u << gprIndex(r));
         };
 
         switch (insn.op) {
@@ -222,7 +290,8 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
           case Op::kCmpRR: {
             auto a = src_val(insn.dst);
             auto bv = src_val(insn.src);
-            flags_known = a && bv;
+            flags_known = a && bv && !reg_tainted(insn.dst) &&
+                !reg_tainted(insn.src);
             if (flags_known)
                 flags_value = isa::evalCmp(*a, *bv);
             flag_src_mask = static_cast<uint16_t>(
@@ -231,7 +300,7 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
           }
           case Op::kCmpRI: {
             auto a = src_val(insn.dst);
-            flags_known = a.has_value();
+            flags_known = a.has_value() && !reg_tainted(insn.dst);
             if (flags_known)
                 flags_value = isa::evalCmp(*a,
                                            static_cast<uint64_t>(insn.imm));
@@ -242,7 +311,8 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
           case Op::kTestRR: {
             auto a = src_val(insn.dst);
             auto bv = src_val(insn.src);
-            flags_known = a && bv;
+            flags_known = a && bv && !reg_tainted(insn.dst) &&
+                !reg_tainted(insn.src);
             if (flags_known)
                 flags_value = isa::evalTest(*a, *bv);
             flag_src_mask = static_cast<uint16_t>(
@@ -251,7 +321,7 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
           }
           case Op::kTestRI: {
             auto a = src_val(insn.dst);
-            flags_known = a.has_value();
+            flags_known = a.has_value() && !reg_tainted(insn.dst);
             if (flags_known)
                 flags_value = isa::evalTest(*a,
                                             static_cast<uint64_t>(insn.imm));
@@ -280,10 +350,13 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             break;
 
           case Op::kMovRR:
-            if (auto v = src_val(insn.src))
+            if (auto v = src_val(insn.src)) {
                 pm.setReg(insn.dst, *v);
-            else
+                if (reg_tainted(insn.src))
+                    taint_dst(insn.dst);
+            } else {
                 pm.invalidateReg(insn.dst);
+            }
             break;
 
           case Op::kLoad: {
@@ -292,13 +365,30 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
                 addr = win.s1->addr;
             } else if (auto ea = try_ea(insn.mem)) {
                 addr = *ea;
+                if (mem_tainted(insn.mem)) {
+                    // The stock replay could not resolve this address.
+                    note_hint();
+                    if (granule_immutable(addr, insn.width)) {
+                        emit_constant(0, addr, insn.width, false);
+                        pm.setReg(insn.dst,
+                                  isa::extendFromWidth(
+                                      pt_const->constantAt(addr,
+                                                           insn.width),
+                                      insn.width, insn.sign_extend));
+                        taint_dst(insn.dst);
+                    } else {
+                        pm.invalidateReg(insn.dst);
+                    }
+                    break;
+                }
             } else {
                 note_hint();
                 pm.invalidateReg(insn.dst);
                 break;
             }
             if (is_sample) {
-                if (auto ea = try_ea(insn.mem); ea && *ea != addr) {
+                if (auto ea = try_ea(insn.mem);
+                    ea && !mem_tainted(insn.mem) && *ea != addr) {
                     ++stats_.violations_sample;
                     violation(pos);
                 }
@@ -308,6 +398,15 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             if (auto v = pm.readMem(addr, insn.width)) {
                 pm.setReg(insn.dst, isa::extendFromWidth(*v, insn.width,
                                                          insn.sign_extend));
+            } else if (pt_const &&
+                       pt_const->immutableCovers(addr, insn.width)) {
+                // The location is not emulated, but no store in the
+                // program can reach it: it still holds its init bytes.
+                pm.setReg(insn.dst,
+                          isa::extendFromWidth(
+                              pt_const->constantAt(addr, insn.width),
+                              insn.width, insn.sign_extend));
+                taint_dst(insn.dst);
             } else {
                 pm.invalidateReg(insn.dst);
             }
@@ -319,9 +418,12 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             uint64_t addr;
             if (is_sample) {
                 addr = win.s1->addr;
-            } else if (auto ea = try_ea(insn.mem)) {
+            } else if (auto ea = try_ea(insn.mem);
+                       ea && !mem_tainted(insn.mem)) {
                 addr = *ea;
             } else {
+                // Unknown (or only tainted-known) address: never emit a
+                // write from constant-derived knowledge.
                 note_hint();
                 // A store to an unknown address may clobber any emulated
                 // location.
@@ -333,7 +435,7 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             std::optional<uint64_t> value;
             if (insn.op == Op::kStoreI)
                 value = static_cast<uint64_t>(insn.imm);
-            else
+            else if (!reg_tainted(insn.src))
                 value = src_val(insn.src);
             if (value) {
                 pm.writeMem(addr, isa::truncateToWidth(*value, insn.width),
@@ -345,10 +447,13 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
           }
 
           case Op::kLea:
-            if (auto ea = try_ea(insn.mem))
+            if (auto ea = try_ea(insn.mem)) {
                 pm.setReg(insn.dst, *ea);
-            else
+                if (mem_tainted(insn.mem))
+                    taint_dst(insn.dst);
+            } else {
                 pm.invalidateReg(insn.dst);
+            }
             break;
 
           case Op::kAluRR: {
@@ -357,11 +462,18 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             if (a && b) {
                 const auto r = isa::evalAlu(insn.alu, *a, *b);
                 pm.setReg(insn.dst, r.value);
-                flags_value = r.flags;
-                flags_known = true;
-                flag_src_mask = static_cast<uint16_t>(
-                    (1u << gprIndex(insn.dst)) |
-                    (1u << gprIndex(insn.src)));
+                if (reg_tainted(insn.dst) || reg_tainted(insn.src)) {
+                    // A tainted input is unavailable to the stock
+                    // replay, which leaves the flags unknown here.
+                    taint_dst(insn.dst);
+                    flags_known = false;
+                } else {
+                    flags_value = r.flags;
+                    flags_known = true;
+                    flag_src_mask = static_cast<uint16_t>(
+                        (1u << gprIndex(insn.dst)) |
+                        (1u << gprIndex(insn.src)));
+                }
             } else {
                 pm.invalidateReg(insn.dst);
                 flags_known = false;
@@ -374,10 +486,15 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
                 const auto r = isa::evalAlu(
                     insn.alu, *a, static_cast<uint64_t>(insn.imm));
                 pm.setReg(insn.dst, r.value);
-                flags_value = r.flags;
-                flags_known = true;
-                flag_src_mask =
-                    static_cast<uint16_t>(1u << gprIndex(insn.dst));
+                if (reg_tainted(insn.dst)) {
+                    taint_dst(insn.dst);
+                    flags_known = false;
+                } else {
+                    flags_value = r.flags;
+                    flags_known = true;
+                    flag_src_mask =
+                        static_cast<uint16_t>(1u << gprIndex(insn.dst));
+                }
             } else {
                 pm.invalidateReg(insn.dst);
                 flags_known = false;
@@ -391,12 +508,14 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             uint64_t value_known = insn.op != Op::kPush;
             uint64_t value = idx + 1;
             if (insn.op == Op::kPush) {
-                if (auto v = src_val(insn.src)) {
+                if (auto v = src_val(insn.src);
+                    v && !reg_tainted(insn.src)) {
                     value = *v;
                     value_known = true;
                 }
             }
-            if (auto rsp = src_val(Reg::rsp)) {
+            if (auto rsp = src_val(Reg::rsp);
+                rsp && !reg_tainted(Reg::rsp)) {
                 const uint64_t addr = *rsp - 8;
                 const bool sampled_here = is_sample;
                 emit_access(0, sampled_here ? win.s1->addr : addr, 8, true,
@@ -409,23 +528,29 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             } else {
                 note_hint();
                 pm.invalidateMemory();
+                // A tainted rsp becomes plain-unavailable, as it is to
+                // the stock replay.
+                pm.invalidateReg(Reg::rsp);
             }
             break;
           }
 
           case Op::kRet: {
-            if (auto rsp = src_val(Reg::rsp)) {
+            if (auto rsp = src_val(Reg::rsp);
+                rsp && !reg_tainted(Reg::rsp)) {
                 emit_access(0, is_sample ? win.s1->addr : *rsp, 8, false,
                             false, false);
                 pm.setReg(Reg::rsp, *rsp + 8);
             } else {
                 note_hint();
+                pm.invalidateReg(Reg::rsp);
             }
             break;
           }
 
           case Op::kPop: {
-            if (auto rsp = src_val(Reg::rsp)) {
+            if (auto rsp = src_val(Reg::rsp);
+                rsp && !reg_tainted(Reg::rsp)) {
                 emit_access(0, is_sample ? win.s1->addr : *rsp, 8, false,
                             false, false);
                 if (auto v = pm.readMem(*rsp, 8))
@@ -436,6 +561,7 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             } else {
                 note_hint();
                 pm.invalidateReg(insn.dst);
+                pm.invalidateReg(Reg::rsp);
             }
             break;
           }
@@ -444,7 +570,8 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             uint64_t addr;
             if (is_sample) {
                 addr = win.s1->addr;
-            } else if (auto ea = try_ea(insn.mem)) {
+            } else if (auto ea = try_ea(insn.mem);
+                       ea && !mem_tainted(insn.mem)) {
                 addr = *ea;
             } else {
                 note_hint();
@@ -458,6 +585,8 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
                         insn.mem.rip_relative);
             auto old = pm.readMem(addr, insn.width);
             auto rhs = src_val(insn.src);
+            if (reg_tainted(insn.src))
+                rhs = std::nullopt;
             if (old) {
                 pm.setReg(insn.dst,
                           isa::extendFromWidth(*old, insn.width, false));
@@ -480,7 +609,8 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             uint64_t addr;
             if (is_sample) {
                 addr = win.s1->addr;
-            } else if (auto ea = try_ea(insn.mem)) {
+            } else if (auto ea = try_ea(insn.mem);
+                       ea && !mem_tainted(insn.mem)) {
                 addr = *ea;
             } else {
                 note_hint();
@@ -493,6 +623,10 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             auto old = pm.readMem(addr, insn.width);
             auto expected = src_val(insn.dst);
             auto desired = src_val(insn.src);
+            if (reg_tainted(insn.dst))
+                expected = std::nullopt;
+            if (reg_tainted(insn.src))
+                desired = std::nullopt;
             if (old && expected && desired) {
                 if (*old == isa::truncateToWidth(*expected, insn.width)) {
                     emit_access(1, addr, insn.width, true, true,
@@ -521,6 +655,21 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
                 addr = win.s1->addr;
             } else if (auto ea = try_ea(insn.mem)) {
                 addr = *ea;
+                if (mem_tainted(insn.mem)) {
+                    note_hint();
+                    if (granule_immutable(addr, insn.width)) {
+                        emit_constant(0, addr, insn.width, true);
+                        pm.setReg(insn.dst,
+                                  isa::extendFromWidth(
+                                      pt_const->constantAt(addr,
+                                                           insn.width),
+                                      insn.width, false));
+                        taint_dst(insn.dst);
+                    } else {
+                        pm.invalidateReg(insn.dst);
+                    }
+                    break;
+                }
             } else {
                 note_hint();
                 pm.invalidateReg(insn.dst);
@@ -534,6 +683,13 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             if (auto v = pm.readMem(addr, insn.width)) {
                 pm.setReg(insn.dst,
                           isa::extendFromWidth(*v, insn.width, false));
+            } else if (pt_const &&
+                       pt_const->immutableCovers(addr, insn.width)) {
+                pm.setReg(insn.dst,
+                          isa::extendFromWidth(
+                              pt_const->constantAt(addr, insn.width),
+                              insn.width, false));
+                taint_dst(insn.dst);
             } else {
                 pm.invalidateReg(insn.dst);
             }
@@ -544,7 +700,8 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             uint64_t addr;
             if (is_sample) {
                 addr = win.s1->addr;
-            } else if (auto ea = try_ea(insn.mem)) {
+            } else if (auto ea = try_ea(insn.mem);
+                       ea && !mem_tainted(insn.mem)) {
                 addr = *ea;
             } else {
                 note_hint();
@@ -553,7 +710,8 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             }
             emit_access(0, addr, insn.width, true, true,
                         insn.mem.rip_relative);
-            if (auto value = src_val(insn.src)) {
+            if (auto value = src_val(insn.src);
+                value && !reg_tainted(insn.src)) {
                 pm.writeMem(addr, isa::truncateToWidth(*value, insn.width),
                             insn.width);
             } else {
@@ -566,7 +724,8 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             uint64_t addr;
             if (is_sample) {
                 addr = win.s1->addr;
-            } else if (auto ea = try_ea(insn.mem)) {
+            } else if (auto ea = try_ea(insn.mem);
+                       ea && !mem_tainted(insn.mem)) {
                 addr = *ea;
             } else {
                 note_hint();
@@ -580,6 +739,8 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
                         insn.mem.rip_relative);
             auto old = pm.readMem(addr, insn.width);
             auto rhs = src_val(insn.src);
+            if (reg_tainted(insn.src))
+                rhs = std::nullopt;
             if (old) {
                 pm.setReg(insn.dst,
                           isa::extendFromWidth(*old, insn.width, false));
@@ -646,6 +807,12 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
             pm.invalidateReg(Reg::rax);
             break;
         }
+        // Any register this instruction may write sheds its taint unless
+        // the case above explicitly re-tainted the destination.
+        taint = static_cast<uint16_t>(
+            (taint &
+             static_cast<uint16_t>(~analysis::regWriteMask(insn))) |
+            taint_new);
     }
 
     // consumedAddresses() is rebuilt from the per-page consumed bitmaps,
@@ -657,6 +824,10 @@ Replayer::forwardPass(const Window &win, const pmu::ThreadPath &path,
     if (win.s2) {
         for (unsigned r = 0; r < isa::kNumGprs; ++r) {
             const Reg reg = isa::gprFromIndex(r);
+            // Tainted registers carry knowledge the stock replay lacks;
+            // they take no part in the closing-sample cross-check.
+            if ((taint >> r) & 1u)
+                continue;
             if (pm.regAvailable(reg) &&
                 pm.regValue(reg) != win.s2->regs.gpr[r]) {
                 ++stats_.violations_end;

@@ -317,10 +317,128 @@ makeEventLoop(unsigned threads, uint32_t items, double scale)
     return w;
 }
 
+Workload
+makePtrDispatch(unsigned threads, uint32_t items, double scale)
+{
+    PRORACE_ASSERT(threads >= 1, "ptr-dispatch needs >= 1 worker");
+    items = scaledItems(items, scale);
+    constexpr uint32_t kHandlers = 4;
+    constexpr uint32_t kBufElems = 16;
+
+    ProgramBuilder b;
+    // coeff is never stored to: a provably-immutable global. coeffp is
+    // a second-level pointer whose init word is coeff's address, so a
+    // handler reaches coeff through a register-indirect load — the
+    // points-to layer's constant-recovery showcase.
+    const uint64_t coeff_addr = b.globalU64("coeff", 0x243f6a8885a308d3ull);
+    b.globalU64("coeffp", coeff_addr);
+    b.global("htab", kHandlers * 8);
+    b.global("fin_ptr", 8);
+
+    // main installs the handler table at runtime (movLabel + store, the
+    // pattern the blunt address-taken scan over-approximates), spawns
+    // the workers, and finishes with an indirect call through fin_ptr.
+    b.label("main");
+    b.movLabel(Reg::rdx, "h0");
+    b.store(b.symRef("htab", 0), Reg::rdx);
+    b.movLabel(Reg::rdx, "h1");
+    b.store(b.symRef("htab", 8), Reg::rdx);
+    b.movLabel(Reg::rdx, "h2");
+    b.store(b.symRef("htab", 16), Reg::rdx);
+    b.movLabel(Reg::rdx, "h3");
+    b.store(b.symRef("htab", 24), Reg::rdx);
+    b.movLabel(Reg::rdx, "finalizer");
+    b.store(b.symRef("fin_ptr"), Reg::rdx);
+    b.movri(Reg::rcx, 0);
+    b.label("m_spawn");
+    b.movrr(Reg::r12, Reg::rcx);
+    b.spawn(Reg::rax, "worker", Reg::r12);
+    b.push(Reg::rax);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, threads);
+    b.jcc(CondCode::kLt, "m_spawn");
+    b.movri(Reg::rcx, 0);
+    b.label("m_join");
+    b.pop(Reg::rax);
+    b.join(Reg::rax);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, threads);
+    b.jcc(CondCode::kLt, "m_join");
+    b.load(Reg::rdx, b.symRef("fin_ptr"));
+    b.callind(Reg::rdx);
+    b.halt();
+
+    // Worker: malloc a private buffer, fill it before any calls, then
+    // dispatch through the table. The buffer never escapes the thread,
+    // so every access to it is heap-local and prunable.
+    b.beginFunction("worker");
+    b.movrr(Reg::r14, Reg::rdi); // tid
+    b.movri(Reg::rax, kBufElems * 8);
+    b.mallocCall(Reg::r15, Reg::rax);
+    b.movri(Reg::rcx, 0);
+    b.label("w_fill");
+    b.movrr(Reg::rdx, Reg::rcx);
+    b.alurr(AluOp::kAdd, Reg::rdx, Reg::r14);
+    b.store(MemOperand::baseIndex(Reg::r15, Reg::rcx, 8), Reg::rdx);
+    b.addri(Reg::rcx, 1);
+    b.cmpri(Reg::rcx, kBufElems);
+    b.jcc(CondCode::kLt, "w_fill");
+    b.movri(Reg::r13, 0); // iteration
+    b.label("w_loop");
+    b.movrr(Reg::rax, Reg::r13);
+    b.aluri(AluOp::kAnd, Reg::rax, kHandlers - 1);
+    emitElemAddr(b, "htab", Reg::rax, Reg::rcx);
+    b.load(Reg::rdx, MemOperand::baseDisp(Reg::rcx, 0));
+    b.callind(Reg::rdx);
+    emitComputeLoop(b, "w_gap", 8);
+    b.addri(Reg::r13, 1);
+    b.cmpri(Reg::r13, items);
+    b.jcc(CondCode::kLt, "w_loop");
+    b.freeCall(Reg::r15);
+    b.halt();
+    b.endFunction();
+
+    // Handlers: read-only on shared state. Each loads coeff through the
+    // coeffp indirection (register-indirect immutable load) and mixes
+    // it with a slot of the calling thread's private buffer.
+    for (uint32_t k = 0; k < kHandlers; ++k) {
+        const std::string name = "h" + std::to_string(k);
+        b.beginFunction(name);
+        b.load(Reg::r8, b.symRef("coeffp"));
+        b.load(Reg::r9, MemOperand::baseDisp(Reg::r8, 0));
+        b.load(Reg::rdx,
+               MemOperand::baseDisp(Reg::r15,
+                                    static_cast<int64_t>(k) * 8));
+        b.alurr(AluOp::kXor, Reg::rdx, Reg::r9);
+        b.aluri(AluOp::kAdd, Reg::rdx, k + 1);
+        b.ret();
+        b.endFunction();
+    }
+
+    b.beginFunction("finalizer");
+    b.load(Reg::r8, b.symRef("coeffp"));
+    b.load(Reg::r9, MemOperand::baseDisp(Reg::r8, 0));
+    b.aluri(AluOp::kShr, Reg::r9, 7);
+    b.ret();
+    b.endFunction();
+    emitLibHelpers(b);
+
+    Workload w;
+    w.name = "ptr-dispatch";
+    w.description =
+        "indirect dispatch table over read-only handlers, private heap "
+        "buffers";
+    w.program = std::make_shared<asmkit::Program>(b.build());
+    w.setup = [](vm::Machine &m) { m.addThread("main"); };
+    w.pt_filter = mainExecutableFilter(*w.program);
+    return w;
+}
+
 std::vector<std::string>
 archetypeNames()
 {
-    return {"mpmc-queue", "mpmc-queue-racy", "rcu-table", "event-loop"};
+    return {"mpmc-queue", "mpmc-queue-racy", "rcu-table", "event-loop",
+            "ptr-dispatch"};
 }
 
 bool
@@ -341,6 +459,8 @@ makeArchetype(const std::string &name, double scale)
         return makeRcuTable(4, 60, scale);
     if (name == "event-loop")
         return makeEventLoop(3, 50, scale);
+    if (name == "ptr-dispatch")
+        return makePtrDispatch(3, 40, scale);
     PRORACE_ASSERT(false, "unknown archetype ", name);
     return {};
 }

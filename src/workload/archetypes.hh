@@ -4,8 +4,10 @@
  * MPMC ticket queue (acquire/release atomics), an RCU-style
  * reader/writer table (rwlock, read-shared clocks at scale), and an
  * event-loop server (semaphore job signaling + spinlock queue) under
- * simulated load. All are race-free by construction except the "-racy"
- * MPMC variant, whose broken publication carries exact ground truth.
+ * simulated load, and a pointer-dispatch server (runtime handler table,
+ * private heap buffers) exercising the points-to consumers. All are
+ * race-free by construction except the "-racy" MPMC variant, whose
+ * broken publication carries exact ground truth.
  */
 
 #ifndef PRORACE_WORKLOAD_ARCHETYPES_HH
@@ -52,6 +54,19 @@ Workload makeRcuTable(unsigned threads, uint32_t items,
  */
 Workload makeEventLoop(unsigned threads, uint32_t items,
                        double scale = 1.0);
+
+/**
+ * Pointer-dispatch server: main installs a handler table at runtime
+ * (movLabel + store) and each worker calls through it indirectly.
+ * Handlers are read-only on shared state; every worker fills and reads
+ * a private malloc'd buffer that never escapes its thread. Exercises
+ * all three points-to consumers at once: heap-local pruning (the
+ * buffers), indirect-branch sharpening (the two callind sites resolve
+ * to exact target sets), and constant recovery (coeff reached through
+ * the coeffp second-level pointer). Race-free by construction.
+ */
+Workload makePtrDispatch(unsigned threads, uint32_t items,
+                         double scale = 1.0);
 
 /** Registry names of all archetypes. */
 std::vector<std::string> archetypeNames();

@@ -178,7 +178,7 @@ TEST(Workloads, AddressKindsMatchTableTwo)
 TEST(Workloads, RegistryFindsEverySuite)
 {
     const auto names = allWorkloadNames();
-    EXPECT_EQ(names.size(), 13u + 8u + 1u + 4u + 12u);
+    EXPECT_EQ(names.size(), 13u + 8u + 1u + 5u + 12u);
     for (const std::string &name : names)
         EXPECT_TRUE(findWorkload(name, 0.05).has_value()) << name;
     EXPECT_FALSE(findWorkload("no-such-app").has_value());
